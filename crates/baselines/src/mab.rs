@@ -1,0 +1,48 @@
+//! Adapter exposing the paper's MAB tuner ([`dba_core::MabTuner`]) behind
+//! the [`Advisor`] interface.
+
+use dba_core::{MabConfig, MabTuner};
+use dba_engine::{CostModel, Query, QueryExecution};
+use dba_optimizer::StatsCatalog;
+use dba_storage::Catalog;
+
+use crate::{Advisor, AdvisorCost};
+
+pub struct MabAdvisor {
+    tuner: MabTuner,
+}
+
+impl MabAdvisor {
+    pub fn new(catalog: &Catalog, cost: CostModel, config: MabConfig) -> Self {
+        MabAdvisor {
+            tuner: MabTuner::new(catalog, cost, config),
+        }
+    }
+
+    pub fn tuner(&self) -> &MabTuner {
+        &self.tuner
+    }
+}
+
+impl Advisor for MabAdvisor {
+    fn name(&self) -> &str {
+        "MAB"
+    }
+
+    fn before_round(
+        &mut self,
+        _round: usize,
+        catalog: &mut Catalog,
+        stats: &StatsCatalog,
+    ) -> AdvisorCost {
+        let outcome = self.tuner.recommend_and_apply(catalog, stats);
+        AdvisorCost {
+            recommendation: outcome.recommendation_time,
+            creation: outcome.creation_time,
+        }
+    }
+
+    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]) {
+        self.tuner.observe(queries, executions);
+    }
+}

@@ -1,0 +1,215 @@
+//! A small fully-connected neural network with backpropagation — just
+//! enough for the DDQN baseline (§V-C uses 4 hidden layers of 8 neurons).
+//!
+//! Implemented natively: the network is tiny (a few hundred weights), so a
+//! straightforward SGD/momentum implementation is faster than pulling in a
+//! framework, and keeps the workspace dependency-light.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One dense layer: `out = act(W x + b)`.
+#[derive(Debug, Clone)]
+struct Layer {
+    weights: Vec<f64>, // out × in, row-major
+    bias: Vec<f64>,
+    vel_w: Vec<f64>,
+    vel_b: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+    relu: bool,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, relu: bool, rng: &mut StdRng) -> Self {
+        // He initialisation.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Layer {
+            weights,
+            bias: vec![0.0; outputs],
+            vel_w: vec![0.0; inputs * outputs],
+            vel_b: vec![0.0; outputs],
+            inputs,
+            outputs,
+            relu,
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.inputs);
+        let mut out = self.bias.clone();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = out[o];
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            out[o] = if self.relu { acc.max(0.0) } else { acc };
+        }
+        out
+    }
+}
+
+/// Multi-layer perceptron with scalar output, trained by MSE + momentum
+/// SGD.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    pub learning_rate: f64,
+    pub momentum: f64,
+}
+
+impl Mlp {
+    /// `sizes` = [input, hidden..., output]. Hidden layers use ReLU; the
+    /// output layer is linear.
+    pub fn new(sizes: &[usize], rng: &mut StdRng) -> Self {
+        assert!(sizes.len() >= 2);
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Layer::new(w[0], w[1], i + 2 < sizes.len(), rng))
+            .collect();
+        Mlp {
+            layers,
+            learning_rate: 5e-3,
+            momentum: 0.9,
+        }
+    }
+
+    /// Forward pass returning the scalar output.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur[0]
+    }
+
+    /// One SGD step on a single (x, target) example with MSE loss.
+    /// Returns the pre-update squared error.
+    pub fn train_one(&mut self, x: &[f64], target: f64) -> f64 {
+        // Forward, caching activations.
+        let mut activations: Vec<Vec<f64>> = vec![x.to_vec()];
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().unwrap());
+            activations.push(next);
+        }
+        let output = activations.last().unwrap()[0];
+        let err = output - target;
+
+        // Backward.
+        let mut grad: Vec<f64> = vec![2.0 * err]; // dL/d_out
+        for (li, layer) in self.layers.iter_mut().enumerate().rev() {
+            let input = &activations[li];
+            let out_act = &activations[li + 1];
+            // ReLU derivative on this layer's outputs.
+            let local: Vec<f64> = grad
+                .iter()
+                .zip(out_act)
+                .map(|(&g, &a)| if layer.relu && a <= 0.0 { 0.0 } else { g })
+                .collect();
+            // Gradient wrt inputs, to propagate.
+            let mut grad_in = vec![0.0; layer.inputs];
+            for o in 0..layer.outputs {
+                let g = local[o];
+                if g == 0.0 {
+                    continue;
+                }
+                let row_start = o * layer.inputs;
+                for i in 0..layer.inputs {
+                    grad_in[i] += layer.weights[row_start + i] * g;
+                }
+                // Parameter updates (momentum SGD).
+                for i in 0..layer.inputs {
+                    let dw = g * input[i];
+                    let v = &mut layer.vel_w[row_start + i];
+                    *v = self.momentum * *v - self.learning_rate * dw;
+                    layer.weights[row_start + i] += *v;
+                }
+                let vb = &mut layer.vel_b[o];
+                *vb = self.momentum * *vb - self.learning_rate * g;
+                layer.bias[o] += *vb;
+            }
+            grad = grad_in;
+        }
+        err * err
+    }
+
+    /// Copy all parameters from another network (target-network sync).
+    pub fn copy_from(&mut self, other: &Mlp) {
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.weights.copy_from_slice(&b.weights);
+            a.bias.copy_from_slice(&b.bias);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_common::rng::rng_for;
+
+    #[test]
+    fn learns_a_linear_function() {
+        let mut rng = rng_for(1, "nn", 0);
+        let mut net = Mlp::new(&[2, 8, 8, 1], &mut rng);
+        let mut data_rng = rng_for(1, "nn-data", 0);
+        for _ in 0..4000 {
+            let x = [data_rng.gen_range(-1.0..1.0), data_rng.gen_range(-1.0..1.0)];
+            let y = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+            net.train_one(&x, y);
+        }
+        let mut max_err: f64 = 0.0;
+        for _ in 0..50 {
+            let x = [data_rng.gen_range(-1.0..1.0), data_rng.gen_range(-1.0..1.0)];
+            let y = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+            max_err = max_err.max((net.predict(&x) - y).abs());
+        }
+        assert!(max_err < 0.3, "max error {max_err}");
+    }
+
+    #[test]
+    fn learns_a_nonlinear_function() {
+        let mut rng = rng_for(2, "nn", 0);
+        let mut net = Mlp::new(&[1, 8, 8, 8, 8, 1], &mut rng);
+        net.learning_rate = 3e-3;
+        let mut data_rng = rng_for(2, "nn-data", 0);
+        for _ in 0..12_000 {
+            let x: [f64; 1] = [data_rng.gen_range(-1.0..1.0)];
+            let y = x[0].abs();
+            net.train_one(&x, y);
+        }
+        let mut total_err = 0.0;
+        for i in 0..41 {
+            let x = [-1.0 + i as f64 * 0.05];
+            total_err += (net.predict(&x) - x[0].abs()).abs();
+        }
+        assert!(total_err / 41.0 < 0.15, "avg |err| {}", total_err / 41.0);
+    }
+
+    #[test]
+    fn target_network_copy_matches_exactly() {
+        let mut rng = rng_for(3, "nn", 0);
+        let mut a = Mlp::new(&[3, 8, 1], &mut rng);
+        let mut b = Mlp::new(&[3, 8, 1], &mut rng);
+        a.train_one(&[0.1, 0.2, 0.3], 1.0);
+        assert_ne!(a.predict(&[0.5, 0.5, 0.5]), b.predict(&[0.5, 0.5, 0.5]));
+        b.copy_from(&a);
+        assert_eq!(a.predict(&[0.5, 0.5, 0.5]), b.predict(&[0.5, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = rng_for(4, "nn", 0);
+        let mut net = Mlp::new(&[2, 8, 8, 1], &mut rng);
+        let first = net.train_one(&[0.3, -0.4], 2.0);
+        for _ in 0..300 {
+            net.train_one(&[0.3, -0.4], 2.0);
+        }
+        let last = net.train_one(&[0.3, -0.4], 2.0);
+        assert!(last < first / 10.0, "loss {first} → {last}");
+    }
+}

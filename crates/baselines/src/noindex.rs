@@ -1,0 +1,61 @@
+//! The NoIndex baseline: primary/foreign-key structures only (in our
+//! substrate: heap scans everywhere), never recommends anything.
+
+use dba_engine::{Query, QueryExecution};
+use dba_optimizer::StatsCatalog;
+use dba_storage::Catalog;
+
+use crate::{Advisor, AdvisorCost};
+
+/// Does nothing, costs nothing.
+#[derive(Debug, Default)]
+pub struct NoIndexAdvisor;
+
+impl Advisor for NoIndexAdvisor {
+    fn name(&self) -> &str {
+        "NoIndex"
+    }
+
+    fn before_round(
+        &mut self,
+        _round: usize,
+        _catalog: &mut Catalog,
+        _stats: &StatsCatalog,
+    ) -> AdvisorCost {
+        AdvisorCost::default()
+    }
+
+    fn after_round(&mut self, _queries: &[Query], _executions: &[QueryExecution]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_common::TableId;
+    use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
+    use std::sync::Arc;
+
+    #[test]
+    fn noindex_never_touches_the_catalog() {
+        let schema = TableSchema::new(
+            "t",
+            vec![ColumnSpec::new(
+                "a",
+                ColumnType::Int,
+                Distribution::Sequential,
+            )],
+        );
+        let mut cat = Catalog::new(vec![Arc::new(
+            TableBuilder::new(schema, 100).build(TableId(0), 1),
+        )]);
+        let stats = StatsCatalog::build(&cat);
+        let mut advisor = NoIndexAdvisor;
+        for round in 0..5 {
+            let cost = advisor.before_round(round, &mut cat, &stats);
+            assert_eq!(cost.recommendation.secs(), 0.0);
+            assert_eq!(cost.creation.secs(), 0.0);
+            advisor.after_round(&[], &[]);
+        }
+        assert_eq!(cat.all_indexes().count(), 0);
+    }
+}

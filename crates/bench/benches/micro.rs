@@ -1,0 +1,206 @@
+//! Criterion micro-benchmarks for the hot paths of the system: C2UCB
+//! scoring and updates, the greedy oracle, the executor's operators, the
+//! planner, and what-if costing. These quantify the *real* compute cost
+//! of one tuning round (as opposed to the simulated times the experiment
+//! binaries report).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dba_common::{rng::rng_for, ColumnId, QueryId, TableId, TemplateId};
+use dba_core::{
+    linalg::SparseVec,
+    oracle::{greedy_select, OracleInput},
+    AlphaSchedule, C2Ucb, C2UcbConfig,
+};
+use dba_engine::{CostModel, Executor, Predicate, Query};
+use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIf};
+use dba_storage::{
+    Catalog, ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema,
+};
+use rand::Rng;
+use std::sync::Arc;
+
+fn bench_catalog() -> Catalog {
+    let t = TableSchema::new(
+        "fact",
+        vec![
+            ColumnSpec::new("k", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "v",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 0, hi: 99_999 },
+            ),
+            ColumnSpec::new(
+                "w",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 0, hi: 99 },
+            ),
+            ColumnSpec::new(
+                "z",
+                ColumnType::Int,
+                Distribution::Zipf { n: 10_000, s: 1.2 },
+            ),
+        ],
+    );
+    Catalog::new(vec![Arc::new(
+        TableBuilder::new(t, 200_000).build(TableId(0), 5),
+    )])
+}
+
+fn point_query(v: i64) -> Query {
+    Query {
+        id: QueryId(0),
+        template: TemplateId(0),
+        tables: vec![TableId(0)],
+        predicates: vec![Predicate::eq(ColumnId::new(TableId(0), 1), v)],
+        joins: vec![],
+        payload: vec![ColumnId::new(TableId(0), 0)],
+        aggregated: false,
+    }
+}
+
+/// C2UCB: score 3,000 sparse arms at d = 430 (the TPC-DS regime) and run
+/// a 10-arm super-arm update.
+fn bench_c2ucb(c: &mut Criterion) {
+    let d = 430;
+    let mut bandit = C2Ucb::new(
+        d,
+        C2UcbConfig {
+            lambda: 1.0,
+            alpha: AlphaSchedule::Constant(1.0),
+        },
+    );
+    let mut rng = rng_for(1, "bench-c2ucb", 0);
+    let contexts: Vec<SparseVec> = (0..3000)
+        .map(|_| {
+            let nnz = rng.gen_range(2..7);
+            let mut v: SparseVec = (0..nnz)
+                .map(|_| (rng.gen_range(0..d), rng.gen_range(0.01..1.0)))
+                .collect();
+            v.sort_unstable_by_key(|&(i, _)| i);
+            v.dedup_by_key(|&mut (i, _)| i);
+            v
+        })
+        .collect();
+    // Warm the model.
+    let plays: Vec<(SparseVec, f64)> = contexts[..10]
+        .iter()
+        .map(|x| (x.clone(), 1.0))
+        .collect();
+    bandit.update_sparse(&plays);
+
+    c.bench_function("c2ucb_score_3000_arms_d430", |b| {
+        b.iter(|| bandit.ucb_scores_sparse(&contexts))
+    });
+    c.bench_function("c2ucb_update_10_arms_d430", |b| {
+        b.iter_batched(
+            || bandit.clone(),
+            |mut bd| bd.update_sparse(&plays),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Greedy oracle over 2,000 candidates.
+fn bench_oracle(c: &mut Criterion) {
+    let mut rng = rng_for(2, "bench-oracle", 0);
+    let inputs: Vec<OracleInput> = (0..2000)
+        .map(|i| OracleInput {
+            arm_idx: i,
+            score: rng.gen_range(-1.0..10.0),
+            size_bytes: rng.gen_range(1_000..1_000_000),
+            def: IndexDef::new(
+                TableId((i % 7) as u32),
+                vec![(i % 5) as u16, ((i / 5) % 4) as u16],
+                vec![],
+            ),
+            generated_by: vec![TemplateId((i % 40) as u32)],
+            covers: if i % 11 == 0 {
+                vec![TemplateId((i % 40) as u32)]
+            } else {
+                vec![]
+            },
+        })
+        .collect();
+    c.bench_function("oracle_greedy_2000_candidates", |b| {
+        b.iter_batched(
+            || inputs.clone(),
+            |cands| greedy_select(cands, 50_000_000),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Executor: full scan vs selective index seek on 200k rows.
+fn bench_executor(c: &mut Criterion) {
+    let mut catalog = bench_catalog();
+    let meta = catalog
+        .create_index(IndexDef::new(TableId(0), vec![1], vec![0]))
+        .unwrap();
+    let stats = StatsCatalog::build(&catalog);
+    let cost = CostModel::unit_scale();
+    let executor = Executor::new(cost.clone());
+    let q = point_query(555);
+
+    let scan_plan = {
+        let empty = catalog.fork_empty();
+        let ctx = PlannerContext::from_catalog(&empty, &stats, &cost);
+        Planner::new(&ctx).plan(&q)
+    };
+    let seek_plan = {
+        let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
+        Planner::new(&ctx).plan(&q)
+    };
+    assert!(seek_plan.indexes_used().contains(&meta.id));
+
+    c.bench_function("executor_full_scan_200k", |b| {
+        b.iter(|| executor.execute(&catalog, &q, &scan_plan))
+    });
+    c.bench_function("executor_index_seek_200k", |b| {
+        b.iter(|| executor.execute(&catalog, &q, &seek_plan))
+    });
+}
+
+/// Planner + what-if costing.
+fn bench_optimizer(c: &mut Criterion) {
+    let catalog = bench_catalog();
+    let stats = StatsCatalog::build(&catalog);
+    let cost = CostModel::unit_scale();
+    let q = point_query(777);
+
+    c.bench_function("planner_single_table", |b| {
+        let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
+        let planner = Planner::new(&ctx);
+        b.iter(|| planner.plan(&q))
+    });
+
+    let hypo: Vec<IndexDef> = (0..16)
+        .map(|i| IndexDef::new(TableId(0), vec![(i % 4) as u16], vec![]))
+        .collect();
+    c.bench_function("whatif_16_hypotheticals", |b| {
+        let wi = WhatIf::new(&catalog, &stats, &cost);
+        b.iter(|| wi.cost_query(&q, &hypo, false))
+    });
+}
+
+/// Index construction on 200k rows.
+fn bench_index_build(c: &mut Criterion) {
+    let catalog = bench_catalog();
+    c.bench_function("index_build_200k_rows", |b| {
+        b.iter_batched(
+            || catalog.fork_empty(),
+            |mut cat| {
+                cat.create_index(IndexDef::new(TableId(0), vec![1, 2], vec![0]))
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_c2ucb, bench_oracle, bench_executor, bench_optimizer, bench_index_build
+);
+criterion_main!(benches);

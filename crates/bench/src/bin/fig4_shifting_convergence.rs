@@ -1,0 +1,29 @@
+//! Figure 4: MAB vs. PDTool convergence for dynamic shifting workloads —
+//! 4 template groups × 20 rounds; PDTool re-invoked in rounds 2/22/42/62.
+
+use dba_bench::report::series_rows;
+use dba_bench::{print_series, run_benchmark_suite, write_csv, ExperimentEnv, TunerKind};
+use dba_workloads::all_benchmarks;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let kind = env.shifting_kind();
+    let tuners = [TunerKind::NoIndex, TunerKind::PdTool, TunerKind::Mab];
+
+    println!("Figure 4 — dynamic shifting convergence (sf={}, seed={})", env.sf, env.seed);
+    for (panel, bench) in ["a", "b", "c", "d", "e"].iter().zip(all_benchmarks(env.sf)) {
+        let results = run_benchmark_suite(&bench, kind, &tuners, env.seed)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        print_series(
+            &format!("Fig 4({panel}): {} shifting — total time per round (s)", bench.name),
+            &results,
+        );
+        let (header, rows) = series_rows(&results);
+        let path = format!(
+            "results/fig4_{}.csv",
+            bench.name.to_lowercase().replace(['-', ' '], "_")
+        );
+        write_csv(&path, &header, &rows).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

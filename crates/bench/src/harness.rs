@@ -1,0 +1,312 @@
+//! Experiment driver: one tuner × one benchmark × one workload type.
+
+use dba_baselines::{
+    Advisor, DdqnAdvisor, DdqnConfig, InvokeSchedule, MabAdvisor, NoIndexAdvisor, PdToolAdvisor,
+    PdToolConfig,
+};
+use dba_common::{DbResult, SimSeconds};
+use dba_core::MabConfig;
+use dba_engine::{CostModel, Executor, QueryExecution};
+use dba_optimizer::{Planner, PlannerContext, StatsCatalog};
+use dba_storage::Catalog;
+use dba_workloads::{Benchmark, WorkloadKind, WorkloadSequencer};
+
+/// Per-round accounting, split the way Table I reports it.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundRecord {
+    pub round: usize,
+    pub recommendation: SimSeconds,
+    pub creation: SimSeconds,
+    pub execution: SimSeconds,
+}
+
+impl RoundRecord {
+    pub fn total(&self) -> SimSeconds {
+        self.recommendation + self.creation + self.execution
+    }
+}
+
+/// A complete run of one tuner over one workload.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub tuner: String,
+    pub benchmark: String,
+    pub workload: String,
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl RunResult {
+    pub fn total_recommendation(&self) -> SimSeconds {
+        self.rounds.iter().map(|r| r.recommendation).sum()
+    }
+
+    pub fn total_creation(&self) -> SimSeconds {
+        self.rounds.iter().map(|r| r.creation).sum()
+    }
+
+    pub fn total_execution(&self) -> SimSeconds {
+        self.rounds.iter().map(|r| r.execution).sum()
+    }
+
+    pub fn total(&self) -> SimSeconds {
+        self.total_recommendation() + self.total_creation() + self.total_execution()
+    }
+
+    /// Execution time of the final round (the paper's converged-quality
+    /// metric, §V-B1 "What is the best search strategy?").
+    pub fn final_round_execution(&self) -> SimSeconds {
+        self.rounds.last().map(|r| r.execution).unwrap_or(SimSeconds::ZERO)
+    }
+}
+
+/// The tuners under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunerKind {
+    NoIndex,
+    PdTool,
+    Mab,
+    Ddqn { seed: u64 },
+    DdqnSc { seed: u64 },
+}
+
+impl TunerKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            TunerKind::NoIndex => "NoIndex",
+            TunerKind::PdTool => "PDTool",
+            TunerKind::Mab => "MAB",
+            TunerKind::Ddqn { .. } => "DDQN",
+            TunerKind::DdqnSc { .. } => "DDQN_SC",
+        }
+    }
+}
+
+/// Experiment-wide configuration from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentEnv {
+    pub sf: f64,
+    pub seed: u64,
+    pub quick: bool,
+}
+
+impl ExperimentEnv {
+    pub fn from_env() -> Self {
+        let quick = std::env::var("DBA_QUICK").map(|v| v == "1").unwrap_or(false);
+        let sf = std::env::var("DBA_SF")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 1.0 } else { 10.0 });
+        let seed = std::env::var("DBA_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
+        ExperimentEnv { sf, seed, quick }
+    }
+
+    /// Workload-type configurations, reduced under `quick`.
+    pub fn static_kind(&self) -> WorkloadKind {
+        if self.quick {
+            WorkloadKind::Static { rounds: 8 }
+        } else {
+            WorkloadKind::paper_static()
+        }
+    }
+
+    pub fn shifting_kind(&self) -> WorkloadKind {
+        if self.quick {
+            WorkloadKind::Shifting {
+                groups: 4,
+                rounds_per_group: 5,
+            }
+        } else {
+            WorkloadKind::paper_shifting()
+        }
+    }
+
+    pub fn random_kind(&self, templates: usize) -> WorkloadKind {
+        if self.quick {
+            WorkloadKind::Random {
+                rounds: 8,
+                queries_per_round: templates,
+            }
+        } else {
+            WorkloadKind::paper_random(templates)
+        }
+    }
+}
+
+/// Construct an advisor for `kind`, configured per the paper's setup:
+/// memory budget 1× the data size, PDTool scheduled per workload type, the
+/// TPC-DS dynamic-random PDTool invocation capped at one hour (§V-A).
+pub fn make_advisor(
+    kind: TunerKind,
+    benchmark: &Benchmark,
+    workload: WorkloadKind,
+    catalog: &Catalog,
+    cost: &CostModel,
+) -> Box<dyn Advisor> {
+    let budget = catalog.database_bytes();
+    match kind {
+        TunerKind::NoIndex => Box::new(NoIndexAdvisor),
+        TunerKind::PdTool => {
+            let schedule = match workload {
+                WorkloadKind::Random { .. } => InvokeSchedule::EveryKRounds(4),
+                _ => InvokeSchedule::OnWorkloadChange,
+            };
+            let mut config = PdToolConfig::paper_defaults(budget, schedule);
+            if benchmark.name == "TPC-DS" && matches!(workload, WorkloadKind::Random { .. }) {
+                config.time_limit = Some(SimSeconds::new(3600.0));
+            }
+            Box::new(PdToolAdvisor::new(cost.clone(), config))
+        }
+        TunerKind::Mab => {
+            let config = MabConfig {
+                memory_budget_bytes: budget,
+                ..MabConfig::default()
+            };
+            Box::new(MabAdvisor::new(catalog, cost.clone(), config))
+        }
+        TunerKind::Ddqn { seed } => {
+            let config = DdqnConfig::paper_defaults(budget, seed);
+            Box::new(DdqnAdvisor::new(catalog, cost.clone(), config))
+        }
+        TunerKind::DdqnSc { seed } => {
+            let config = DdqnConfig::paper_defaults(budget, seed).single_column();
+            Box::new(DdqnAdvisor::new(catalog, cost.clone(), config))
+        }
+    }
+}
+
+/// Run one tuner over one workload. `base` supplies the shared generated
+/// data; each run forks an index-free catalog from it.
+pub fn run_one(
+    benchmark: &Benchmark,
+    base: &Catalog,
+    stats: &StatsCatalog,
+    workload: WorkloadKind,
+    tuner: TunerKind,
+    seed: u64,
+) -> DbResult<RunResult> {
+    let cost = CostModel::paper_scale();
+    let mut catalog = base.fork_empty();
+    let mut advisor = make_advisor(tuner, benchmark, workload, &catalog, &cost);
+    let sequencer = WorkloadSequencer::new(benchmark, workload, seed);
+    let executor = Executor::new(cost.clone());
+
+    let mut rounds = Vec::with_capacity(sequencer.rounds());
+    for round in 0..sequencer.rounds() {
+        let advisor_cost = advisor.before_round(round, &mut catalog, stats);
+        let queries = sequencer.round_queries(&catalog, round)?;
+
+        let executions: Vec<QueryExecution> = {
+            let ctx = PlannerContext::from_catalog(&catalog, stats, &cost);
+            let planner = Planner::new(&ctx);
+            queries
+                .iter()
+                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
+                .collect()
+        };
+        let execution: SimSeconds = executions.iter().map(|e| e.total).sum();
+        advisor.after_round(&queries, &executions);
+
+        rounds.push(RoundRecord {
+            round: round + 1,
+            recommendation: advisor_cost.recommendation,
+            creation: advisor_cost.creation,
+            execution,
+        });
+    }
+
+    Ok(RunResult {
+        tuner: advisor.name().to_string(),
+        benchmark: benchmark.name.to_string(),
+        workload: workload_label(workload).to_string(),
+        rounds,
+    })
+}
+
+fn workload_label(kind: WorkloadKind) -> &'static str {
+    match kind {
+        WorkloadKind::Static { .. } => "static",
+        WorkloadKind::Shifting { .. } => "shifting",
+        WorkloadKind::Random { .. } => "random",
+    }
+}
+
+/// Run a set of tuners over one benchmark/workload, sharing generated data.
+pub fn run_benchmark_suite(
+    benchmark: &Benchmark,
+    workload: WorkloadKind,
+    tuners: &[TunerKind],
+    seed: u64,
+) -> DbResult<Vec<RunResult>> {
+    let base = benchmark.build_catalog(seed)?;
+    let stats = StatsCatalog::build(&base);
+    tuners
+        .iter()
+        .map(|&t| run_one(benchmark, &base, &stats, workload, t, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_workloads::ssb::ssb;
+
+    /// End-to-end smoke: on a small SSB, MAB must converge to a much
+    /// better execution time than NoIndex, and totals must decompose.
+    #[test]
+    fn mab_beats_noindex_on_small_ssb() {
+        let bench = ssb(0.02);
+        let kind = WorkloadKind::Static { rounds: 6 };
+        let results =
+            run_benchmark_suite(&bench, kind, &[TunerKind::NoIndex, TunerKind::Mab], 7).unwrap();
+        let noindex = &results[0];
+        let mab = &results[1];
+        assert_eq!(noindex.rounds.len(), 6);
+        assert!(
+            mab.final_round_execution().secs() < noindex.final_round_execution().secs(),
+            "MAB {} vs NoIndex {}",
+            mab.final_round_execution().secs(),
+            noindex.final_round_execution().secs()
+        );
+        // Accounting identity.
+        let t = mab.total().secs();
+        let parts = mab.total_recommendation().secs()
+            + mab.total_creation().secs()
+            + mab.total_execution().secs();
+        assert!((t - parts).abs() < 1e-9);
+        // NoIndex never pays recommendation or creation.
+        assert_eq!(noindex.total_recommendation().secs(), 0.0);
+        assert_eq!(noindex.total_creation().secs(), 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let bench = ssb(0.02);
+        let kind = WorkloadKind::Static { rounds: 4 };
+        let a = run_benchmark_suite(&bench, kind, &[TunerKind::Mab], 9).unwrap();
+        let b = run_benchmark_suite(&bench, kind, &[TunerKind::Mab], 9).unwrap();
+        for (ra, rb) in a[0].rounds.iter().zip(&b[0].rounds) {
+            assert_eq!(ra.execution.secs(), rb.execution.secs());
+            assert_eq!(ra.creation.secs(), rb.creation.secs());
+        }
+    }
+
+    #[test]
+    fn pdtool_runs_on_shifting_workload() {
+        let bench = ssb(0.02);
+        let kind = WorkloadKind::Shifting {
+            groups: 2,
+            rounds_per_group: 3,
+        };
+        let results = run_benchmark_suite(&bench, kind, &[TunerKind::PdTool], 11).unwrap();
+        let pd = &results[0];
+        assert_eq!(pd.rounds.len(), 6);
+        // PDTool invokes after each workload change: rounds 2 and 5
+        // (0-based 1 and 4) carry recommendation spikes.
+        assert!(pd.rounds[1].recommendation.secs() > 0.0);
+        assert!(pd.rounds[4].recommendation.secs() > 0.0);
+        assert_eq!(pd.rounds[0].recommendation.secs(), 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! The experiment harness: drives every tuner through every workload type
+//! on every benchmark and regenerates the paper's tables and figures.
+//!
+//! Each `src/bin/*` binary reproduces one artefact (Figures 2-8, Tables
+//! I-II) by printing the same rows/series the paper reports and writing a
+//! CSV under `results/`. Runs are deterministic given `DBA_SEED`.
+//!
+//! Environment knobs (read by the binaries):
+//! * `DBA_SF` — scale factor (default 10, the paper's main setting);
+//! * `DBA_SEED` — experiment seed (default 42);
+//! * `DBA_QUICK` — set to `1` for a reduced-size smoke configuration
+//!   (SF 1, fewer rounds) that preserves the qualitative shapes.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    make_advisor, run_benchmark_suite, run_one, ExperimentEnv, RoundRecord, RunResult, TunerKind,
+};
+pub use report::{fmt_minutes, print_series, print_totals_table, write_csv};

@@ -1,0 +1,178 @@
+//! Result formatting: the rows/series the paper's figures and tables
+//! report, plus CSV output under `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::harness::RunResult;
+
+/// Write a CSV file, creating parent directories as needed.
+pub fn write_csv(path: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    if let Some(parent) = Path::new(path).parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for row in rows {
+        writeln!(f, "{row}")?;
+    }
+    Ok(())
+}
+
+/// Print a per-round convergence series (one paper-figure panel): columns
+/// are tuners, rows are rounds, values are total time per round in
+/// (simulated) seconds.
+pub fn print_series(title: &str, results: &[RunResult]) {
+    println!("\n# {title}");
+    print!("round");
+    for r in results {
+        print!(",{}", r.tuner);
+    }
+    println!();
+    let rounds = results.iter().map(|r| r.rounds.len()).max().unwrap_or(0);
+    for i in 0..rounds {
+        print!("{}", i + 1);
+        for r in results {
+            match r.rounds.get(i) {
+                Some(rec) => print!(",{:.2}", rec.total().secs()),
+                None => print!(","),
+            }
+        }
+        println!();
+    }
+}
+
+/// Convergence series as CSV rows (same layout as [`print_series`]).
+pub fn series_rows(results: &[RunResult]) -> (String, Vec<String>) {
+    let mut header = String::from("round");
+    for r in results {
+        header.push(',');
+        header.push_str(&r.tuner);
+    }
+    let rounds = results.iter().map(|r| r.rounds.len()).max().unwrap_or(0);
+    let rows = (0..rounds)
+        .map(|i| {
+            let mut row = format!("{}", i + 1);
+            for r in results {
+                match r.rounds.get(i) {
+                    Some(rec) => row.push_str(&format!(",{:.4}", rec.total().secs())),
+                    None => row.push(','),
+                }
+            }
+            row
+        })
+        .collect();
+    (header, rows)
+}
+
+/// Print the end-to-end totals bar chart data (Figures 3, 5, 7): one row
+/// per (benchmark, tuner) with the total workload time.
+pub fn print_totals_table(title: &str, results: &[RunResult]) {
+    println!("\n# {title}");
+    println!(
+        "{:<12} {:<10} {:>14} {:>14} {:>14} {:>14}",
+        "benchmark", "tuner", "rec (s)", "create (s)", "exec (s)", "total (s)"
+    );
+    for r in results {
+        println!(
+            "{:<12} {:<10} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
+            r.benchmark,
+            r.tuner,
+            r.total_recommendation().secs(),
+            r.total_creation().secs(),
+            r.total_execution().secs(),
+            r.total().secs()
+        );
+    }
+}
+
+/// Totals as CSV rows.
+pub fn totals_rows(results: &[RunResult]) -> (String, Vec<String>) {
+    let header =
+        "benchmark,tuner,recommendation_s,creation_s,execution_s,total_s".to_string();
+    let rows = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{:.4},{:.4},{:.4},{:.4}",
+                r.benchmark,
+                r.tuner,
+                r.total_recommendation().secs(),
+                r.total_creation().secs(),
+                r.total_execution().secs(),
+                r.total().secs()
+            )
+        })
+        .collect();
+    (header, rows)
+}
+
+/// Format simulated seconds as the paper's Table I/II minutes.
+pub fn fmt_minutes(secs: f64) -> String {
+    format!("{:.2}", secs / 60.0)
+}
+
+/// Relative speed-up of `b` over `a` in percent (paper convention:
+/// "MAB provides X% speed-up compared to PDTool").
+pub fn speedup_pct(a: f64, b: f64) -> f64 {
+    if a <= 0.0 {
+        return 0.0;
+    }
+    (a - b) / a * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{RoundRecord, RunResult};
+    use dba_common::SimSeconds;
+
+    fn result(tuner: &str, times: &[(f64, f64, f64)]) -> RunResult {
+        RunResult {
+            tuner: tuner.into(),
+            benchmark: "T".into(),
+            workload: "static".into(),
+            rounds: times
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, c, e))| RoundRecord {
+                    round: i + 1,
+                    recommendation: SimSeconds::new(r),
+                    creation: SimSeconds::new(c),
+                    execution: SimSeconds::new(e),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn series_rows_align_rounds() {
+        let a = result("A", &[(1.0, 0.0, 2.0), (0.0, 0.0, 1.0)]);
+        let b = result("B", &[(0.0, 0.0, 5.0)]);
+        let (header, rows) = series_rows(&[a, b]);
+        assert_eq!(header, "round,A,B");
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("1,3.0000,5.0000"));
+        assert!(rows[1].starts_with("2,1.0000,"));
+    }
+
+    #[test]
+    fn totals_rows_sum_components() {
+        let a = result("A", &[(1.0, 2.0, 3.0), (0.0, 1.0, 2.0)]);
+        let (_, rows) = totals_rows(&[a]);
+        assert_eq!(rows[0], "T,A,1.0000,3.0000,5.0000,9.0000");
+    }
+
+    #[test]
+    fn speedup_convention_matches_paper() {
+        // PDTool 100s, MAB 25s → "75% speed-up".
+        assert_eq!(speedup_pct(100.0, 25.0), 75.0);
+        assert_eq!(speedup_pct(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn minutes_formatting() {
+        assert_eq!(fmt_minutes(90.0), "1.50");
+    }
+}

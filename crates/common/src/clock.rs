@@ -1,0 +1,212 @@
+//! Simulated time.
+//!
+//! Every duration the system reports — query execution, index creation,
+//! advisor recommendation — is a [`SimSeconds`] value produced by a cost
+//! model, not wall-clock time. This makes experiments deterministic and
+//! portable while preserving the *relative* magnitudes the paper's
+//! evaluation depends on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A span of simulated time, in seconds.
+///
+/// Wraps `f64`; negative values are permitted transiently (e.g. a reward can
+/// be negative) but accumulated clocks should remain non-negative.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimSeconds(pub f64);
+
+impl SimSeconds {
+    pub const ZERO: SimSeconds = SimSeconds(0.0);
+
+    #[inline]
+    pub fn new(secs: f64) -> Self {
+        SimSeconds(secs)
+    }
+
+    /// Raw seconds as `f64`.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Minutes as `f64` (the paper's Table I/II unit).
+    #[inline]
+    pub fn minutes(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    #[inline]
+    pub fn max(self, other: SimSeconds) -> SimSeconds {
+        SimSeconds(self.0.max(other.0))
+    }
+
+    #[inline]
+    pub fn min(self, other: SimSeconds) -> SimSeconds {
+        SimSeconds(self.0.min(other.0))
+    }
+
+    /// Clamp to be non-negative.
+    #[inline]
+    pub fn clamp_non_negative(self) -> SimSeconds {
+        SimSeconds(self.0.max(0.0))
+    }
+}
+
+impl Add for SimSeconds {
+    type Output = SimSeconds;
+    #[inline]
+    fn add(self, rhs: SimSeconds) -> SimSeconds {
+        SimSeconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimSeconds {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSeconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimSeconds {
+    type Output = SimSeconds;
+    #[inline]
+    fn sub(self, rhs: SimSeconds) -> SimSeconds {
+        SimSeconds(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimSeconds {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimSeconds) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for SimSeconds {
+    type Output = SimSeconds;
+    #[inline]
+    fn neg(self) -> SimSeconds {
+        SimSeconds(-self.0)
+    }
+}
+
+impl Mul<f64> for SimSeconds {
+    type Output = SimSeconds;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimSeconds {
+        SimSeconds(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimSeconds {
+    type Output = SimSeconds;
+    #[inline]
+    fn div(self, rhs: f64) -> SimSeconds {
+        SimSeconds(self.0 / rhs)
+    }
+}
+
+impl Sum for SimSeconds {
+    fn sum<I: Iterator<Item = SimSeconds>>(iter: I) -> SimSeconds {
+        SimSeconds(iter.map(|s| s.0).sum())
+    }
+}
+
+impl fmt::Display for SimSeconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+/// An accumulating simulated clock.
+///
+/// Components advance the clock by the cost-model durations of the work they
+/// perform; the harness reads it to produce per-round and total times.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimClock {
+    elapsed: SimSeconds,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Advance the clock by `dt`. Panics in debug builds if `dt` is negative
+    /// or non-finite — time only moves forward.
+    #[inline]
+    pub fn advance(&mut self, dt: SimSeconds) {
+        debug_assert!(dt.0.is_finite() && dt.0 >= 0.0, "clock advanced by {dt:?}");
+        self.elapsed += dt;
+    }
+
+    #[inline]
+    pub fn now(&self) -> SimSeconds {
+        self.elapsed
+    }
+
+    /// Time elapsed since an earlier reading.
+    #[inline]
+    pub fn since(&self, earlier: SimSeconds) -> SimSeconds {
+        self.elapsed - earlier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = SimSeconds::new(1.5);
+        let b = SimSeconds::new(2.5);
+        assert_eq!((a + b).secs(), 4.0);
+        assert_eq!((b - a).secs(), 1.0);
+        assert_eq!((a * 2.0).secs(), 3.0);
+        assert_eq!((b / 2.0).secs(), 1.25);
+        assert_eq!((-a).secs(), -1.5);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: SimSeconds = (1..=4).map(|i| SimSeconds::new(i as f64)).sum();
+        assert_eq!(total.secs(), 10.0);
+    }
+
+    #[test]
+    fn minutes_conversion() {
+        assert!((SimSeconds::new(90.0).minutes() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_advances_and_reads_back() {
+        let mut clock = SimClock::new();
+        let t0 = clock.now();
+        clock.advance(SimSeconds::new(3.0));
+        clock.advance(SimSeconds::new(2.0));
+        assert_eq!(clock.now().secs(), 5.0);
+        assert_eq!(clock.since(t0).secs(), 5.0);
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        assert_eq!(SimSeconds::new(-2.0).clamp_non_negative().secs(), 0.0);
+        assert_eq!(SimSeconds::new(2.0).clamp_non_negative().secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn clock_rejects_negative_advance() {
+        let mut clock = SimClock::new();
+        clock.advance(SimSeconds::new(-1.0));
+    }
+}

@@ -1,0 +1,63 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by catalog, planning and execution operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A named table was not found in the catalog.
+    UnknownTable(String),
+    /// A named column was not found on the given table.
+    UnknownColumn { table: String, column: String },
+    /// An index id did not resolve.
+    UnknownIndex(u64),
+    /// The operation's inputs were structurally invalid (mismatched types,
+    /// empty key sets, etc.).
+    Invalid(String),
+    /// A memory-budget constraint was violated.
+    BudgetExceeded { requested_bytes: u64, budget_bytes: u64 },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            DbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column: {table}.{column}")
+            }
+            DbError::UnknownIndex(id) => write!(f, "unknown index: ix{id}"),
+            DbError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            DbError::BudgetExceeded {
+                requested_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "memory budget exceeded: requested {requested_bytes}B > budget {budget_bytes}B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(DbError::UnknownTable("orders".into()).to_string().contains("orders"));
+        let e = DbError::UnknownColumn {
+            table: "orders".into(),
+            column: "o_custkey".into(),
+        };
+        assert!(e.to_string().contains("orders.o_custkey"));
+        let e = DbError::BudgetExceeded {
+            requested_bytes: 10,
+            budget_bytes: 5,
+        };
+        assert!(e.to_string().contains("10B"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Interned identifiers for catalog objects and workload entities.
+//!
+//! All identifiers are small copyable newtypes over integers so they can be
+//! used as cheap map keys throughout the planner, executor and bandit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a table within a [`Catalog`](https://docs.rs/dba-storage).
+    TableId, u32, "t");
+id_type!(
+    /// Identifies a secondary index within a catalog.
+    IndexId, u64, "ix");
+id_type!(
+    /// Identifies a query template (the parameterised query class).
+    TemplateId, u32, "q");
+id_type!(
+    /// Identifies a concrete query instance executed in some round.
+    QueryId, u64, "inst");
+
+/// A column identified by its table and ordinal position within the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColumnId {
+    pub table: TableId,
+    pub ordinal: u16,
+}
+
+impl ColumnId {
+    #[inline]
+    pub fn new(table: TableId, ordinal: u16) -> Self {
+        ColumnId { table, ordinal }
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.table, self.ordinal)
+    }
+}
+
+/// A borrowed reference to a named column: table name + column name.
+///
+/// Used at workload-definition time, before interning against the catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    pub table: String,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(TableId(3).to_string(), "t3");
+        assert_eq!(IndexId(12).to_string(), "ix12");
+        assert_eq!(TemplateId(7).to_string(), "q7");
+        assert_eq!(ColumnId::new(TableId(1), 4).to_string(), "t1.c4");
+    }
+
+    #[test]
+    fn column_ids_hash_and_order() {
+        let a = ColumnId::new(TableId(0), 1);
+        let b = ColumnId::new(TableId(0), 2);
+        let c = ColumnId::new(TableId(1), 0);
+        assert!(a < b && b < c);
+        let set: HashSet<_> = [a, b, c, a].into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::new("orders", "o_custkey").to_string(), "orders.o_custkey");
+    }
+}

@@ -1,0 +1,288 @@
+//! Context engineering (§IV, Figure 1).
+//!
+//! Contexts have two parts:
+//!
+//! * **Part 1 — indexed column prefix.** One component per schema column.
+//!   A component takes value `10^-j` where `j` is the column's (0-based)
+//!   position in the index key, *provided* the column is a workload
+//!   predicate column this round; payload-only columns contribute 0. This
+//!   encodes the prefix-similarity structure of indexes that bags-of-words
+//!   cannot ("similarity of arms depends on having similar column
+//!   prefixes").
+//! * **Part 2 — derived statistics.** A covering-index flag, the estimated
+//!   index size as a fraction of database size (0 once materialised — the
+//!   remaining creation cost is what matters), and the arm's historical
+//!   usage rate (D1, D2, D3 in Figure 1).
+
+use std::collections::HashSet;
+
+use dba_common::ColumnId;
+use dba_storage::Catalog;
+
+use crate::arms::Arm;
+use crate::linalg::SparseVec;
+
+/// Maps schema columns to context dimensions. The layout is fixed per
+/// catalog: every column of every table gets one slot, followed by the
+/// derived-feature slots.
+#[derive(Debug, Clone)]
+pub struct ContextLayout {
+    /// Prefix-sum of column counts per table: column (t, o) lives at
+    /// `table_base[t] + o`.
+    table_base: Vec<usize>,
+    derived_base: usize,
+}
+
+/// Number of derived (Part 2) features.
+pub const DERIVED_DIMS: usize = 3;
+
+impl ContextLayout {
+    pub fn new(catalog: &Catalog) -> Self {
+        let mut table_base = Vec::with_capacity(catalog.tables().len());
+        let mut acc = 0usize;
+        for t in catalog.tables() {
+            table_base.push(acc);
+            acc += t.columns().len();
+        }
+        ContextLayout {
+            table_base,
+            derived_base: acc,
+        }
+    }
+
+    /// Total context dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.derived_base + DERIVED_DIMS
+    }
+
+    /// Dimension of a column slot.
+    pub fn column_dim(&self, col: ColumnId) -> usize {
+        self.table_base[col.table.raw() as usize] + col.ordinal as usize
+    }
+
+    pub fn covering_dim(&self) -> usize {
+        self.derived_base
+    }
+
+    pub fn size_dim(&self) -> usize {
+        self.derived_base + 1
+    }
+
+    pub fn usage_dim(&self) -> usize {
+        self.derived_base + 2
+    }
+}
+
+/// Builds per-arm context vectors for one round.
+pub struct ContextBuilder<'a> {
+    layout: &'a ContextLayout,
+    /// Predicate columns of this round's queries of interest.
+    predicate_columns: HashSet<ColumnId>,
+    /// Total database size (Part 2 normalisation).
+    database_bytes: u64,
+    /// Current round number (usage-rate normalisation).
+    round: usize,
+}
+
+impl<'a> ContextBuilder<'a> {
+    pub fn new(
+        layout: &'a ContextLayout,
+        predicate_columns: HashSet<ColumnId>,
+        database_bytes: u64,
+        round: usize,
+    ) -> Self {
+        ContextBuilder {
+            layout,
+            predicate_columns,
+            database_bytes: database_bytes.max(1),
+            round,
+        }
+    }
+
+    /// Build the sparse context for `arm`. `materialised` indicates whether
+    /// the arm's index currently exists in the catalog.
+    pub fn build(&self, arm: &Arm, materialised: bool) -> SparseVec {
+        let mut ctx: SparseVec = Vec::with_capacity(arm.key_columns.len() + DERIVED_DIMS);
+
+        // Part 1: prefix encoding over predicate columns.
+        for (j, col) in arm.key_columns.iter().enumerate() {
+            if self.predicate_columns.contains(col) {
+                ctx.push((self.layout.column_dim(*col), 10f64.powi(-(j as i32))));
+            }
+        }
+
+        // Part 2: derived statistics.
+        if !arm.covers_templates.is_empty() {
+            ctx.push((self.layout.covering_dim(), 1.0));
+        }
+        if !materialised {
+            ctx.push((
+                self.layout.size_dim(),
+                arm.size_bytes as f64 / self.database_bytes as f64,
+            ));
+        }
+        if arm.times_used > 0 {
+            let rate = arm.times_used as f64 / (self.round.max(1) as f64);
+            ctx.push((self.layout.usage_dim(), rate.min(1.0)));
+        }
+
+        ctx.sort_unstable_by_key(|&(d, _)| d);
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_common::{TableId, TemplateId};
+    use dba_storage::{
+        ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema,
+    };
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let a = TableSchema::new(
+            "a",
+            vec![
+                ColumnSpec::new("c0", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "c1",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 9 },
+                ),
+                ColumnSpec::new(
+                    "c2",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 9 },
+                ),
+            ],
+        );
+        let b = TableSchema::new(
+            "b",
+            vec![ColumnSpec::new(
+                "c0",
+                ColumnType::Int,
+                Distribution::Sequential,
+            )],
+        );
+        Catalog::new(vec![
+            Arc::new(TableBuilder::new(a, 100).build(TableId(0), 1)),
+            Arc::new(TableBuilder::new(b, 100).build(TableId(1), 1)),
+        ])
+    }
+
+    fn arm(keys: Vec<ColumnId>, include: Vec<u16>, size: u64) -> Arm {
+        Arm {
+            def: IndexDef::new(
+                keys[0].table,
+                keys.iter().map(|c| c.ordinal).collect(),
+                include,
+            ),
+            key_columns: keys,
+            size_bytes: size,
+            covers_templates: vec![],
+            generated_by: vec![TemplateId(0)],
+            times_selected: 0,
+            times_used: 0,
+            last_used_round: None,
+        }
+    }
+
+    fn col(t: u32, o: u16) -> ColumnId {
+        ColumnId::new(TableId(t), o)
+    }
+
+    #[test]
+    fn layout_assigns_unique_dims() {
+        let cat = catalog();
+        let layout = ContextLayout::new(&cat);
+        assert_eq!(layout.dim(), 4 + DERIVED_DIMS);
+        let dims: Vec<usize> = vec![
+            layout.column_dim(col(0, 0)),
+            layout.column_dim(col(0, 1)),
+            layout.column_dim(col(0, 2)),
+            layout.column_dim(col(1, 0)),
+        ];
+        let unique: HashSet<_> = dims.iter().collect();
+        assert_eq!(unique.len(), 4);
+        assert!(dims.iter().all(|&d| d < layout.covering_dim()));
+    }
+
+    #[test]
+    fn prefix_encoding_decays_by_position() {
+        let cat = catalog();
+        let layout = ContextLayout::new(&cat);
+        let preds: HashSet<ColumnId> = [col(0, 1), col(0, 2)].into_iter().collect();
+        let builder = ContextBuilder::new(&layout, preds, 1000, 1);
+        let a = arm(vec![col(0, 2), col(0, 1)], vec![], 100);
+        let ctx = builder.build(&a, true);
+        // c2 at position 0 → 1.0; c1 at position 1 → 0.1.
+        let get = |d: usize| ctx.iter().find(|&&(i, _)| i == d).map(|&(_, v)| v);
+        assert_eq!(get(layout.column_dim(col(0, 2))), Some(1.0));
+        assert_eq!(get(layout.column_dim(col(0, 1))), Some(0.1));
+    }
+
+    #[test]
+    fn payload_only_columns_are_zero() {
+        // Figure 1, Example 3: "Index IX5 includes column C1, but the
+        // context for C1 is valued as 0, as this column is considered only
+        // due to the query payload."
+        let cat = catalog();
+        let layout = ContextLayout::new(&cat);
+        // c0 is NOT a predicate column (payload only).
+        let preds: HashSet<ColumnId> = [col(0, 1), col(0, 2)].into_iter().collect();
+        let builder = ContextBuilder::new(&layout, preds, 1000, 1);
+        let a = arm(vec![col(0, 1), col(0, 2), col(0, 0)], vec![], 100);
+        let ctx = builder.build(&a, true);
+        let get = |d: usize| ctx.iter().find(|&&(i, _)| i == d).map(|&(_, v)| v);
+        assert_eq!(get(layout.column_dim(col(0, 0))), None, "payload col is 0");
+        assert_eq!(get(layout.column_dim(col(0, 1))), Some(1.0));
+        assert_eq!(get(layout.column_dim(col(0, 2))), Some(0.1));
+    }
+
+    #[test]
+    fn size_feature_vanishes_once_materialised() {
+        let cat = catalog();
+        let layout = ContextLayout::new(&cat);
+        let preds: HashSet<ColumnId> = [col(0, 1)].into_iter().collect();
+        let builder = ContextBuilder::new(&layout, preds, 1000, 1);
+        let a = arm(vec![col(0, 1)], vec![], 250);
+        let get = |ctx: &SparseVec, d: usize| {
+            ctx.iter().find(|&&(i, _)| i == d).map(|&(_, v)| v)
+        };
+        let fresh = builder.build(&a, false);
+        assert_eq!(get(&fresh, layout.size_dim()), Some(0.25));
+        let existing = builder.build(&a, true);
+        assert_eq!(get(&existing, layout.size_dim()), None);
+    }
+
+    #[test]
+    fn covering_and_usage_features() {
+        let cat = catalog();
+        let layout = ContextLayout::new(&cat);
+        let preds: HashSet<ColumnId> = [col(0, 1)].into_iter().collect();
+        let builder = ContextBuilder::new(&layout, preds, 1000, 4);
+        let mut a = arm(vec![col(0, 1)], vec![0], 100);
+        a.covers_templates.push(TemplateId(7));
+        a.times_used = 2;
+        let ctx = builder.build(&a, true);
+        let get = |d: usize| ctx.iter().find(|&&(i, _)| i == d).map(|&(_, v)| v);
+        assert_eq!(get(layout.covering_dim()), Some(1.0));
+        assert_eq!(get(layout.usage_dim()), Some(0.5));
+    }
+
+    #[test]
+    fn context_dims_are_sorted_and_unique() {
+        let cat = catalog();
+        let layout = ContextLayout::new(&cat);
+        let preds: HashSet<ColumnId> =
+            [col(0, 0), col(0, 1), col(0, 2)].into_iter().collect();
+        let builder = ContextBuilder::new(&layout, preds, 1000, 1);
+        let mut a = arm(vec![col(0, 0), col(0, 1), col(0, 2)], vec![], 10);
+        a.times_used = 1;
+        let ctx = builder.build(&a, false);
+        for w in ctx.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

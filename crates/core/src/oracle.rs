@@ -1,0 +1,222 @@
+//! The greedy α-approximation oracle for super-arm selection (§IV).
+//!
+//! The super-arm reward is a sum of individual arm rewards — a submodular,
+//! monotone objective under the knapsack (memory) constraint — so the
+//! greedy oracle achieves the classic `1 − 1/e` guarantee (Nemhauser et
+//! al.), which is what gives C2UCB its α-regret bound.
+//!
+//! Per the paper, selection alternates with *filtering* to encourage
+//! diversity: negative-score arms are pruned up front; after each pick,
+//! arms that no longer fit the remaining budget are dropped, arms whose
+//! key prefix is subsumed by a selected arm are dropped, and — if the
+//! selected arm is covering for a query — every other arm generated for
+//! that query is dropped. Filtering is per-round only (it never mutates
+//! the registry).
+
+use dba_common::TemplateId;
+use dba_storage::IndexDef;
+
+/// One candidate entering the oracle.
+#[derive(Debug, Clone)]
+pub struct OracleInput {
+    /// Arm-registry index (returned by selection).
+    pub arm_idx: usize,
+    /// UCB score (expected marginal reward).
+    pub score: f64,
+    pub size_bytes: u64,
+    pub def: IndexDef,
+    /// Templates that generated this arm.
+    pub generated_by: Vec<TemplateId>,
+    /// Templates this arm fully covers.
+    pub covers: Vec<TemplateId>,
+}
+
+/// Greedy knapsack selection with the paper's filtering steps. Returns the
+/// selected arm-registry indices in pick order.
+pub fn greedy_select(mut candidates: Vec<OracleInput>, budget_bytes: u64) -> Vec<usize> {
+    // Prune arms with non-positive scores: they cannot improve the
+    // (monotone) objective and would only consume memory.
+    candidates.retain(|c| c.score > 0.0);
+
+    let mut remaining = budget_bytes;
+    let mut selected: Vec<usize> = Vec::new();
+    let mut selected_defs: Vec<IndexDef> = Vec::new();
+
+    // Arms that never fit are dropped immediately.
+    candidates.retain(|c| c.size_bytes <= remaining);
+
+    while !candidates.is_empty() {
+        // Selection: highest score, ties broken by registry index for
+        // determinism (C2UCB is deterministic up to tie-breaks, §V-C).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap()
+                    .then(b.arm_idx.cmp(&a.arm_idx))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        let pick = candidates.swap_remove(best);
+        remaining = remaining.saturating_sub(pick.size_bytes);
+        selected.push(pick.arm_idx);
+
+        // Filtering.
+        let covered_templates = pick.covers.clone();
+        selected_defs.push(pick.def.clone());
+        let last = selected_defs.last().expect("just pushed");
+        candidates.retain(|c| {
+            if c.size_bytes > remaining {
+                return false;
+            }
+            // Prefix-subsumed by the pick (pick serves this arm's seeks and
+            // carries at least its leaf columns).
+            if c.def.is_prefix_of(last) && last.covers(&c.def.leaf_columns()) {
+                return false;
+            }
+            // Covering pick: drop all other arms generated for the covered
+            // queries.
+            if c.generated_by.iter().any(|t| covered_templates.contains(t)) {
+                return false;
+            }
+            true
+        });
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_common::TableId;
+
+    fn input(
+        arm_idx: usize,
+        score: f64,
+        size: u64,
+        keys: Vec<u16>,
+        include: Vec<u16>,
+    ) -> OracleInput {
+        OracleInput {
+            arm_idx,
+            score,
+            size_bytes: size,
+            def: IndexDef::new(TableId(0), keys, include),
+            generated_by: vec![TemplateId(0)],
+            covers: vec![],
+        }
+    }
+
+    #[test]
+    fn selects_by_score_within_budget() {
+        let picks = greedy_select(
+            vec![
+                input(0, 5.0, 40, vec![0], vec![]),
+                input(1, 9.0, 40, vec![1], vec![]),
+                input(2, 7.0, 40, vec![2], vec![]),
+            ],
+            100,
+        );
+        assert_eq!(picks, vec![1, 2], "best two that fit");
+    }
+
+    #[test]
+    fn prunes_non_positive_scores() {
+        let picks = greedy_select(
+            vec![
+                input(0, -1.0, 10, vec![0], vec![]),
+                input(1, 0.0, 10, vec![1], vec![]),
+                input(2, 0.1, 10, vec![2], vec![]),
+            ],
+            100,
+        );
+        assert_eq!(picks, vec![2]);
+    }
+
+    #[test]
+    fn budget_excludes_oversized_arms() {
+        let picks = greedy_select(
+            vec![
+                input(0, 10.0, 200, vec![0], vec![]),
+                input(1, 1.0, 50, vec![1], vec![]),
+            ],
+            100,
+        );
+        assert_eq!(picks, vec![1], "highest scorer does not fit");
+    }
+
+    #[test]
+    fn prefix_subsumed_arms_are_filtered() {
+        // (0,1) selected first; then (0) is redundant.
+        let picks = greedy_select(
+            vec![
+                input(0, 9.0, 30, vec![0, 1], vec![]),
+                input(1, 8.0, 10, vec![0], vec![]),
+                input(2, 1.0, 10, vec![5], vec![]),
+            ],
+            100,
+        );
+        assert_eq!(picks, vec![0, 2]);
+    }
+
+    #[test]
+    fn longer_extension_is_not_filtered() {
+        // Selecting (0) must not filter (0,1): the longer index adds value.
+        let picks = greedy_select(
+            vec![
+                input(0, 9.0, 10, vec![0], vec![]),
+                input(1, 5.0, 30, vec![0, 1], vec![]),
+            ],
+            100,
+        );
+        assert_eq!(picks, vec![0, 1]);
+    }
+
+    #[test]
+    fn covering_pick_filters_same_query_arms() {
+        let mut covering = input(0, 9.0, 30, vec![0, 1], vec![2]);
+        covering.covers = vec![TemplateId(3)];
+        covering.generated_by = vec![TemplateId(3)];
+        let mut same_query = input(1, 8.0, 10, vec![1], vec![]);
+        same_query.generated_by = vec![TemplateId(3)];
+        let mut other_query = input(2, 1.0, 10, vec![5], vec![]);
+        other_query.generated_by = vec![TemplateId(4)];
+        let picks = greedy_select(vec![covering, same_query, other_query], 100);
+        assert_eq!(picks, vec![0, 2]);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_arm_index() {
+        let picks = greedy_select(
+            vec![
+                input(7, 5.0, 10, vec![0], vec![]),
+                input(3, 5.0, 10, vec![1], vec![]),
+            ],
+            10,
+        );
+        assert_eq!(picks, vec![3], "lower registry index wins ties");
+    }
+
+    #[test]
+    fn empty_input_and_zero_budget() {
+        assert!(greedy_select(vec![], 100).is_empty());
+        let picks = greedy_select(vec![input(0, 5.0, 10, vec![0], vec![])], 0);
+        assert!(picks.is_empty());
+    }
+
+    #[test]
+    fn budget_tracks_cumulative_size() {
+        let picks = greedy_select(
+            vec![
+                input(0, 9.0, 60, vec![0], vec![]),
+                input(1, 8.0, 60, vec![1], vec![]),
+                input(2, 7.0, 39, vec![2], vec![]),
+            ],
+            100,
+        );
+        // After the 60-byte pick, only 40 remain: arm 1 no longer fits.
+        assert_eq!(picks, vec![0, 2]);
+    }
+}

@@ -1,0 +1,269 @@
+//! The query store (Algorithm 2): summarises the observed workload into
+//! templates, tracks per-template statistics, selects the queries of
+//! interest (QoI), and measures workload-shift intensity for forgetting.
+//!
+//! It also maintains the observed full-table-scan reference times the
+//! reward shaping needs: `Ctab(τ(i), q, ∅)` per (template, table), with the
+//! footnote-3 fallback ("when we do not observe this, we estimate it with
+//! the maximum secondary index scan/seek time").
+
+use std::collections::HashMap;
+
+use dba_common::{SimSeconds, TableId, TemplateId};
+use dba_engine::{Query, QueryExecution};
+
+/// Per-template bookkeeping.
+#[derive(Debug, Clone)]
+pub struct TemplateStats {
+    pub template: TemplateId,
+    pub first_seen_round: usize,
+    pub last_seen_round: usize,
+    pub occurrences: u32,
+    /// Most recent instance of the template (used for arm generation).
+    pub last_instance: Query,
+    /// Observed full-scan time per table (reference for gains).
+    pub full_scan_refs: HashMap<TableId, SimSeconds>,
+    /// Maximum observed secondary-index access time per table (fallback).
+    pub max_index_time: HashMap<TableId, SimSeconds>,
+}
+
+/// Workload summary across rounds.
+#[derive(Debug, Default)]
+pub struct QueryStore {
+    templates: HashMap<TemplateId, TemplateStats>,
+    round: usize,
+    /// Shift intensity of the most recent round: fraction of this round's
+    /// templates that were previously unseen.
+    last_shift_intensity: f64,
+}
+
+impl QueryStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    #[inline]
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    pub fn template(&self, id: TemplateId) -> Option<&TemplateStats> {
+        self.templates.get(&id)
+    }
+
+    /// Ingest one round's workload together with its observed executions
+    /// (paired by position). Returns the shift intensity of the round.
+    pub fn ingest_round(&mut self, queries: &[Query], executions: &[QueryExecution]) -> f64 {
+        debug_assert_eq!(queries.len(), executions.len());
+        self.round += 1;
+        let mut seen_templates: Vec<TemplateId> = Vec::new();
+        let mut new_templates = 0usize;
+
+        for (q, e) in queries.iter().zip(executions) {
+            if !seen_templates.contains(&q.template) {
+                seen_templates.push(q.template);
+                if !self.templates.contains_key(&q.template) {
+                    new_templates += 1;
+                }
+            }
+            let round = self.round;
+            let entry = self
+                .templates
+                .entry(q.template)
+                .or_insert_with(|| TemplateStats {
+                    template: q.template,
+                    first_seen_round: round,
+                    last_seen_round: round,
+                    occurrences: 0,
+                    last_instance: q.clone(),
+                    full_scan_refs: HashMap::new(),
+                    max_index_time: HashMap::new(),
+                });
+            entry.last_seen_round = round;
+            entry.occurrences += 1;
+            entry.last_instance = q.clone();
+
+            for access in &e.accesses {
+                if access.is_full_scan {
+                    entry.full_scan_refs.insert(access.table, access.time);
+                } else if access.index.is_some() {
+                    let cur = entry
+                        .max_index_time
+                        .entry(access.table)
+                        .or_insert(SimSeconds::ZERO);
+                    *cur = cur.max(access.time);
+                }
+            }
+        }
+
+        self.last_shift_intensity = if seen_templates.is_empty() {
+            0.0
+        } else {
+            new_templates as f64 / seen_templates.len() as f64
+        };
+        self.last_shift_intensity
+    }
+
+    /// Shift intensity of the most recent ingested round.
+    pub fn shift_intensity(&self) -> f64 {
+        self.last_shift_intensity
+    }
+
+    /// Queries of interest: the latest instance of every template seen
+    /// within the last `window` rounds.
+    pub fn queries_of_interest(&self, window: usize) -> Vec<&Query> {
+        let horizon = self.round.saturating_sub(window);
+        let mut qois: Vec<&TemplateStats> = self
+            .templates
+            .values()
+            .filter(|t| t.last_seen_round > horizon)
+            .collect();
+        qois.sort_by_key(|t| t.template);
+        qois.iter().map(|t| &t.last_instance).collect()
+    }
+
+    /// The full-scan reference time for (template, table): the observed
+    /// full scan if any, else the footnote-3 fallback (max index time),
+    /// else `None`.
+    pub fn scan_reference(&self, template: TemplateId, table: TableId) -> Option<SimSeconds> {
+        let t = self.templates.get(&template)?;
+        t.full_scan_refs
+            .get(&table)
+            .or_else(|| t.max_index_time.get(&table))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_common::{ColumnId, QueryId};
+    use dba_engine::{AccessStats, Predicate};
+
+    fn query(template: u32) -> Query {
+        Query {
+            id: QueryId(template as u64),
+            template: TemplateId(template),
+            tables: vec![TableId(0)],
+            predicates: vec![Predicate::eq(ColumnId::new(TableId(0), 0), 1)],
+            joins: vec![],
+            payload: vec![],
+            aggregated: false,
+        }
+    }
+
+    fn exec_with(accesses: Vec<AccessStats>) -> QueryExecution {
+        QueryExecution {
+            query: QueryId(0),
+            total: accesses.iter().map(|a| a.time).sum(),
+            accesses,
+            join_time: SimSeconds::ZERO,
+            agg_time: SimSeconds::ZERO,
+            result_rows: 0,
+        }
+    }
+
+    fn scan_access(table: u32, secs: f64) -> AccessStats {
+        AccessStats {
+            table: TableId(table),
+            index: None,
+            time: SimSeconds::new(secs),
+            rows_out: 1,
+            is_full_scan: true,
+        }
+    }
+
+    fn index_access(table: u32, secs: f64) -> AccessStats {
+        AccessStats {
+            table: TableId(table),
+            index: Some(dba_common::IndexId(0)),
+            time: SimSeconds::new(secs),
+            rows_out: 1,
+            is_full_scan: false,
+        }
+    }
+
+    #[test]
+    fn templates_are_tracked_across_rounds() {
+        let mut qs = QueryStore::new();
+        qs.ingest_round(&[query(1), query(2)], &[exec_with(vec![]), exec_with(vec![])]);
+        qs.ingest_round(&[query(2)], &[exec_with(vec![])]);
+        assert_eq!(qs.template_count(), 2);
+        let t1 = qs.template(TemplateId(1)).unwrap();
+        let t2 = qs.template(TemplateId(2)).unwrap();
+        assert_eq!(t1.last_seen_round, 1);
+        assert_eq!(t2.last_seen_round, 2);
+        assert_eq!(t2.occurrences, 2);
+    }
+
+    #[test]
+    fn shift_intensity_measures_new_templates() {
+        let mut qs = QueryStore::new();
+        let i1 = qs.ingest_round(&[query(1), query(2)], &[exec_with(vec![]), exec_with(vec![])]);
+        assert_eq!(i1, 1.0, "everything is new in round 1");
+        let i2 = qs.ingest_round(&[query(1), query(2)], &[exec_with(vec![]), exec_with(vec![])]);
+        assert_eq!(i2, 0.0, "repeat round");
+        let i3 = qs.ingest_round(&[query(1), query(3)], &[exec_with(vec![]), exec_with(vec![])]);
+        assert_eq!(i3, 0.5, "half the templates are new");
+    }
+
+    #[test]
+    fn qoi_window_filters_stale_templates() {
+        let mut qs = QueryStore::new();
+        qs.ingest_round(&[query(1)], &[exec_with(vec![])]);
+        qs.ingest_round(&[query(2)], &[exec_with(vec![])]);
+        qs.ingest_round(&[query(3)], &[exec_with(vec![])]);
+        let qoi1 = qs.queries_of_interest(1);
+        assert_eq!(qoi1.len(), 1);
+        assert_eq!(qoi1[0].template, TemplateId(3));
+        let qoi2 = qs.queries_of_interest(2);
+        assert_eq!(qoi2.len(), 2);
+        let qoi_all = qs.queries_of_interest(10);
+        assert_eq!(qoi_all.len(), 3);
+    }
+
+    #[test]
+    fn scan_reference_prefers_observed_full_scan() {
+        let mut qs = QueryStore::new();
+        qs.ingest_round(
+            &[query(1)],
+            &[exec_with(vec![scan_access(0, 5.0), index_access(0, 2.0)])],
+        );
+        assert_eq!(
+            qs.scan_reference(TemplateId(1), TableId(0)),
+            Some(SimSeconds::new(5.0))
+        );
+    }
+
+    #[test]
+    fn scan_reference_falls_back_to_max_index_time() {
+        let mut qs = QueryStore::new();
+        qs.ingest_round(
+            &[query(1)],
+            &[exec_with(vec![index_access(0, 2.0), index_access(0, 3.5)])],
+        );
+        // Footnote 3: no full scan observed → max index time.
+        assert_eq!(
+            qs.scan_reference(TemplateId(1), TableId(0)),
+            Some(SimSeconds::new(3.5))
+        );
+        assert_eq!(qs.scan_reference(TemplateId(1), TableId(9)), None);
+        assert_eq!(qs.scan_reference(TemplateId(8), TableId(0)), None);
+    }
+
+    #[test]
+    fn full_scan_reference_updates_to_latest() {
+        let mut qs = QueryStore::new();
+        qs.ingest_round(&[query(1)], &[exec_with(vec![scan_access(0, 5.0)])]);
+        qs.ingest_round(&[query(1)], &[exec_with(vec![scan_access(0, 4.0)])]);
+        assert_eq!(
+            qs.scan_reference(TemplateId(1), TableId(0)),
+            Some(SimSeconds::new(4.0))
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Reward shaping (§IV).
+//!
+//! The gain of a materialised index `i` for a query `q` is the difference
+//! between the full-table-scan reference time of `i`'s table and the
+//! observed access time through `i`, counted only when the optimiser's
+//! plan actually used `i`:
+//!
+//! `G_t(i, {q}, s_t) = [Ctab(τ(i), q, ∅) − Ctab(τ(i), q, {i})] · 1_{U(s,q)}(i)`
+//!
+//! Gains sum over the round's queries; the creation cost of an index enters
+//! as a negative reward in the round it is materialised:
+//!
+//! `r_t(i) = G_t(i, w_t, s_t) − C_cre(s_{t−1}, {i})`
+//!
+//! Gains can be negative — that is how the bandit detects index-induced
+//! regressions (the paper's IMDb Q18 case) and drops the offending index.
+
+use std::collections::HashMap;
+
+use dba_common::{IndexId, SimSeconds};
+use dba_engine::{Query, QueryExecution};
+
+use crate::query_store::QueryStore;
+
+/// Computes per-arm rewards for one round.
+#[derive(Debug, Default)]
+pub struct RewardShaper;
+
+impl RewardShaper {
+    /// Shape rewards for the selected super arm.
+    ///
+    /// * `config` — materialised index id → arm index, for every index in
+    ///   the current configuration;
+    /// * `created` — (arm index, creation cost) for indexes materialised
+    ///   this round;
+    /// * `selected` — every arm in the super arm (played arms receive a
+    ///   reward even when unused: gain 0, minus creation cost if any).
+    ///
+    /// Returns `(arm index, reward seconds)` pairs, one per selected arm,
+    /// and the set of arms whose index was used this round.
+    pub fn shape(
+        store: &QueryStore,
+        queries: &[Query],
+        executions: &[QueryExecution],
+        config: &HashMap<IndexId, usize>,
+        created: &[(usize, SimSeconds)],
+        selected: &[usize],
+    ) -> (Vec<(usize, f64)>, Vec<usize>) {
+        debug_assert_eq!(queries.len(), executions.len());
+        let mut gains: HashMap<usize, f64> = HashMap::new();
+        let mut used: Vec<usize> = Vec::new();
+
+        for (q, e) in queries.iter().zip(executions) {
+            for access in &e.accesses {
+                let Some(index_id) = access.index else {
+                    continue;
+                };
+                let Some(&arm_idx) = config.get(&index_id) else {
+                    continue;
+                };
+                let reference = store
+                    .scan_reference(q.template, access.table)
+                    .unwrap_or(access.time);
+                let gain = (reference - access.time).secs();
+                *gains.entry(arm_idx).or_insert(0.0) += gain;
+                if !used.contains(&arm_idx) {
+                    used.push(arm_idx);
+                }
+            }
+        }
+
+        let creation: HashMap<usize, f64> = created
+            .iter()
+            .map(|&(arm, cost)| (arm, cost.secs()))
+            .collect();
+
+        let rewards = selected
+            .iter()
+            .map(|&arm| {
+                let g = gains.get(&arm).copied().unwrap_or(0.0);
+                let c = creation.get(&arm).copied().unwrap_or(0.0);
+                (arm, g - c)
+            })
+            .collect();
+        (rewards, used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_common::{ColumnId, QueryId, TableId, TemplateId};
+    use dba_engine::{AccessStats, Predicate};
+
+    fn query(template: u32) -> Query {
+        Query {
+            id: QueryId(template as u64),
+            template: TemplateId(template),
+            tables: vec![TableId(0)],
+            predicates: vec![Predicate::eq(ColumnId::new(TableId(0), 0), 1)],
+            joins: vec![],
+            payload: vec![],
+            aggregated: false,
+        }
+    }
+
+    fn exec(accesses: Vec<AccessStats>) -> QueryExecution {
+        QueryExecution {
+            query: QueryId(0),
+            total: accesses.iter().map(|a| a.time).sum(),
+            accesses,
+            join_time: SimSeconds::ZERO,
+            agg_time: SimSeconds::ZERO,
+            result_rows: 0,
+        }
+    }
+
+    fn scan(table: u32, secs: f64) -> AccessStats {
+        AccessStats {
+            table: TableId(table),
+            index: None,
+            time: SimSeconds::new(secs),
+            rows_out: 1,
+            is_full_scan: true,
+        }
+    }
+
+    fn via_index(table: u32, ix: u64, secs: f64) -> AccessStats {
+        AccessStats {
+            table: TableId(table),
+            index: Some(IndexId(ix)),
+            time: SimSeconds::new(secs),
+            rows_out: 1,
+            is_full_scan: false,
+        }
+    }
+
+    /// Store primed with a 10s full-scan reference for template 1, table 0.
+    fn primed_store() -> QueryStore {
+        let mut store = QueryStore::new();
+        store.ingest_round(&[query(1)], &[exec(vec![scan(0, 10.0)])]);
+        store
+    }
+
+    #[test]
+    fn gain_is_scan_reference_minus_access_time() {
+        let mut store = primed_store();
+        let queries = vec![query(1)];
+        let executions = vec![exec(vec![via_index(0, 5, 2.0)])];
+        store.ingest_round(&queries, &executions);
+        let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
+        let (rewards, used) =
+            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        assert_eq!(rewards, vec![(42, 8.0)]);
+        assert_eq!(used, vec![42]);
+    }
+
+    #[test]
+    fn creation_cost_is_negative_reward() {
+        let mut store = primed_store();
+        let queries = vec![query(1)];
+        let executions = vec![exec(vec![via_index(0, 5, 2.0)])];
+        store.ingest_round(&queries, &executions);
+        let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
+        let created = vec![(42usize, SimSeconds::new(3.0))];
+        let (rewards, _) =
+            RewardShaper::shape(&store, &queries, &executions, &config, &created, &[42]);
+        assert_eq!(rewards, vec![(42, 5.0)], "8s gain − 3s creation");
+    }
+
+    #[test]
+    fn unused_selected_arm_gets_zero_gain() {
+        let mut store = primed_store();
+        let queries = vec![query(1)];
+        let executions = vec![exec(vec![scan(0, 10.0)])];
+        store.ingest_round(&queries, &executions);
+        let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
+        let created = vec![(42usize, SimSeconds::new(3.0))];
+        let (rewards, used) =
+            RewardShaper::shape(&store, &queries, &executions, &config, &created, &[42]);
+        assert_eq!(rewards, vec![(42, -3.0)], "no gain, only creation cost");
+        assert!(used.is_empty());
+    }
+
+    #[test]
+    fn regression_produces_negative_gain() {
+        // Index access slower than the scan reference: the Q18 case.
+        let mut store = primed_store();
+        let queries = vec![query(1)];
+        let executions = vec![exec(vec![via_index(0, 5, 25.0)])];
+        store.ingest_round(&queries, &executions);
+        let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
+        let (rewards, _) =
+            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        assert_eq!(rewards, vec![(42, -15.0)]);
+    }
+
+    #[test]
+    fn gains_accumulate_over_queries_in_round() {
+        let mut store = primed_store();
+        store.ingest_round(&[query(2)], &[exec(vec![scan(0, 6.0)])]);
+        let queries = vec![query(1), query(2)];
+        let executions = vec![
+            exec(vec![via_index(0, 5, 2.0)]),
+            exec(vec![via_index(0, 5, 1.0)]),
+        ];
+        store.ingest_round(&queries, &executions);
+        let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
+        let (rewards, _) =
+            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        // (10−2) + (6−1) = 13.
+        assert_eq!(rewards, vec![(42, 13.0)]);
+    }
+
+    #[test]
+    fn unknown_reference_defaults_to_zero_gain() {
+        // Template never seen with a scan nor an index before this round's
+        // ingest; the shaper falls back to the access time itself → 0 gain.
+        let store = QueryStore::new();
+        let queries = vec![query(9)];
+        let executions = vec![exec(vec![via_index(0, 5, 4.0)])];
+        let config: HashMap<IndexId, usize> = [(IndexId(5), 7usize)].into_iter().collect();
+        let (rewards, _) =
+            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[7]);
+        assert_eq!(rewards, vec![(7, 0.0)]);
+    }
+
+    #[test]
+    fn indexes_outside_config_are_ignored() {
+        let mut store = primed_store();
+        let queries = vec![query(1)];
+        let executions = vec![exec(vec![via_index(0, 99, 2.0)])];
+        store.ingest_round(&queries, &executions);
+        let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
+        let (rewards, used) =
+            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        assert_eq!(rewards, vec![(42, 0.0)]);
+        assert!(used.is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! The cost model: maps physical work (pages, rows, probes, sorts) to
+//! simulated seconds.
+//!
+//! One model is shared by the optimiser (fed *estimated* cardinalities) and
+//! the executor (fed *actual* cardinalities), so any estimate/actual time
+//! divergence is attributable to cardinality error alone — mirroring a real
+//! system where the cost formulas are fixed but their inputs are wrong.
+//!
+//! The physical constants approximate the paper's testbed (10K RPM disks,
+//! cold buffer caches — §V-A reports cold runs): sequential page reads at
+//! ~80MB/s, expensive random page reads, and per-row CPU work. Because our
+//! row counts are scaled down 100× from the paper's scale factors (see
+//! DESIGN.md), all produced durations are multiplied by [`PAPER_TIME_SCALE`]
+//! so reported magnitudes land in the paper's range.
+
+use dba_common::SimSeconds;
+use dba_storage::PAGE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Row-count compensation factor: the workloads generate 1/100th of the
+/// paper's rows per scale factor, so simulated durations are scaled 100×.
+pub const PAPER_TIME_SCALE: f64 = 100.0;
+
+/// Probes after which index-nested-loop descents hit cached upper levels.
+pub const INL_WARM_PROBES: u64 = 1000;
+
+/// Cost model constants. All `*_s` values are seconds of simulated time for
+/// one unit of the given work, **before** the global `time_scale`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// One sequentially-read 8KB page.
+    pub seq_page_s: f64,
+    /// One randomly-read page (seek-dominated).
+    pub rand_page_s: f64,
+    /// CPU to produce/filter one row in a scan.
+    pub cpu_row_s: f64,
+    /// CPU to insert one row into a hash table.
+    pub hash_build_row_s: f64,
+    /// CPU to probe a hash table once.
+    pub hash_probe_row_s: f64,
+    /// CPU per key comparison in a sort (multiplied by n·log2 n).
+    pub sort_cmp_s: f64,
+    /// One B-tree descent (root-to-leaf traversal, cached upper levels).
+    pub btree_descent_s: f64,
+    /// Per-row cost of aggregation / group-by.
+    pub agg_row_s: f64,
+    /// Pages written when materialising index leaves, per page.
+    pub write_page_s: f64,
+    /// Global multiplier (see [`PAPER_TIME_SCALE`]).
+    pub time_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_scale()
+    }
+}
+
+impl CostModel {
+    /// Constants calibrated for the scaled-down benchmark datasets so that
+    /// per-round totals land in the paper's reported ranges.
+    pub fn paper_scale() -> Self {
+        CostModel {
+            seq_page_s: 1.0e-4,
+            rand_page_s: 2.5e-3,
+            cpu_row_s: 2.0e-7,
+            hash_build_row_s: 5.0e-7,
+            hash_probe_row_s: 2.5e-7,
+            sort_cmp_s: 3.0e-8,
+            btree_descent_s: 5.0e-5,
+            agg_row_s: 3.0e-7,
+            write_page_s: 2.0e-4,
+            time_scale: PAPER_TIME_SCALE,
+        }
+    }
+
+    /// Unscaled constants (useful for unit tests asserting exact arithmetic).
+    pub fn unit_scale() -> Self {
+        CostModel {
+            time_scale: 1.0,
+            ..CostModel::paper_scale()
+        }
+    }
+
+    #[inline]
+    fn t(&self, secs: f64) -> SimSeconds {
+        SimSeconds::new(secs * self.time_scale)
+    }
+
+    /// Full sequential scan of `pages` heap/leaf pages emitting `rows` rows
+    /// through the filter.
+    pub fn scan(&self, pages: u64, rows: u64) -> SimSeconds {
+        self.t(pages as f64 * self.seq_page_s + rows as f64 * self.cpu_row_s)
+    }
+
+    /// One index seek returning `matched` rows from leaves of `leaf_row_bytes`
+    /// bytes per row, plus (optionally) heap lookups for `heap_fetches` rows
+    /// against a heap of `heap_pages` pages.
+    ///
+    /// Heap fetches use the Cardenas approximation for distinct pages
+    /// touched: `P · (1 − (1 − 1/P)^k)` — fetching many rows converges to
+    /// touching every page, but at random-I/O prices.
+    pub fn index_seek(
+        &self,
+        matched: u64,
+        leaf_row_bytes: u64,
+        heap_fetches: u64,
+        heap_pages: u64,
+    ) -> SimSeconds {
+        let leaf_pages = (matched * leaf_row_bytes).div_ceil(PAGE_BYTES);
+        let mut secs = self.btree_descent_s
+            + leaf_pages as f64 * self.seq_page_s
+            + matched as f64 * self.cpu_row_s;
+        if heap_fetches > 0 {
+            let pages_touched = cardenas(heap_fetches, heap_pages);
+            secs += pages_touched * self.rand_page_s;
+        }
+        self.t(secs)
+    }
+
+    /// Scan the full leaf level of an index (covering / index-only scan).
+    pub fn covering_scan(&self, leaf_pages: u64, rows: u64) -> SimSeconds {
+        self.t(leaf_pages as f64 * self.seq_page_s + rows as f64 * self.cpu_row_s)
+    }
+
+    /// Index nested-loop probing: `probes` B-tree descents retrieving
+    /// `matched` total rows from the inner index's leaves, plus heap
+    /// lookups for `heap_fetches` of them against `heap_pages`.
+    ///
+    /// Repeated probes warm the B-tree's upper levels: the first
+    /// [`INL_WARM_PROBES`] descents pay the cold price, the rest only CPU
+    /// (`btree_descent_s / 100`). Without this, a misestimated INL with a
+    /// huge outer would cost thousands of times a scan; with it, the worst
+    /// case is heap-fetch-bound — the ~10× regressions the paper reports
+    /// (IMDb Q18), not unbounded ones.
+    pub fn inl_probes(
+        &self,
+        probes: u64,
+        matched: u64,
+        leaf_row_bytes: u64,
+        heap_fetches: u64,
+        heap_pages: u64,
+    ) -> SimSeconds {
+        let leaf_pages = (matched * leaf_row_bytes).div_ceil(PAGE_BYTES);
+        let cold = probes.min(INL_WARM_PROBES) as f64;
+        let warm = probes.saturating_sub(INL_WARM_PROBES) as f64;
+        let mut secs = cold * self.btree_descent_s
+            + warm * (self.btree_descent_s / 100.0)
+            + leaf_pages as f64 * self.seq_page_s
+            + matched as f64 * self.cpu_row_s;
+        if heap_fetches > 0 {
+            let pages_touched = cardenas(heap_fetches, heap_pages);
+            secs += pages_touched * self.rand_page_s;
+        }
+        self.t(secs)
+    }
+
+    /// Hash join CPU: build over `build_rows`, probe with `probe_rows`,
+    /// materialise `output_rows` result tuples. Input access costs are
+    /// charged separately. The output term is what makes join-cardinality
+    /// explosions (skewed foreign keys) *observable* in execution time.
+    pub fn hash_join(&self, build_rows: u64, probe_rows: u64, output_rows: u64) -> SimSeconds {
+        self.t(
+            build_rows as f64 * self.hash_build_row_s
+                + probe_rows as f64 * self.hash_probe_row_s
+                + output_rows as f64 * self.cpu_row_s,
+        )
+    }
+
+    /// Aggregation over `rows` input rows.
+    pub fn aggregate(&self, rows: u64) -> SimSeconds {
+        self.t(rows as f64 * self.agg_row_s)
+    }
+
+    /// Cost of building an index: scan the heap, sort the keys, write the
+    /// leaf pages.
+    pub fn index_build(&self, heap_pages: u64, rows: u64, index_bytes: u64) -> SimSeconds {
+        let n = rows.max(2) as f64;
+        let sort = n * n.log2() * self.sort_cmp_s;
+        let write_pages = index_bytes.div_ceil(PAGE_BYTES);
+        self.t(
+            heap_pages as f64 * self.seq_page_s
+                + n * self.cpu_row_s
+                + sort
+                + write_pages as f64 * self.write_page_s,
+        )
+    }
+
+    /// Cost model's own estimate of a full table scan given page/row counts
+    /// (identical formula to [`Self::scan`]; exposed for reference-time
+    /// computations).
+    pub fn full_scan_reference(&self, heap_pages: u64, rows: u64) -> SimSeconds {
+        self.scan(heap_pages, rows)
+    }
+}
+
+/// Cardenas' formula for distinct pages touched when fetching `k` random
+/// rows from a heap of `p` pages.
+fn cardenas(k: u64, p: u64) -> f64 {
+    if p == 0 {
+        return 0.0;
+    }
+    let p = p as f64;
+    let k = k as f64;
+    p * (1.0 - (1.0 - 1.0 / p).powf(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_charges_pages_and_rows() {
+        let m = CostModel::unit_scale();
+        let t = m.scan(100, 10_000);
+        let expect = 100.0 * m.seq_page_s + 10_000.0 * m.cpu_row_s;
+        assert!((t.secs() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seek_is_cheap_for_selective_covering_probe() {
+        let m = CostModel::unit_scale();
+        let seek = m.index_seek(10, 16, 0, 1000);
+        let scan = m.scan(1000, 100_000);
+        assert!(seek.secs() < scan.secs() / 50.0);
+    }
+
+    #[test]
+    fn seek_with_many_heap_fetches_exceeds_scan() {
+        let m = CostModel::unit_scale();
+        // Fetch 50k rows from a 1000-page heap: Cardenas converges to all
+        // pages at random prices, which must be worse than a sequential scan.
+        let seek = m.index_seek(50_000, 16, 50_000, 1000);
+        let scan = m.scan(1000, 100_000);
+        assert!(
+            seek.secs() > scan.secs(),
+            "unselective index plan should lose: seek={} scan={}",
+            seek.secs(),
+            scan.secs()
+        );
+    }
+
+    #[test]
+    fn cardenas_limits() {
+        assert_eq!(cardenas(0, 100), 0.0);
+        assert!(cardenas(1, 100) <= 1.0 + 1e-9);
+        // Fetching far more rows than pages touches ~every page.
+        assert!(cardenas(100_000, 100) > 99.0);
+        // Monotone in k.
+        assert!(cardenas(10, 100) < cardenas(20, 100));
+    }
+
+    #[test]
+    fn index_build_grows_with_rows() {
+        let m = CostModel::unit_scale();
+        let small = m.index_build(100, 10_000, 200_000);
+        let large = m.index_build(1000, 100_000, 2_000_000);
+        assert!(large.secs() > small.secs() * 5.0);
+    }
+
+    #[test]
+    fn time_scale_multiplies_everything() {
+        let unit = CostModel::unit_scale();
+        let scaled = CostModel::paper_scale();
+        let a = unit.scan(10, 100).secs();
+        let b = scaled.scan(10, 100).secs();
+        assert!((b / a - PAPER_TIME_SCALE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_join_and_aggregate_are_linear() {
+        let m = CostModel::unit_scale();
+        assert!(
+            (m.hash_join(100, 200, 50).secs() * 2.0 - m.hash_join(200, 400, 100).secs()).abs()
+                < 1e-12
+        );
+        assert!((m.aggregate(100).secs() * 3.0 - m.aggregate(300).secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hash_join_charges_output_materialisation() {
+        let m = CostModel::unit_scale();
+        let small = m.hash_join(1000, 1000, 100);
+        let exploded = m.hash_join(1000, 1000, 1_000_000);
+        assert!(exploded.secs() > small.secs() * 10.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Physical plan representation.
+//!
+//! Plans are left-deep join trees: a driver table access followed by a
+//! sequence of join steps, each bringing in one new table via hash join or
+//! index nested-loop. The optimiser produces a [`Plan`] from estimates; the
+//! executor interprets the same structure against real data.
+
+use dba_common::{IndexId, SimSeconds, TableId};
+use dba_storage::IndexDef;
+use serde::{Deserialize, Serialize};
+
+use crate::query::{JoinPred, Predicate};
+
+/// How a table's rows are obtained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessMethod {
+    /// Sequential heap scan with all local predicates applied on the fly.
+    FullScan,
+    /// B-tree seek: equality prefix plus optional range on the next key
+    /// column; `covering` means the leaves hold every needed column so no
+    /// heap fetches occur.
+    IndexSeek { index: IndexId, covering: bool },
+    /// Full scan of an index's leaf level (index-only scan); only valid when
+    /// the index covers every needed column.
+    CoveringScan { index: IndexId },
+}
+
+impl AccessMethod {
+    pub fn index_id(&self) -> Option<IndexId> {
+        match self {
+            AccessMethod::FullScan => None,
+            AccessMethod::IndexSeek { index, .. } | AccessMethod::CoveringScan { index } => {
+                Some(*index)
+            }
+        }
+    }
+}
+
+/// Access to one table, with the planner's cardinality estimate attached
+/// (kept for plan explanation and regression analysis).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableAccess {
+    pub table: TableId,
+    pub method: AccessMethod,
+    /// Planner's estimate of rows emitted after local predicates.
+    pub est_rows: f64,
+}
+
+/// Join algorithm for one step of the left-deep tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinAlgo {
+    /// Build a hash table on the new (inner) table's filtered rows, probe
+    /// with the accumulated outer relation.
+    Hash,
+    /// For each accumulated outer row, seek the inner index keyed on the
+    /// join column.
+    IndexNestedLoop,
+}
+
+/// One step of the join tree: bring in `access.table` joined on `join`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinStep {
+    pub access: TableAccess,
+    pub algo: JoinAlgo,
+    pub join: JoinPred,
+    /// Planner's estimate of the accumulated output cardinality.
+    pub est_rows_out: f64,
+}
+
+/// A complete physical plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Plan {
+    pub driver: TableAccess,
+    pub joins: Vec<JoinStep>,
+    pub aggregated: bool,
+    /// Planner's total estimated cost.
+    pub est_cost: SimSeconds,
+}
+
+impl Plan {
+    /// All indexes this plan reads, in plan order.
+    pub fn indexes_used(&self) -> Vec<IndexId> {
+        let mut out = Vec::new();
+        if let Some(ix) = self.driver.method.index_id() {
+            out.push(ix);
+        }
+        for step in &self.joins {
+            if let Some(ix) = step.access.method.index_id() {
+                if !out.contains(&ix) {
+                    out.push(ix);
+                }
+            }
+        }
+        out
+    }
+
+    /// Tables accessed, driver first.
+    pub fn tables(&self) -> Vec<TableId> {
+        let mut out = vec![self.driver.table];
+        out.extend(self.joins.iter().map(|s| s.access.table));
+        out
+    }
+}
+
+/// How a set of conjunctive predicates maps onto an index's key columns:
+/// the longest equality prefix, an optional range on the following key
+/// column, and the residual predicates that must be applied after the seek.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeekShape {
+    /// Equality values bound to the leading key columns, in key order.
+    pub eq_values: Vec<i64>,
+    /// Inclusive range on the key column following the equality prefix.
+    pub range: Option<(i64, i64)>,
+    /// Predicates not absorbed by the seek (must be checked per row).
+    pub residual: Vec<Predicate>,
+}
+
+impl SeekShape {
+    /// Whether the seek narrows the leaf range at all.
+    pub fn is_selective(&self) -> bool {
+        !self.eq_values.is_empty() || self.range.is_some()
+    }
+}
+
+/// Compute the seek shape of `preds` (all on `def.table`) against an index
+/// definition. Follows classic B-tree matching: consume equality predicates
+/// along the key prefix, then at most one range predicate on the next key
+/// column; everything else is residual.
+pub fn seek_shape(def: &IndexDef, preds: &[Predicate]) -> SeekShape {
+    let mut eq_values = Vec::new();
+    let mut range = None;
+    let mut consumed = vec![false; preds.len()];
+
+    for &key_col in &def.key_cols {
+        // Find an equality predicate on this key column.
+        if let Some(pos) = preds
+            .iter()
+            .position(|p| p.column.ordinal == key_col && p.is_equality())
+        {
+            eq_values.push(preds[pos].lo);
+            consumed[pos] = true;
+            continue;
+        }
+        // Otherwise try a range predicate on this key column, then stop.
+        if let Some(pos) = preds
+            .iter()
+            .position(|p| p.column.ordinal == key_col && !p.is_equality())
+        {
+            range = Some((preds[pos].lo, preds[pos].hi));
+            consumed[pos] = true;
+        }
+        break;
+    }
+
+    let residual = preds
+        .iter()
+        .zip(&consumed)
+        .filter(|(_, &c)| !c)
+        .map(|(p, _)| *p)
+        .collect();
+
+    SeekShape {
+        eq_values,
+        range,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_common::ColumnId;
+
+    fn pred_eq(ord: u16, v: i64) -> Predicate {
+        Predicate::eq(ColumnId::new(TableId(0), ord), v)
+    }
+
+    fn pred_rng(ord: u16, lo: i64, hi: i64) -> Predicate {
+        Predicate::range(ColumnId::new(TableId(0), ord), lo, hi)
+    }
+
+    fn def(keys: Vec<u16>) -> IndexDef {
+        IndexDef::new(TableId(0), keys, vec![])
+    }
+
+    #[test]
+    fn seek_shape_consumes_equality_prefix() {
+        let shape = seek_shape(&def(vec![2, 5]), &[pred_eq(5, 9), pred_eq(2, 3)]);
+        assert_eq!(shape.eq_values, vec![3, 9]);
+        assert!(shape.range.is_none());
+        assert!(shape.residual.is_empty());
+        assert!(shape.is_selective());
+    }
+
+    #[test]
+    fn seek_shape_takes_one_range_after_prefix() {
+        let shape = seek_shape(
+            &def(vec![1, 2, 3]),
+            &[pred_eq(1, 4), pred_rng(2, 0, 10), pred_rng(3, 5, 6)],
+        );
+        assert_eq!(shape.eq_values, vec![4]);
+        assert_eq!(shape.range, Some((0, 10)));
+        assert_eq!(shape.residual, vec![pred_rng(3, 5, 6)]);
+    }
+
+    #[test]
+    fn seek_shape_stops_at_gap_in_prefix() {
+        // Index on (1, 2) but predicate only on column 2: no seek possible.
+        let shape = seek_shape(&def(vec![1, 2]), &[pred_eq(2, 7)]);
+        assert!(shape.eq_values.is_empty());
+        assert!(shape.range.is_none());
+        assert_eq!(shape.residual.len(), 1);
+        assert!(!shape.is_selective());
+    }
+
+    #[test]
+    fn seek_shape_range_on_first_column() {
+        let shape = seek_shape(&def(vec![3]), &[pred_rng(3, -5, 5), pred_eq(4, 1)]);
+        assert!(shape.eq_values.is_empty());
+        assert_eq!(shape.range, Some((-5, 5)));
+        assert_eq!(shape.residual, vec![pred_eq(4, 1)]);
+    }
+
+    #[test]
+    fn plan_indexes_used_deduplicates() {
+        let plan = Plan {
+            driver: TableAccess {
+                table: TableId(0),
+                method: AccessMethod::IndexSeek {
+                    index: IndexId(3),
+                    covering: false,
+                },
+                est_rows: 10.0,
+            },
+            joins: vec![JoinStep {
+                access: TableAccess {
+                    table: TableId(1),
+                    method: AccessMethod::IndexSeek {
+                        index: IndexId(3),
+                        covering: true,
+                    },
+                    est_rows: 5.0,
+                },
+                algo: JoinAlgo::IndexNestedLoop,
+                join: JoinPred::new(
+                    ColumnId::new(TableId(0), 0),
+                    ColumnId::new(TableId(1), 0),
+                ),
+                est_rows_out: 50.0,
+            }],
+            aggregated: false,
+            est_cost: SimSeconds::ZERO,
+        };
+        assert_eq!(plan.indexes_used(), vec![IndexId(3)]);
+        assert_eq!(plan.tables(), vec![TableId(0), TableId(1)]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Cardinality estimation under classic assumptions.
+//!
+//! * **Uniformity within histogram buckets** for single predicates;
+//! * **Attribute-value independence (AVI)** — conjunctions multiply
+//!   selectivities;
+//! * **Containment with uniform match** for equi-joins —
+//!   `|R ⋈ S| = |R|·|S| / max(ndv(a), ndv(b))`.
+//!
+//! These are the exact assumptions §I of the paper blames for advisor
+//! failures: "commercial DBMSs often assume uniform data distributions and
+//! attribute value independence".
+
+use dba_common::{ColumnId, TableId};
+use dba_engine::Predicate;
+
+use crate::stats::StatsCatalog;
+
+/// Estimates cardinalities from frozen statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct CardEstimator<'a> {
+    stats: &'a StatsCatalog,
+}
+
+impl<'a> CardEstimator<'a> {
+    pub fn new(stats: &'a StatsCatalog) -> Self {
+        CardEstimator { stats }
+    }
+
+    /// Selectivity (0..=1) of a single predicate.
+    pub fn predicate_selectivity(&self, p: &Predicate) -> f64 {
+        let col = self
+            .stats
+            .table(p.column.table)
+            .column(p.column.ordinal);
+        if p.is_equality() {
+            col.selectivity_eq(p.lo)
+        } else {
+            col.selectivity_range(p.lo, p.hi)
+        }
+    }
+
+    /// AVI conjunction: product of individual selectivities.
+    pub fn conjunction_selectivity(&self, preds: &[Predicate]) -> f64 {
+        preds
+            .iter()
+            .map(|p| self.predicate_selectivity(p))
+            .product()
+    }
+
+    /// Estimated output rows of `table` after applying `preds`.
+    pub fn table_output(&self, table: TableId, preds: &[Predicate]) -> f64 {
+        let rows = self.stats.table(table).rows as f64;
+        rows * self.conjunction_selectivity(preds)
+    }
+
+    /// Distinct count of a column.
+    pub fn ndv(&self, col: ColumnId) -> u64 {
+        self.stats.table(col.table).column(col.ordinal).ndv
+    }
+
+    /// Containment-with-uniform-match equi-join estimate, given the two
+    /// sides' (already filtered) row estimates.
+    pub fn join_output(
+        &self,
+        left_rows: f64,
+        right_rows: f64,
+        left_col: ColumnId,
+        right_col: ColumnId,
+    ) -> f64 {
+        let d = self.ndv(left_col).max(self.ndv(right_col)).max(1) as f64;
+        (left_rows * right_rows / d).max(0.0)
+    }
+
+    /// Expected rows matched in `table` per single-value probe on `col`
+    /// (uniform fan-out assumption — the INL misestimate under skew).
+    pub fn rows_per_value(&self, col: ColumnId) -> f64 {
+        let t = self.stats.table(col.table);
+        t.rows as f64 / t.column(col.ordinal).ndv.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_storage::{
+        Catalog, ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema,
+    };
+    use std::sync::Arc;
+
+    /// `left` has a correlated pair (c1 determines c2); `right` is a
+    /// zipf-skewed fact referencing `left`.
+    fn setup() -> (Catalog, StatsCatalog) {
+        let left = TableSchema::new(
+            "left",
+            vec![
+                ColumnSpec::new("l_key", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "l_a",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 49 },
+                ),
+                ColumnSpec::new(
+                    "l_b",
+                    ColumnType::Int,
+                    Distribution::Correlated {
+                        source: 1,
+                        a: 1,
+                        b: 0,
+                        m: 50,
+                        noise: 0,
+                    },
+                ),
+            ],
+        );
+        let right = TableSchema::new(
+            "right",
+            vec![
+                ColumnSpec::new(
+                    "r_fk",
+                    ColumnType::Int,
+                    Distribution::FkZipf {
+                        parent_rows: 2000,
+                        s: 2.0,
+                    },
+                ),
+                ColumnSpec::new(
+                    "r_v",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 9 },
+                ),
+            ],
+        );
+        let cat = Catalog::new(vec![
+            Arc::new(TableBuilder::new(left, 2000).build(TableId(0), 31)),
+            Arc::new(TableBuilder::new(right, 40_000).build(TableId(1), 31)),
+        ]);
+        let stats = StatsCatalog::build(&cat);
+        (cat, stats)
+    }
+
+    fn col(t: u32, o: u16) -> ColumnId {
+        ColumnId::new(TableId(t), o)
+    }
+
+    #[test]
+    fn independent_conjunction_is_roughly_right() {
+        let (cat, stats) = setup();
+        let est = CardEstimator::new(&stats);
+        // l_a = 7 AND l_key in [0, 999]: truly independent.
+        let preds = [
+            Predicate::eq(col(0, 1), 7),
+            Predicate::range(col(0, 0), 0, 999),
+        ];
+        let estimate = est.table_output(TableId(0), &preds);
+        let t = cat.table(TableId(0));
+        let truth = (0..t.rows())
+            .filter(|&r| t.column(1).value(r) == 7 && (0..=999).contains(&t.column(0).value(r)))
+            .count() as f64;
+        assert!(
+            estimate > truth * 0.3 && estimate < truth * 3.0 + 10.0,
+            "independent estimate {estimate} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn avi_underestimates_correlated_conjunction() {
+        let (cat, stats) = setup();
+        let est = CardEstimator::new(&stats);
+        // l_b is a function of l_a: P(a=7 AND b=f(7)) = P(a=7), but AVI
+        // multiplies the marginals → ~50x underestimate.
+        let t = cat.table(TableId(0));
+        let b_of_7 = 7; // a=1,b=0,m=50 → identity map
+        let preds = [
+            Predicate::eq(col(0, 1), 7),
+            Predicate::eq(col(0, 2), b_of_7),
+        ];
+        let estimate = est.table_output(TableId(0), &preds);
+        let truth = (0..t.rows())
+            .filter(|&r| t.column(1).value(r) == 7 && t.column(2).value(r) == b_of_7)
+            .count() as f64;
+        assert!(truth > 0.0);
+        assert!(
+            estimate < truth / 5.0,
+            "AVI should grossly underestimate: est {estimate}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn join_misestimates_under_fk_skew() {
+        let (cat, stats) = setup();
+        let est = CardEstimator::new(&stats);
+        // Join left.l_key = right.r_fk restricted to the hottest parent.
+        // Uniform-match predicts rows/ndv per probe; zipf(2) reality is far
+        // larger for parent 0.
+        let t = cat.table(TableId(1));
+        let truth_hot = t.column(0).count_in_range(0, 0) as f64;
+        let per_value = est.rows_per_value(col(1, 0));
+        assert!(
+            truth_hot > per_value * 10.0,
+            "hot parent truth {truth_hot} vs uniform fan-out {per_value}"
+        );
+    }
+
+    #[test]
+    fn join_output_uses_larger_ndv() {
+        let (_, stats) = setup();
+        let est = CardEstimator::new(&stats);
+        let out = est.join_output(2000.0, 40_000.0, col(0, 0), col(1, 0));
+        // ndv(l_key)=2000; ndv(r_fk) ≤ 2000 → denominator 2000.
+        assert!((out - 40_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_conjunction_selectivity_is_one() {
+        let (_, stats) = setup();
+        let est = CardEstimator::new(&stats);
+        assert_eq!(est.conjunction_selectivity(&[]), 1.0);
+        assert_eq!(est.table_output(TableId(0), &[]), 2000.0);
+    }
+}

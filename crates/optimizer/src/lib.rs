@@ -1,0 +1,24 @@
+//! The query optimiser substrate.
+//!
+//! Commercial physical-design tools "use a cost model employed by the query
+//! optimiser, typically exposed through a what-if interface, as the sole
+//! source of truth" (§I). This crate is that optimiser: it builds classic
+//! single-column statistics, estimates cardinalities under the uniformity
+//! and attribute-value-independence assumptions the paper criticises, plans
+//! access paths and join orders by estimated cost, and exposes a
+//! [`WhatIf`] interface for costing hypothetical index configurations
+//! without materialising them.
+//!
+//! The estimation errors are not bugs — they are the faithful reproduction
+//! of the behaviour that makes optimiser-trusting advisors fail under skew
+//! and correlation, which is the premise of the paper's bandit approach.
+
+pub mod est;
+pub mod planner;
+pub mod stats;
+pub mod whatif;
+
+pub use est::CardEstimator;
+pub use planner::{IndexCandidate, Planner, PlannerContext};
+pub use stats::{ColumnStats, Histogram, StatsCatalog, TableStats, HISTOGRAM_BUCKETS};
+pub use whatif::{WhatIf, WhatIfOutcome};

@@ -1,0 +1,254 @@
+//! The catalog: tables plus the mutable set of materialised secondary
+//! indexes.
+//!
+//! Generated table data is immutable and shared (`Arc`) so that multiple
+//! tuner runs over the same benchmark reuse one copy; each run owns its own
+//! index set, which it creates and drops as tuning proceeds.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dba_common::{DbError, DbResult, IndexId, TableId};
+
+use crate::index::{Index, IndexDef};
+use crate::table::Table;
+
+/// Metadata snapshot for one materialised index.
+#[derive(Debug, Clone)]
+pub struct IndexMeta {
+    pub id: IndexId,
+    pub def: IndexDef,
+    pub size_bytes: u64,
+}
+
+/// Tables + secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    tables: Vec<Arc<Table>>,
+    indexes: BTreeMap<IndexId, Arc<Index>>,
+    next_index: u64,
+}
+
+impl Catalog {
+    pub fn new(tables: Vec<Arc<Table>>) -> Self {
+        for (i, t) in tables.iter().enumerate() {
+            assert_eq!(
+                t.id().raw() as usize,
+                i,
+                "table ids must be dense and ordered"
+            );
+        }
+        Catalog {
+            tables,
+            indexes: BTreeMap::new(),
+            next_index: 0,
+        }
+    }
+
+    #[inline]
+    pub fn tables(&self) -> &[Arc<Table>] {
+        &self.tables
+    }
+
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.raw() as usize]
+    }
+
+    pub fn table_by_name(&self, name: &str) -> DbResult<&Arc<Table>> {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Total logical size of all base tables (the paper's “database size”,
+    /// used for memory budgets and context features).
+    pub fn database_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.heap_bytes()).sum()
+    }
+
+    /// Total size of materialised secondary indexes.
+    pub fn index_bytes(&self) -> u64 {
+        self.indexes.values().map(|ix| ix.size_bytes()).sum()
+    }
+
+    /// Materialise an index. Returns the new index id and its size.
+    ///
+    /// The caller is responsible for charging creation time through the cost
+    /// model; the catalog only builds the structure.
+    pub fn create_index(&mut self, def: IndexDef) -> DbResult<IndexMeta> {
+        if def.key_cols.is_empty() {
+            return Err(DbError::Invalid("index with no key columns".into()));
+        }
+        let table = self
+            .tables
+            .get(def.table.raw() as usize)
+            .ok_or_else(|| DbError::UnknownTable(format!("{}", def.table)))?
+            .clone();
+        for &c in def.key_cols.iter().chain(&def.include_cols) {
+            if c as usize >= table.columns().len() {
+                return Err(DbError::UnknownColumn {
+                    table: table.name().to_string(),
+                    column: format!("ordinal {c}"),
+                });
+            }
+        }
+        let id = IndexId(self.next_index);
+        self.next_index += 1;
+        let ix = Index::build(id, def.clone(), &table);
+        let meta = IndexMeta {
+            id,
+            def,
+            size_bytes: ix.size_bytes(),
+        };
+        self.indexes.insert(id, Arc::new(ix));
+        Ok(meta)
+    }
+
+    pub fn drop_index(&mut self, id: IndexId) -> DbResult<()> {
+        self.indexes
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(DbError::UnknownIndex(id.raw()))
+    }
+
+    pub fn index(&self, id: IndexId) -> DbResult<&Arc<Index>> {
+        self.indexes.get(&id).ok_or(DbError::UnknownIndex(id.raw()))
+    }
+
+    /// All materialised indexes on `table`.
+    pub fn indexes_on(&self, table: TableId) -> impl Iterator<Item = &Arc<Index>> {
+        self.indexes
+            .values()
+            .filter(move |ix| ix.def().table == table)
+    }
+
+    pub fn all_indexes(&self) -> impl Iterator<Item = &Arc<Index>> {
+        self.indexes.values()
+    }
+
+    /// Find a materialised index with exactly this definition.
+    pub fn find_index(&self, def: &IndexDef) -> Option<&Arc<Index>> {
+        self.indexes.values().find(|ix| ix.def() == def)
+    }
+
+    /// Fresh catalog over the same shared tables, with no indexes — used to
+    /// give each tuner an identical starting state.
+    pub fn fork_empty(&self) -> Catalog {
+        Catalog {
+            tables: self.tables.clone(),
+            indexes: BTreeMap::new(),
+            next_index: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnType;
+    use crate::gen::{ColumnSpec, Distribution};
+    use crate::table::{TableBuilder, TableSchema};
+
+    fn catalog() -> Catalog {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnSpec::new("a", ColumnType::Int, Distribution::Uniform { lo: 0, hi: 9 }),
+                ColumnSpec::new("b", ColumnType::Int, Distribution::Sequential),
+            ],
+        );
+        let t = TableBuilder::new(schema, 500).build(TableId(0), 3);
+        Catalog::new(vec![Arc::new(t)])
+    }
+
+    #[test]
+    fn create_and_drop_index() {
+        let mut cat = catalog();
+        let meta = cat
+            .create_index(IndexDef::new(TableId(0), vec![0], vec![1]))
+            .unwrap();
+        assert!(cat.index(meta.id).is_ok());
+        assert_eq!(cat.indexes_on(TableId(0)).count(), 1);
+        assert!(cat.index_bytes() > 0);
+        cat.drop_index(meta.id).unwrap();
+        assert!(cat.index(meta.id).is_err());
+        assert_eq!(cat.index_bytes(), 0);
+    }
+
+    #[test]
+    fn create_index_validates_columns() {
+        let mut cat = catalog();
+        let err = cat
+            .create_index(IndexDef {
+                table: TableId(0),
+                key_cols: vec![9],
+                include_cols: vec![],
+            })
+            .unwrap_err();
+        assert!(matches!(err, DbError::UnknownColumn { .. }));
+        let err = cat
+            .create_index(IndexDef {
+                table: TableId(0),
+                key_cols: vec![],
+                include_cols: vec![],
+            })
+            .unwrap_err();
+        assert!(matches!(err, DbError::Invalid(_)));
+    }
+
+    #[test]
+    fn find_index_by_definition() {
+        let mut cat = catalog();
+        let def = IndexDef::new(TableId(0), vec![0], vec![]);
+        cat.create_index(def.clone()).unwrap();
+        assert!(cat.find_index(&def).is_some());
+        let other = IndexDef::new(TableId(0), vec![1], vec![]);
+        assert!(cat.find_index(&other).is_none());
+    }
+
+    #[test]
+    fn fork_empty_shares_tables_but_not_indexes() {
+        let mut cat = catalog();
+        cat.create_index(IndexDef::new(TableId(0), vec![0], vec![]))
+            .unwrap();
+        let fork = cat.fork_empty();
+        assert_eq!(fork.all_indexes().count(), 0);
+        assert_eq!(fork.tables().len(), 1);
+        assert!(Arc::ptr_eq(&fork.tables()[0], &cat.tables()[0]));
+    }
+
+    #[test]
+    fn table_lookup_by_name_errors_cleanly() {
+        let cat = catalog();
+        assert!(cat.table_by_name("t").is_ok());
+        assert!(matches!(
+            cat.table_by_name("missing"),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn database_bytes_sums_heaps() {
+        let cat = catalog();
+        assert_eq!(cat.database_bytes(), 16 * 500);
+    }
+
+    #[test]
+    fn ids_are_monotonic() {
+        let mut cat = catalog();
+        let a = cat
+            .create_index(IndexDef::new(TableId(0), vec![0], vec![]))
+            .unwrap();
+        let b = cat
+            .create_index(IndexDef::new(TableId(0), vec![1], vec![]))
+            .unwrap();
+        assert!(b.id.raw() > a.id.raw());
+        cat.drop_index(a.id).unwrap();
+        let c = cat
+            .create_index(IndexDef::new(TableId(0), vec![0, 1], vec![]))
+            .unwrap();
+        assert!(c.id.raw() > b.id.raw(), "ids are never reused");
+    }
+}

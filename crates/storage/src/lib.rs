@@ -1,0 +1,23 @@
+//! In-memory columnar storage substrate for the `dba-bandits` reproduction.
+//!
+//! The paper runs against a commercial DBMS; we build the storage layer that
+//! DBMS provides: dictionary/fixed-point encoded columnar tables populated by
+//! seeded generators (uniform, zipfian, correlated — the distributions whose
+//! mismatch with optimiser assumptions drives the paper's results), and
+//! composite-key secondary indexes with optional included (payload) columns.
+//!
+//! Everything is deterministic given a root seed. All values are stored as
+//! `i64` codes with a [`ColumnType`] describing their logical interpretation,
+//! which keeps predicate evaluation, sorting, and index probes branch-light.
+
+pub mod catalog;
+pub mod column;
+pub mod gen;
+pub mod index;
+pub mod table;
+
+pub use catalog::{Catalog, IndexMeta};
+pub use column::{Column, ColumnType};
+pub use gen::{ColumnSpec, Distribution};
+pub use index::{Index, IndexDef};
+pub use table::{Table, TableBuilder, TableSchema, PAGE_BYTES};

@@ -1,0 +1,87 @@
+//! Benchmark workloads for the evaluation (§V-A).
+//!
+//! Five benchmarks, as in the paper: TPC-H (uniform), TPC-H Skew (zipfian
+//! factor 4), SSB, TPC-DS, and a JOB/IMDb-style workload. Each provides a
+//! schema with per-scale-factor row counts (scaled 1/100 — see DESIGN.md),
+//! and a family of parameterised query templates that are *structurally
+//! faithful paraphrases* of the benchmark's queries: same predicate /
+//! join / payload shape and selectivity classes, which is the information
+//! index tuners consume.
+//!
+//! [`sequence`] turns a benchmark into the paper's three workload types:
+//! **static** (every template, every round), **dynamic shifting** (4
+//! disjoint template groups × 20 rounds), and **dynamic random** (uniform
+//! template draws per round with ~50% round-to-round repeats).
+
+pub mod imdb;
+pub mod sequence;
+pub mod spec;
+pub mod ssb;
+pub mod tpcds;
+pub mod tpch;
+
+pub use sequence::{WorkloadKind, WorkloadSequencer};
+pub use spec::{Benchmark, ParamGen, RowCount, TemplateSpec};
+
+/// All five paper benchmarks at scale factor `sf`, in the order the
+/// paper's figures use.
+pub fn all_benchmarks(sf: f64) -> Vec<Benchmark> {
+    vec![
+        ssb::ssb(sf),
+        tpch::tpch(sf),
+        tpch::tpch_skew(sf),
+        tpcds::tpcds(sf),
+        imdb::imdb(sf),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_benchmarks_have_the_papers_template_counts() {
+        let names: Vec<(String, usize)> = all_benchmarks(0.1)
+            .iter()
+            .map(|b| (b.name.to_string(), b.templates().len()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("SSB".to_string(), 13),
+                ("TPC-H".to_string(), 22),
+                ("TPC-H Skew".to_string(), 22),
+                ("TPC-DS".to_string(), 99),
+                ("IMDb".to_string(), 33),
+            ]
+        );
+    }
+
+    #[test]
+    fn every_benchmark_builds_and_instantiates() {
+        for bench in all_benchmarks(0.05) {
+            let catalog = bench.build_catalog(42).expect("catalog builds");
+            assert!(catalog.database_bytes() > 0);
+            for t in bench.templates() {
+                let q = t
+                    .instantiate(&catalog, dba_common::QueryId(0), 42, 0)
+                    .unwrap_or_else(|e| panic!("{}::{} fails: {e}", bench.name, t.id));
+                assert!(!q.tables.is_empty());
+                assert!(
+                    !q.predicates.is_empty() || !q.joins.is_empty(),
+                    "{}::{} has no predicates or joins",
+                    bench.name,
+                    t.id
+                );
+                // Every referenced table is listed.
+                for p in &q.predicates {
+                    assert!(q.tables.contains(&p.column.table));
+                }
+                for j in &q.joins {
+                    assert!(q.tables.contains(&j.left.table));
+                    assert!(q.tables.contains(&j.right.table));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Workload sequencers: the paper's three workload types (§V-A).
+//!
+//! * **Static** — every template invoked once per round (reporting
+//!   workloads); 25 rounds in the paper.
+//! * **Dynamic shifting** — templates split into 4 disjoint groups; each
+//!   group runs for 20 rounds, then the region of interest moves on (data
+//!   exploration); 80 rounds total.
+//! * **Dynamic random** — a fixed number of template draws per round,
+//!   uniformly at random (ad-hoc cloud workloads); the paper reports
+//!   45-54% round-to-round repeat rates, which uniform draws reproduce.
+
+use dba_common::{rng::rng_for, DbResult, QueryId};
+use dba_engine::Query;
+use dba_storage::Catalog;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::spec::Benchmark;
+
+/// The three workload types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Every template once per round.
+    Static { rounds: usize },
+    /// `groups` disjoint template groups × `rounds_per_group` rounds each.
+    Shifting {
+        groups: usize,
+        rounds_per_group: usize,
+    },
+    /// `queries_per_round` uniform template draws per round.
+    Random {
+        rounds: usize,
+        queries_per_round: usize,
+    },
+}
+
+impl WorkloadKind {
+    /// The paper's configuration for each type.
+    pub fn paper_static() -> Self {
+        WorkloadKind::Static { rounds: 25 }
+    }
+
+    pub fn paper_shifting() -> Self {
+        WorkloadKind::Shifting {
+            groups: 4,
+            rounds_per_group: 20,
+        }
+    }
+
+    pub fn paper_random(templates: usize) -> Self {
+        WorkloadKind::Random {
+            rounds: 25,
+            queries_per_round: templates,
+        }
+    }
+
+    pub fn rounds(&self) -> usize {
+        match *self {
+            WorkloadKind::Static { rounds } => rounds,
+            WorkloadKind::Shifting {
+                groups,
+                rounds_per_group,
+            } => groups * rounds_per_group,
+            WorkloadKind::Random { rounds, .. } => rounds,
+        }
+    }
+}
+
+/// Produces each round's mini-workload for a benchmark.
+pub struct WorkloadSequencer<'a> {
+    benchmark: &'a Benchmark,
+    kind: WorkloadKind,
+    seed: u64,
+    /// Template order for the shifting workload (seeded shuffle).
+    shuffled: Vec<usize>,
+}
+
+impl<'a> WorkloadSequencer<'a> {
+    pub fn new(benchmark: &'a Benchmark, kind: WorkloadKind, seed: u64) -> Self {
+        let mut shuffled: Vec<usize> = (0..benchmark.templates().len()).collect();
+        let mut rng = rng_for(seed, "shift-groups", 0);
+        shuffled.shuffle(&mut rng);
+        WorkloadSequencer {
+            benchmark,
+            kind,
+            seed,
+            shuffled,
+        }
+    }
+
+    pub fn rounds(&self) -> usize {
+        self.kind.rounds()
+    }
+
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Template indices (into `benchmark.templates()`) for `round`
+    /// (0-based).
+    fn template_indices(&self, round: usize) -> Vec<usize> {
+        let n = self.benchmark.templates().len();
+        match self.kind {
+            WorkloadKind::Static { .. } => (0..n).collect(),
+            WorkloadKind::Shifting {
+                groups,
+                rounds_per_group,
+            } => {
+                let group = (round / rounds_per_group).min(groups - 1);
+                let per_group = n.div_ceil(groups);
+                let start = group * per_group;
+                let end = (start + per_group).min(n);
+                self.shuffled[start..end].to_vec()
+            }
+            WorkloadKind::Random {
+                queries_per_round, ..
+            } => {
+                let mut rng = rng_for(self.seed, "random-round", round as u64);
+                (0..queries_per_round)
+                    .map(|_| rng.gen_range(0..n))
+                    .collect()
+            }
+        }
+    }
+
+    /// Instantiate round `round` (0-based) against the catalog.
+    pub fn round_queries(&self, catalog: &Catalog, round: usize) -> DbResult<Vec<Query>> {
+        let indices = self.template_indices(round);
+        indices
+            .iter()
+            .enumerate()
+            .map(|(pos, &ti)| {
+                let template = &self.benchmark.templates()[ti];
+                let qid = QueryId(((round as u64) << 20) | pos as u64);
+                template.instantiate(catalog, qid, self.seed, round as u64)
+            })
+            .collect()
+    }
+
+    /// Distinct template ids appearing in `round` (cheap, no catalog).
+    pub fn round_template_ids(&self, round: usize) -> Vec<dba_common::TemplateId> {
+        let mut ids: Vec<_> = self
+            .template_indices(round)
+            .into_iter()
+            .map(|i| self.benchmark.templates()[i].id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::tpch;
+
+    #[test]
+    fn static_runs_every_template_every_round() {
+        let b = tpch(0.05);
+        let cat = b.build_catalog(5).unwrap();
+        let seq = WorkloadSequencer::new(&b, WorkloadKind::paper_static(), 5);
+        assert_eq!(seq.rounds(), 25);
+        for round in [0, 7, 24] {
+            let qs = seq.round_queries(&cat, round).unwrap();
+            assert_eq!(qs.len(), 22);
+            let ids = seq.round_template_ids(round);
+            assert_eq!(ids.len(), 22);
+        }
+    }
+
+    #[test]
+    fn static_instances_differ_across_rounds() {
+        let b = tpch(0.05);
+        let cat = b.build_catalog(5).unwrap();
+        let seq = WorkloadSequencer::new(&b, WorkloadKind::paper_static(), 5);
+        let r0 = seq.round_queries(&cat, 0).unwrap();
+        let r1 = seq.round_queries(&cat, 1).unwrap();
+        let diffs = r0
+            .iter()
+            .zip(&r1)
+            .filter(|(a, b)| a.predicates != b.predicates)
+            .count();
+        assert!(diffs > 15, "most templates should rebind parameters");
+    }
+
+    #[test]
+    fn shifting_groups_are_disjoint_and_cover_all() {
+        let b = tpch(0.05);
+        let seq = WorkloadSequencer::new(&b, WorkloadKind::paper_shifting(), 5);
+        assert_eq!(seq.rounds(), 80);
+        let mut all = Vec::new();
+        for g in 0..4 {
+            let ids = seq.round_template_ids(g * 20);
+            // Same group throughout its 20 rounds.
+            assert_eq!(ids, seq.round_template_ids(g * 20 + 19));
+            all.extend(ids);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 22, "groups cover all templates exactly once");
+    }
+
+    #[test]
+    fn shifting_boundary_changes_group() {
+        let b = tpch(0.05);
+        let seq = WorkloadSequencer::new(&b, WorkloadKind::paper_shifting(), 5);
+        assert_ne!(seq.round_template_ids(19), seq.round_template_ids(20));
+    }
+
+    #[test]
+    fn random_repeat_rate_is_paperlike() {
+        let b = tpch(0.05);
+        let seq =
+            WorkloadSequencer::new(&b, WorkloadKind::paper_random(22), 5);
+        // Measure round-to-round template repeat fraction.
+        let mut repeats = 0.0;
+        let mut total = 0.0;
+        for round in 1..25 {
+            let prev = seq.round_template_ids(round - 1);
+            let cur = seq.round_template_ids(round);
+            let inter = cur.iter().filter(|t| prev.contains(t)).count();
+            repeats += inter as f64;
+            total += cur.len() as f64;
+        }
+        let rate = repeats / total;
+        assert!(
+            (0.40..=0.75).contains(&rate),
+            "repeat rate {rate} out of plausible band"
+        );
+    }
+
+    #[test]
+    fn sequencer_is_deterministic_per_seed() {
+        let b = tpch(0.05);
+        let s1 = WorkloadSequencer::new(&b, WorkloadKind::paper_random(10), 5);
+        let s2 = WorkloadSequencer::new(&b, WorkloadKind::paper_random(10), 5);
+        let s3 = WorkloadSequencer::new(&b, WorkloadKind::paper_random(10), 6);
+        assert_eq!(s1.round_template_ids(3), s2.round_template_ids(3));
+        assert_ne!(s1.round_template_ids(3), s3.round_template_ids(3));
+    }
+}

@@ -1,0 +1,489 @@
+//! Star Schema Benchmark: one `lineorder` fact, four dimensions, 13
+//! query templates in four flights (O'Neil et al.). The paper uses SSB as
+//! the "easily achievable high index benefits" case — selective star joins
+//! over a single wide fact table.
+
+use dba_common::TemplateId;
+use dba_storage::{ColumnSpec, ColumnType, Distribution, TableSchema};
+
+use crate::spec::{col, Benchmark, ParamGen, RowCount, TemplateSpec};
+
+const DATE_ROWS: usize = 2556; // 7 years of days
+
+pub fn ssb(sf: f64) -> Benchmark {
+    let lineorders = RowCount::PerSf(6_000_000).rows(sf);
+    let customers = RowCount::PerSf(30_000).rows(sf);
+    let suppliers = RowCount::PerSf(2_000).rows(sf);
+    let parts = RowCount::PerSf(200_000).rows(sf);
+
+    let lineorder = TableSchema::new(
+        "lineorder",
+        vec![
+            ColumnSpec::new(
+                "lo_orderdate",
+                ColumnType::Date,
+                Distribution::FkUniform {
+                    parent_rows: DATE_ROWS as u64,
+                },
+            ),
+            ColumnSpec::new(
+                "lo_custkey",
+                ColumnType::Int,
+                Distribution::FkUniform {
+                    parent_rows: customers as u64,
+                },
+            ),
+            ColumnSpec::new(
+                "lo_suppkey",
+                ColumnType::Int,
+                Distribution::FkUniform {
+                    parent_rows: suppliers as u64,
+                },
+            ),
+            ColumnSpec::new(
+                "lo_partkey",
+                ColumnType::Int,
+                Distribution::FkUniform {
+                    parent_rows: parts as u64,
+                },
+            ),
+            ColumnSpec::new(
+                "lo_quantity",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 1, hi: 50 },
+            ),
+            ColumnSpec::new(
+                "lo_discount",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 0, hi: 10 },
+            ),
+            ColumnSpec::new(
+                "lo_extendedprice",
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform {
+                    lo: 90_000,
+                    hi: 10_500_000,
+                },
+            ),
+            ColumnSpec::new(
+                "lo_revenue",
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform {
+                    lo: 80_000,
+                    hi: 10_000_000,
+                },
+            ),
+            ColumnSpec::new(
+                "lo_supplycost",
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform {
+                    lo: 50_000,
+                    hi: 6_000_000,
+                },
+            ),
+        ],
+    ).with_pad(40);
+
+    // d_year/d_yearmonth/d_weeknum derive from the date key, giving the
+    // contiguous date-range semantics of the real SSB date dimension.
+    let date = TableSchema::new(
+        "date",
+        vec![
+            ColumnSpec::new("d_datekey", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "d_year",
+                ColumnType::Int,
+                Distribution::Correlated {
+                    source: 0,
+                    a: 1,
+                    b: 0,
+                    m: i64::MAX / 2,
+                    noise: 0,
+                },
+            ),
+            ColumnSpec::new(
+                "d_yearmonth",
+                ColumnType::Int,
+                Distribution::Correlated {
+                    source: 0,
+                    a: 1,
+                    b: 0,
+                    m: i64::MAX / 2,
+                    noise: 0,
+                },
+            ),
+            ColumnSpec::new(
+                "d_weeknum",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 0, hi: 52 },
+            ),
+        ],
+    ).with_pad(60);
+
+    let customer = TableSchema::new(
+        "customer",
+        vec![
+            ColumnSpec::new("c_custkey", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "c_region",
+                ColumnType::Dict { cardinality: 5 },
+                Distribution::Uniform { lo: 0, hi: 4 },
+            ),
+            ColumnSpec::new(
+                "c_nation",
+                ColumnType::Dict { cardinality: 25 },
+                Distribution::Uniform { lo: 0, hi: 24 },
+            ),
+            ColumnSpec::new(
+                "c_city",
+                ColumnType::Dict { cardinality: 250 },
+                Distribution::Uniform { lo: 0, hi: 249 },
+            ),
+        ],
+    ).with_pad(90);
+
+    let supplier = TableSchema::new(
+        "supplier",
+        vec![
+            ColumnSpec::new("s_suppkey", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "s_region",
+                ColumnType::Dict { cardinality: 5 },
+                Distribution::Uniform { lo: 0, hi: 4 },
+            ),
+            ColumnSpec::new(
+                "s_nation",
+                ColumnType::Dict { cardinality: 25 },
+                Distribution::Uniform { lo: 0, hi: 24 },
+            ),
+            ColumnSpec::new(
+                "s_city",
+                ColumnType::Dict { cardinality: 250 },
+                Distribution::Uniform { lo: 0, hi: 249 },
+            ),
+        ],
+    ).with_pad(90);
+
+    let part = TableSchema::new(
+        "part",
+        vec![
+            ColumnSpec::new("p_partkey", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "p_mfgr",
+                ColumnType::Dict { cardinality: 5 },
+                Distribution::Uniform { lo: 0, hi: 4 },
+            ),
+            ColumnSpec::new(
+                "p_category",
+                ColumnType::Dict { cardinality: 25 },
+                Distribution::Uniform { lo: 0, hi: 24 },
+            ),
+            ColumnSpec::new(
+                "p_brand1",
+                ColumnType::Dict { cardinality: 1000 },
+                Distribution::Uniform { lo: 0, hi: 999 },
+            ),
+        ],
+    ).with_pad(60);
+
+    let tables = vec![
+        (lineorder, lineorders),
+        (date, DATE_ROWS),
+        (customer, customers),
+        (supplier, suppliers),
+        (part, parts),
+    ];
+
+    Benchmark::new("SSB", sf, tables, templates())
+}
+
+/// The 13 SSB queries, paraphrased structurally.
+///
+/// Because `d_year`/`d_yearmonth` are (identity-correlated) functions of
+/// the date key, the year/month equality predicates of the original
+/// queries are expressed as contiguous ranges over `d_datekey`, preserving
+/// their selectivity classes (1 year = 1/7, 1 month = 1/84, 1 week ≈ 1/365).
+fn templates() -> Vec<TemplateSpec> {
+    let mut t = Vec::with_capacity(13);
+    let mut id = 0u32;
+    let mut push = |preds: Vec<(dba_common::ColumnRef, ParamGen)>,
+                    joins: Vec<(dba_common::ColumnRef, dba_common::ColumnRef)>,
+                    payload: Vec<dba_common::ColumnRef>| {
+        id += 1;
+        t.push(TemplateSpec {
+            id: TemplateId(id),
+            preds,
+            joins,
+            payload,
+            aggregated: true,
+        });
+    };
+
+    let d = DATE_ROWS as i64;
+    let year = ParamGen::Range {
+        lo: 0,
+        hi: d,
+        width: 365,
+    };
+    let month = ParamGen::Range {
+        lo: 0,
+        hi: d,
+        width: 30,
+    };
+    let week = ParamGen::Range {
+        lo: 0,
+        hi: d,
+        width: 7,
+    };
+    let join_date = (col("lineorder", "lo_orderdate"), col("date", "d_datekey"));
+    let join_cust = (col("lineorder", "lo_custkey"), col("customer", "c_custkey"));
+    let join_supp = (col("lineorder", "lo_suppkey"), col("supplier", "s_suppkey"));
+    let join_part = (col("lineorder", "lo_partkey"), col("part", "p_partkey"));
+    let revenue = vec![
+        col("lineorder", "lo_extendedprice"),
+        col("lineorder", "lo_discount"),
+    ];
+
+    // Flight 1: date restriction + discount/quantity windows.
+    push(
+        vec![
+            (col("date", "d_datekey"), year),
+            (col("lineorder", "lo_discount"), ParamGen::FixedRange(1, 3)),
+            (col("lineorder", "lo_quantity"), ParamGen::FixedRange(1, 24)),
+        ],
+        vec![join_date.clone()],
+        revenue.clone(),
+    );
+    push(
+        vec![
+            (col("date", "d_datekey"), month),
+            (col("lineorder", "lo_discount"), ParamGen::FixedRange(4, 6)),
+            (
+                col("lineorder", "lo_quantity"),
+                ParamGen::FixedRange(26, 35),
+            ),
+        ],
+        vec![join_date.clone()],
+        revenue.clone(),
+    );
+    push(
+        vec![
+            (col("date", "d_datekey"), week),
+            (col("lineorder", "lo_discount"), ParamGen::FixedRange(5, 7)),
+            (
+                col("lineorder", "lo_quantity"),
+                ParamGen::FixedRange(36, 40),
+            ),
+        ],
+        vec![join_date.clone()],
+        revenue.clone(),
+    );
+
+    // Flight 2: part category/brand × supplier region.
+    push(
+        vec![
+            (col("part", "p_category"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (col("supplier", "s_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+        ],
+        vec![join_date.clone(), join_part.clone(), join_supp.clone()],
+        vec![col("lineorder", "lo_revenue"), col("part", "p_brand1")],
+    );
+    push(
+        vec![
+            (
+                col("part", "p_brand1"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: 999,
+                    width: 7,
+                },
+            ),
+            (col("supplier", "s_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+        ],
+        vec![join_date.clone(), join_part.clone(), join_supp.clone()],
+        vec![col("lineorder", "lo_revenue"), col("part", "p_brand1")],
+    );
+    push(
+        vec![
+            (col("part", "p_brand1"), ParamGen::Eq { lo: 0, hi: 999 }),
+            (col("supplier", "s_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+        ],
+        vec![join_date.clone(), join_part.clone(), join_supp.clone()],
+        vec![col("lineorder", "lo_revenue"), col("part", "p_brand1")],
+    );
+
+    // Flight 3: customer × supplier geography over date ranges.
+    push(
+        vec![
+            (col("customer", "c_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+            (col("supplier", "s_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+            (
+                col("date", "d_datekey"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: d,
+                    width: 2190,
+                },
+            ),
+        ],
+        vec![join_date.clone(), join_cust.clone(), join_supp.clone()],
+        vec![
+            col("lineorder", "lo_revenue"),
+            col("customer", "c_nation"),
+            col("supplier", "s_nation"),
+        ],
+    );
+    push(
+        vec![
+            (col("customer", "c_nation"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (col("supplier", "s_nation"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (
+                col("date", "d_datekey"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: d,
+                    width: 2190,
+                },
+            ),
+        ],
+        vec![join_date.clone(), join_cust.clone(), join_supp.clone()],
+        vec![
+            col("lineorder", "lo_revenue"),
+            col("customer", "c_city"),
+            col("supplier", "s_city"),
+        ],
+    );
+    push(
+        vec![
+            (col("customer", "c_city"), ParamGen::Eq { lo: 0, hi: 249 }),
+            (col("supplier", "s_city"), ParamGen::Eq { lo: 0, hi: 249 }),
+            (
+                col("date", "d_datekey"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: d,
+                    width: 2190,
+                },
+            ),
+        ],
+        vec![join_date.clone(), join_cust.clone(), join_supp.clone()],
+        vec![col("lineorder", "lo_revenue")],
+    );
+    push(
+        vec![
+            (col("customer", "c_city"), ParamGen::Eq { lo: 0, hi: 249 }),
+            (col("supplier", "s_city"), ParamGen::Eq { lo: 0, hi: 249 }),
+            (col("date", "d_datekey"), month),
+        ],
+        vec![join_date.clone(), join_cust.clone(), join_supp.clone()],
+        vec![col("lineorder", "lo_revenue")],
+    );
+
+    // Flight 4: profit drill-downs across all dimensions.
+    push(
+        vec![
+            (col("customer", "c_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+            (col("supplier", "s_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+            (col("part", "p_mfgr"), ParamGen::Eq { lo: 0, hi: 4 }),
+        ],
+        vec![
+            join_date.clone(),
+            join_cust.clone(),
+            join_supp.clone(),
+            join_part.clone(),
+        ],
+        vec![
+            col("lineorder", "lo_revenue"),
+            col("lineorder", "lo_supplycost"),
+        ],
+    );
+    push(
+        vec![
+            (col("customer", "c_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+            (col("supplier", "s_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+            (col("part", "p_category"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (col("date", "d_datekey"), year),
+        ],
+        vec![
+            join_date.clone(),
+            join_cust.clone(),
+            join_supp.clone(),
+            join_part.clone(),
+        ],
+        vec![
+            col("lineorder", "lo_revenue"),
+            col("lineorder", "lo_supplycost"),
+            col("part", "p_category"),
+        ],
+    );
+    push(
+        vec![
+            (col("customer", "c_region"), ParamGen::Eq { lo: 0, hi: 4 }),
+            (col("supplier", "s_nation"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (col("part", "p_category"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (col("date", "d_datekey"), year),
+        ],
+        vec![
+            join_date,
+            join_cust,
+            join_supp,
+            join_part,
+        ],
+        vec![
+            col("lineorder", "lo_revenue"),
+            col("lineorder", "lo_supplycost"),
+            col("part", "p_brand1"),
+        ],
+    );
+
+    debug_assert_eq!(t.len(), 13);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_templates_five_tables() {
+        let b = ssb(0.1);
+        assert_eq!(b.templates().len(), 13);
+        assert_eq!(b.table_count(), 5);
+    }
+
+    #[test]
+    fn flight_one_is_date_join_only() {
+        let b = ssb(0.1);
+        let cat = b.build_catalog(3).unwrap();
+        for i in 0..3 {
+            let q = b.templates()[i]
+                .instantiate(&cat, dba_common::QueryId(i as u64), 3, 0)
+                .unwrap();
+            assert_eq!(q.tables.len(), 2, "flight 1 joins fact to date only");
+            assert_eq!(q.joins.len(), 1);
+        }
+    }
+
+    #[test]
+    fn flight_four_joins_all_dimensions() {
+        let b = ssb(0.1);
+        let cat = b.build_catalog(3).unwrap();
+        let q = b.templates()[10]
+            .instantiate(&cat, dba_common::QueryId(0), 3, 0)
+            .unwrap();
+        assert_eq!(q.tables.len(), 5);
+        assert_eq!(q.joins.len(), 4);
+    }
+
+    #[test]
+    fn date_dimension_keys_are_identity_correlated() {
+        let b = ssb(0.1);
+        let cat = b.build_catalog(4).unwrap();
+        let date = cat.table_by_name("date").unwrap();
+        let key = date.column_by_name("d_datekey").unwrap().1;
+        let year = date.column_by_name("d_year").unwrap().1;
+        for r in 0..100 {
+            assert_eq!(key.value(r), year.value(r));
+        }
+    }
+}

@@ -1,0 +1,705 @@
+//! TPC-DS: seven fact tables, ten dimensions, 99 query templates.
+//!
+//! The paper uses TPC-DS to stress candidate-set size ("over 3200 indices")
+//! and advisor recommendation cost. The 99 templates here are synthesized
+//! deterministically (fixed internal seed) over the real TPC-DS join
+//! graph: each picks a fact table, joins 1-3 reachable dimensions, places
+//! selective predicates on dimension attributes and occasional fact
+//! measures, and aggregates a few measures — the structural shape of the
+//! handwritten TPC-DS queries, at the same scale of schema/template
+//! diversity. Item and customer foreign keys are zipf-skewed (popularity
+//! skew), which is what defeats the optimiser's uniform fan-out estimates
+//! on this benchmark.
+
+use dba_common::{rng::rng_for, ColumnRef, TemplateId};
+use dba_storage::{ColumnSpec, ColumnType, Distribution, TableSchema};
+use rand::Rng;
+
+use crate::spec::{col, Benchmark, ParamGen, RowCount, TemplateSpec};
+
+const DATE_ROWS: usize = 1826; // 5 years
+
+/// Internal seed for deterministic template synthesis. Templates are part
+/// of the benchmark definition: they never vary across experiments.
+const TEMPLATE_SEED: u64 = 0xD5;
+
+/// Attribute column usable in synthesized predicates: (column, lo, hi,
+/// equality-preferred).
+struct AttrCol {
+    table: &'static str,
+    column: &'static str,
+    lo: i64,
+    hi: i64,
+    prefer_eq: bool,
+}
+
+/// Fact-table description for synthesis.
+struct FactDesc {
+    name: &'static str,
+    /// (fact fk column, dim table, dim key column)
+    fks: Vec<(&'static str, &'static str, &'static str)>,
+    measures: Vec<&'static str>,
+    /// Numeric fact columns usable as predicates: (column, lo, hi).
+    fact_preds: Vec<(&'static str, i64, i64)>,
+    /// How many of the 99 templates target this fact.
+    weight: usize,
+}
+
+pub fn tpcds(sf: f64) -> Benchmark {
+    let items = RowCount::PerSf(102_000).rows(sf);
+    let customers = RowCount::PerSf(100_000).rows(sf);
+    let addresses = RowCount::PerSf(50_000).rows(sf);
+
+    let mut tables: Vec<(TableSchema, usize)> = Vec::new();
+
+    // --- Dimensions ---
+    tables.push((
+        TableSchema::new(
+            "date_dim",
+            vec![
+                ColumnSpec::new("d_date_sk", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "d_year",
+                    ColumnType::Int,
+                    Distribution::Correlated {
+                        source: 0,
+                        a: 1,
+                        b: 0,
+                        m: i64::MAX / 2,
+                        noise: 0,
+                    },
+                ),
+                ColumnSpec::new(
+                    "d_moy",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 1, hi: 12 },
+                ),
+                ColumnSpec::new(
+                    "d_dow",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 6 },
+                ),
+                ColumnSpec::new(
+                    "d_qoy",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 1, hi: 4 },
+                ),
+            ],
+        ).with_pad(100),
+        DATE_ROWS,
+    ));
+    tables.push((
+        TableSchema::new(
+            "item",
+            vec![
+                ColumnSpec::new("i_item_sk", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "i_category",
+                    ColumnType::Dict { cardinality: 10 },
+                    Distribution::Uniform { lo: 0, hi: 9 },
+                ),
+                ColumnSpec::new(
+                    "i_class",
+                    ColumnType::Dict { cardinality: 100 },
+                    Distribution::Uniform { lo: 0, hi: 99 },
+                ),
+                ColumnSpec::new(
+                    "i_brand",
+                    ColumnType::Dict { cardinality: 400 },
+                    Distribution::Uniform { lo: 0, hi: 399 },
+                ),
+                ColumnSpec::new(
+                    "i_manufact_id",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 999 },
+                ),
+                ColumnSpec::new(
+                    "i_current_price",
+                    ColumnType::Decimal { scale: 2 },
+                    Distribution::Uniform { lo: 99, hi: 30_000 },
+                ),
+                ColumnSpec::new(
+                    "i_color",
+                    ColumnType::Dict { cardinality: 92 },
+                    Distribution::Uniform { lo: 0, hi: 91 },
+                ),
+            ],
+        ).with_pad(120),
+        items,
+    ));
+    tables.push((
+        TableSchema::new(
+            "customer",
+            vec![
+                ColumnSpec::new("c_customer_sk", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "c_current_addr_sk",
+                    ColumnType::Int,
+                    Distribution::FkUniform {
+                        parent_rows: addresses as u64,
+                    },
+                ),
+                ColumnSpec::new(
+                    "c_birth_year",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 1920, hi: 1992 },
+                ),
+                ColumnSpec::new(
+                    "c_preferred_flag",
+                    ColumnType::Dict { cardinality: 2 },
+                    Distribution::Uniform { lo: 0, hi: 1 },
+                ),
+            ],
+        ).with_pad(90),
+        customers,
+    ));
+    tables.push((
+        TableSchema::new(
+            "customer_address",
+            vec![
+                ColumnSpec::new("ca_address_sk", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "ca_state",
+                    ColumnType::Dict { cardinality: 51 },
+                    Distribution::Uniform { lo: 0, hi: 50 },
+                ),
+                ColumnSpec::new(
+                    "ca_city",
+                    ColumnType::Dict { cardinality: 600 },
+                    Distribution::Uniform { lo: 0, hi: 599 },
+                ),
+                ColumnSpec::new(
+                    "ca_gmt_offset",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: -10, hi: -5 },
+                ),
+            ],
+        ).with_pad(80),
+        addresses,
+    ));
+    tables.push((
+        TableSchema::new(
+            "household_demographics",
+            vec![
+                ColumnSpec::new("hd_demo_sk", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "hd_income_band_sk",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 20 },
+                ),
+                ColumnSpec::new(
+                    "hd_dep_count",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 9 },
+                ),
+            ],
+        ).with_pad(20),
+        72,
+    ));
+    tables.push((
+        TableSchema::new(
+            "store",
+            vec![
+                ColumnSpec::new("s_store_sk", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "s_state",
+                    ColumnType::Dict { cardinality: 51 },
+                    Distribution::Uniform { lo: 0, hi: 12 },
+                ),
+                ColumnSpec::new(
+                    "s_number_employees",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 200, hi: 300 },
+                ),
+            ],
+        ).with_pad(150),
+        12,
+    ));
+    tables.push((
+        TableSchema::new(
+            "warehouse",
+            vec![
+                ColumnSpec::new("w_warehouse_sk", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "w_state",
+                    ColumnType::Dict { cardinality: 51 },
+                    Distribution::Uniform { lo: 0, hi: 7 },
+                ),
+            ],
+        ).with_pad(100),
+        8,
+    ));
+    tables.push((
+        TableSchema::new(
+            "promotion",
+            vec![
+                ColumnSpec::new("p_promo_sk", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "p_channel_tv",
+                    ColumnType::Dict { cardinality: 2 },
+                    Distribution::Uniform { lo: 0, hi: 1 },
+                ),
+            ],
+        ).with_pad(80),
+        30,
+    ));
+
+    // --- Facts ---
+    let item_fk = Distribution::FkZipf {
+        parent_rows: items as u64,
+        s: 1.1,
+    };
+    let cust_fk = Distribution::FkZipf {
+        parent_rows: customers as u64,
+        s: 1.05,
+    };
+    let date_fk = Distribution::FkUniform {
+        parent_rows: DATE_ROWS as u64,
+    };
+
+    let sales_columns = |prefix: &str| -> Vec<ColumnSpec> {
+        vec![
+            ColumnSpec::new(
+                format!("{prefix}_sold_date_sk"),
+                ColumnType::Date,
+                date_fk.clone(),
+            ),
+            ColumnSpec::new(format!("{prefix}_item_sk"), ColumnType::Int, item_fk.clone()),
+            ColumnSpec::new(
+                format!("{prefix}_customer_sk"),
+                ColumnType::Int,
+                cust_fk.clone(),
+            ),
+            ColumnSpec::new(
+                format!("{prefix}_promo_sk"),
+                ColumnType::Int,
+                Distribution::FkUniform { parent_rows: 30 },
+            ),
+            ColumnSpec::new(
+                format!("{prefix}_quantity"),
+                ColumnType::Int,
+                Distribution::Uniform { lo: 1, hi: 100 },
+            ),
+            ColumnSpec::new(
+                format!("{prefix}_sales_price"),
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform { lo: 0, hi: 30_000 },
+            ),
+            ColumnSpec::new(
+                format!("{prefix}_net_profit"),
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform {
+                    lo: -10_000,
+                    hi: 20_000,
+                },
+            ),
+        ]
+    };
+
+    let mut store_sales = sales_columns("ss");
+    store_sales.push(ColumnSpec::new(
+        "ss_store_sk",
+        ColumnType::Int,
+        Distribution::FkUniform { parent_rows: 12 },
+    ));
+    store_sales.push(ColumnSpec::new(
+        "ss_hdemo_sk",
+        ColumnType::Int,
+        Distribution::FkUniform { parent_rows: 72 },
+    ));
+    tables.push((
+        TableSchema::new("store_sales", store_sales).with_pad(60),
+        RowCount::PerSf(2_880_000).rows(sf),
+    ));
+
+    let mut catalog_sales = sales_columns("cs");
+    catalog_sales.push(ColumnSpec::new(
+        "cs_warehouse_sk",
+        ColumnType::Int,
+        Distribution::FkUniform { parent_rows: 8 },
+    ));
+    tables.push((
+        TableSchema::new("catalog_sales", catalog_sales).with_pad(80),
+        RowCount::PerSf(1_440_000).rows(sf),
+    ));
+
+    let mut web_sales = sales_columns("ws");
+    web_sales.push(ColumnSpec::new(
+        "ws_warehouse_sk",
+        ColumnType::Int,
+        Distribution::FkUniform { parent_rows: 8 },
+    ));
+    tables.push((
+        TableSchema::new("web_sales", web_sales).with_pad(80),
+        RowCount::PerSf(720_000).rows(sf),
+    ));
+
+    let returns_columns = |prefix: &str| -> Vec<ColumnSpec> {
+        vec![
+            ColumnSpec::new(
+                format!("{prefix}_returned_date_sk"),
+                ColumnType::Date,
+                date_fk.clone(),
+            ),
+            ColumnSpec::new(format!("{prefix}_item_sk"), ColumnType::Int, item_fk.clone()),
+            ColumnSpec::new(
+                format!("{prefix}_customer_sk"),
+                ColumnType::Int,
+                cust_fk.clone(),
+            ),
+            ColumnSpec::new(
+                format!("{prefix}_return_amt"),
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform { lo: 0, hi: 28_000 },
+            ),
+            ColumnSpec::new(
+                format!("{prefix}_return_quantity"),
+                ColumnType::Int,
+                Distribution::Uniform { lo: 1, hi: 100 },
+            ),
+        ]
+    };
+    tables.push((
+        TableSchema::new("store_returns", returns_columns("sr")).with_pad(40),
+        RowCount::PerSf(288_000).rows(sf),
+    ));
+    tables.push((
+        TableSchema::new("catalog_returns", returns_columns("cr")).with_pad(50),
+        RowCount::PerSf(144_000).rows(sf),
+    ));
+    tables.push((
+        TableSchema::new("web_returns", returns_columns("wr")).with_pad(50),
+        RowCount::PerSf(72_000).rows(sf),
+    ));
+
+    tables.push((
+        TableSchema::new(
+            "inventory",
+            vec![
+                ColumnSpec::new("inv_date_sk", ColumnType::Date, date_fk.clone()),
+                ColumnSpec::new("inv_item_sk", ColumnType::Int, item_fk.clone()),
+                ColumnSpec::new(
+                    "inv_warehouse_sk",
+                    ColumnType::Int,
+                    Distribution::FkUniform { parent_rows: 8 },
+                ),
+                ColumnSpec::new(
+                    "inv_quantity_on_hand",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 1000 },
+                ),
+            ],
+        ),
+        RowCount::PerSf(1_200_000).rows(sf),
+    ));
+
+    Benchmark::new("TPC-DS", sf, tables, templates())
+}
+
+fn attr_cols() -> Vec<AttrCol> {
+    fn a(
+        table: &'static str,
+        column: &'static str,
+        lo: i64,
+        hi: i64,
+        prefer_eq: bool,
+    ) -> AttrCol {
+        AttrCol {
+            table,
+            column,
+            lo,
+            hi,
+            prefer_eq,
+        }
+    }
+    vec![
+        a("date_dim", "d_date_sk", 0, DATE_ROWS as i64, false),
+        a("date_dim", "d_moy", 1, 12, true),
+        a("date_dim", "d_qoy", 1, 4, true),
+        a("item", "i_category", 0, 9, true),
+        a("item", "i_class", 0, 99, true),
+        a("item", "i_brand", 0, 399, true),
+        a("item", "i_manufact_id", 0, 999, true),
+        a("item", "i_current_price", 99, 30_000, false),
+        a("item", "i_color", 0, 91, true),
+        a("customer", "c_birth_year", 1920, 1992, false),
+        a("customer", "c_preferred_flag", 0, 1, true),
+        a("customer_address", "ca_state", 0, 50, true),
+        a("customer_address", "ca_city", 0, 599, true),
+        a("customer_address", "ca_gmt_offset", -10, -5, true),
+        a("household_demographics", "hd_income_band_sk", 0, 20, true),
+        a("household_demographics", "hd_dep_count", 0, 9, true),
+        a("store", "s_state", 0, 12, true),
+        a("warehouse", "w_state", 0, 7, true),
+        a("promotion", "p_channel_tv", 0, 1, true),
+    ]
+}
+
+fn facts() -> Vec<FactDesc> {
+    let sales_fks = |p: &'static str| -> Vec<(&'static str, &'static str, &'static str)> {
+        let (date, item, cust, promo): (
+            &'static str,
+            &'static str,
+            &'static str,
+            &'static str,
+        ) = match p {
+            "ss" => (
+                "ss_sold_date_sk",
+                "ss_item_sk",
+                "ss_customer_sk",
+                "ss_promo_sk",
+            ),
+            "cs" => (
+                "cs_sold_date_sk",
+                "cs_item_sk",
+                "cs_customer_sk",
+                "cs_promo_sk",
+            ),
+            _ => (
+                "ws_sold_date_sk",
+                "ws_item_sk",
+                "ws_customer_sk",
+                "ws_promo_sk",
+            ),
+        };
+        vec![
+            (date, "date_dim", "d_date_sk"),
+            (item, "item", "i_item_sk"),
+            (cust, "customer", "c_customer_sk"),
+            (promo, "promotion", "p_promo_sk"),
+        ]
+    };
+
+    vec![
+        FactDesc {
+            name: "store_sales",
+            fks: {
+                let mut f = sales_fks("ss");
+                f.push(("ss_store_sk", "store", "s_store_sk"));
+                f.push(("ss_hdemo_sk", "household_demographics", "hd_demo_sk"));
+                f
+            },
+            measures: vec!["ss_quantity", "ss_sales_price", "ss_net_profit"],
+            fact_preds: vec![
+                ("ss_quantity", 1, 100),
+                ("ss_sales_price", 0, 30_000),
+                ("ss_net_profit", -10_000, 20_000),
+            ],
+            weight: 36,
+        },
+        FactDesc {
+            name: "catalog_sales",
+            fks: {
+                let mut f = sales_fks("cs");
+                f.push(("cs_warehouse_sk", "warehouse", "w_warehouse_sk"));
+                f
+            },
+            measures: vec!["cs_quantity", "cs_sales_price", "cs_net_profit"],
+            fact_preds: vec![("cs_quantity", 1, 100), ("cs_sales_price", 0, 30_000)],
+            weight: 20,
+        },
+        FactDesc {
+            name: "web_sales",
+            fks: {
+                let mut f = sales_fks("ws");
+                f.push(("ws_warehouse_sk", "warehouse", "w_warehouse_sk"));
+                f
+            },
+            measures: vec!["ws_quantity", "ws_sales_price", "ws_net_profit"],
+            fact_preds: vec![("ws_quantity", 1, 100), ("ws_sales_price", 0, 30_000)],
+            weight: 15,
+        },
+        FactDesc {
+            name: "store_returns",
+            fks: vec![
+                ("sr_returned_date_sk", "date_dim", "d_date_sk"),
+                ("sr_item_sk", "item", "i_item_sk"),
+                ("sr_customer_sk", "customer", "c_customer_sk"),
+            ],
+            measures: vec!["sr_return_amt", "sr_return_quantity"],
+            fact_preds: vec![("sr_return_quantity", 1, 100)],
+            weight: 9,
+        },
+        FactDesc {
+            name: "catalog_returns",
+            fks: vec![
+                ("cr_returned_date_sk", "date_dim", "d_date_sk"),
+                ("cr_item_sk", "item", "i_item_sk"),
+                ("cr_customer_sk", "customer", "c_customer_sk"),
+            ],
+            measures: vec!["cr_return_amt", "cr_return_quantity"],
+            fact_preds: vec![("cr_return_quantity", 1, 100)],
+            weight: 6,
+        },
+        FactDesc {
+            name: "web_returns",
+            fks: vec![
+                ("wr_returned_date_sk", "date_dim", "d_date_sk"),
+                ("wr_item_sk", "item", "i_item_sk"),
+                ("wr_customer_sk", "customer", "c_customer_sk"),
+            ],
+            measures: vec!["wr_return_amt", "wr_return_quantity"],
+            fact_preds: vec![("wr_return_quantity", 1, 100)],
+            weight: 5,
+        },
+        FactDesc {
+            name: "inventory",
+            fks: vec![
+                ("inv_date_sk", "date_dim", "d_date_sk"),
+                ("inv_item_sk", "item", "i_item_sk"),
+                ("inv_warehouse_sk", "warehouse", "w_warehouse_sk"),
+            ],
+            measures: vec!["inv_quantity_on_hand"],
+            fact_preds: vec![("inv_quantity_on_hand", 0, 1000)],
+            weight: 8,
+        },
+    ]
+}
+
+/// Deterministically synthesize the 99 templates.
+fn templates() -> Vec<TemplateSpec> {
+    let attrs = attr_cols();
+    let fact_descs = facts();
+    let mut out = Vec::with_capacity(99);
+    let mut id = 0u32;
+
+    for fact in &fact_descs {
+        for k in 0..fact.weight {
+            id += 1;
+            let mut rng = rng_for(TEMPLATE_SEED, "tpcds-templates", ((id as u64) << 8) | k as u64);
+
+            // 1-3 dimensions joined, chosen without replacement.
+            let n_dims = rng.gen_range(1..=3.min(fact.fks.len()));
+            let mut fk_pool: Vec<usize> = (0..fact.fks.len()).collect();
+            let mut joins = Vec::new();
+            let mut joined_dims: Vec<&'static str> = Vec::new();
+            for _ in 0..n_dims {
+                let pick = fk_pool.swap_remove(rng.gen_range(0..fk_pool.len()));
+                let (fk_col, dim, dim_key) = fact.fks[pick];
+                joins.push((col(fact.name, fk_col), col(dim, dim_key)));
+                joined_dims.push(dim);
+            }
+
+            // Predicates: 1-2 per joined dimension, maybe one fact predicate.
+            let mut preds: Vec<(ColumnRef, ParamGen)> = Vec::new();
+            for dim in &joined_dims {
+                let dim_attrs: Vec<&AttrCol> =
+                    attrs.iter().filter(|a| a.table == *dim).collect();
+                if dim_attrs.is_empty() {
+                    continue;
+                }
+                let n_preds = rng.gen_range(1..=2.min(dim_attrs.len()));
+                let mut pool: Vec<usize> = (0..dim_attrs.len()).collect();
+                for _ in 0..n_preds {
+                    let a = dim_attrs[pool.swap_remove(rng.gen_range(0..pool.len()))];
+                    let gen = if a.prefer_eq {
+                        ParamGen::Eq { lo: a.lo, hi: a.hi }
+                    } else {
+                        let width = ((a.hi - a.lo) / rng.gen_range(4..20)).max(1);
+                        ParamGen::Range {
+                            lo: a.lo,
+                            hi: a.hi,
+                            width,
+                        }
+                    };
+                    preds.push((col(a.table, a.column), gen));
+                }
+            }
+            if rng.gen_bool(0.4) && !fact.fact_preds.is_empty() {
+                let (c, lo, hi) = fact.fact_preds[rng.gen_range(0..fact.fact_preds.len())];
+                let width = ((hi - lo) / rng.gen_range(3..10)).max(1);
+                preds.push((col(fact.name, c), ParamGen::Range { lo, hi, width }));
+            }
+
+            // Payload: 1-3 fact measures.
+            let n_meas = rng.gen_range(1..=fact.measures.len().min(3));
+            let mut pool: Vec<usize> = (0..fact.measures.len()).collect();
+            let mut payload = Vec::new();
+            for _ in 0..n_meas {
+                let m = fact.measures[pool.swap_remove(rng.gen_range(0..pool.len()))];
+                payload.push(col(fact.name, m));
+            }
+
+            out.push(TemplateSpec {
+                id: TemplateId(id),
+                preds,
+                joins,
+                payload,
+                aggregated: true,
+            });
+        }
+    }
+    debug_assert_eq!(out.len(), 99);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ninety_nine_templates_fifteen_tables() {
+        let b = tpcds(0.1);
+        assert_eq!(b.templates().len(), 99);
+        assert_eq!(b.table_count(), 15);
+    }
+
+    #[test]
+    fn templates_are_deterministic() {
+        let a = tpcds(0.1);
+        let b = tpcds(1.0);
+        for (ta, tb) in a.templates().iter().zip(b.templates()) {
+            assert_eq!(ta.id, tb.id);
+            assert_eq!(ta.joins, tb.joins, "templates don't depend on sf");
+            assert_eq!(ta.payload, tb.payload);
+        }
+    }
+
+    #[test]
+    fn every_template_joins_at_least_one_dimension() {
+        let b = tpcds(0.1);
+        for t in b.templates() {
+            assert!(!t.joins.is_empty());
+            assert!(t.joins.len() <= 3);
+            assert!(!t.payload.is_empty());
+            assert!(t.aggregated);
+        }
+    }
+
+    #[test]
+    fn item_fk_is_skewed() {
+        let b = tpcds(0.1);
+        let cat = b.build_catalog(9).unwrap();
+        let ss = cat.table_by_name("store_sales").unwrap();
+        let item_fk = ss.column_by_name("ss_item_sk").unwrap().1;
+        let rows = ss.rows();
+        let hot = item_fk.count_in_range(0, 0);
+        let uniform_share = rows / b.rows_of("item").unwrap();
+        assert!(
+            hot > uniform_share * 20,
+            "popular item should dominate: hot {hot}, uniform {uniform_share}"
+        );
+    }
+
+    #[test]
+    fn template_diversity_covers_all_facts() {
+        let b = tpcds(0.1);
+        let fact_names = [
+            "store_sales",
+            "catalog_sales",
+            "web_sales",
+            "store_returns",
+            "catalog_returns",
+            "web_returns",
+            "inventory",
+        ];
+        for f in fact_names {
+            assert!(
+                b.templates()
+                    .iter()
+                    .any(|t| t.joins.iter().any(|(l, _)| l.table == f)),
+                "no template targets {f}"
+            );
+        }
+    }
+}

@@ -1,0 +1,823 @@
+//! TPC-H and TPC-H Skew.
+//!
+//! The schema carries the columns the 22 query paraphrases touch. TPC-H
+//! Skew is identical except that foreign keys and key attribute columns
+//! follow zipfian distributions with factor 4 (the Microsoft TPC-H Skew
+//! generator setting the paper uses) — most notably `orders.o_custkey`,
+//! which drives the paper's Q22 story: the advisor's uniform-fan-out
+//! estimate misses the value of an `o_custkey` index that MAB discovers
+//! from observed executions.
+
+use dba_common::TemplateId;
+use dba_storage::{ColumnSpec, ColumnType, Distribution, TableSchema};
+
+use crate::spec::{col, Benchmark, ParamGen, RowCount, TemplateSpec};
+
+/// Zipfian factor of the skewed variant (§V-A).
+pub const SKEW_FACTOR: f64 = 4.0;
+
+/// Days in the order-date domain (1992-01-01 .. 1998-08-02).
+const DATE_DOMAIN: i64 = 2405;
+
+/// Uniform TPC-H at scale factor `sf`.
+pub fn tpch(sf: f64) -> Benchmark {
+    build("TPC-H", sf, None)
+}
+
+/// TPC-H Skew (zipfian factor 4) at scale factor `sf`.
+pub fn tpch_skew(sf: f64) -> Benchmark {
+    build("TPC-H Skew", sf, Some(SKEW_FACTOR))
+}
+
+fn fk(parent_rows: usize, skew: Option<f64>) -> Distribution {
+    match skew {
+        Some(s) => Distribution::FkZipf {
+            parent_rows: parent_rows as u64,
+            s,
+        },
+        None => Distribution::FkUniform {
+            parent_rows: parent_rows as u64,
+        },
+    }
+}
+
+fn build(name: &'static str, sf: f64, skew: Option<f64>) -> Benchmark {
+    let customers = RowCount::PerSf(150_000).rows(sf);
+    let orders = RowCount::PerSf(1_500_000).rows(sf);
+    let lineitems = RowCount::PerSf(6_000_000).rows(sf);
+    let parts = RowCount::PerSf(200_000).rows(sf);
+    let suppliers = RowCount::PerSf(10_000).rows(sf);
+    let partsupps = RowCount::PerSf(800_000).rows(sf);
+
+    let customer = TableSchema::new(
+        "customer",
+        vec![
+            ColumnSpec::new("c_custkey", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "c_nationkey",
+                ColumnType::Int,
+                Distribution::FkUniform { parent_rows: 25 },
+            ),
+            ColumnSpec::new(
+                "c_mktsegment",
+                ColumnType::Dict { cardinality: 5 },
+                Distribution::Uniform { lo: 0, hi: 4 },
+            ),
+            ColumnSpec::new(
+                "c_acctbal",
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform {
+                    lo: -99_999,
+                    hi: 999_999,
+                },
+            ),
+            // Country calling code (leading digits of c_phone; Q22).
+            ColumnSpec::new(
+                "c_phone_cc",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 10, hi: 34 },
+            ),
+        ],
+    ).with_pad(110);
+
+    let orders_t = TableSchema::new(
+        "orders",
+        vec![
+            ColumnSpec::new("o_orderkey", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new("o_custkey", ColumnType::Int, fk(customers, skew)),
+            ColumnSpec::new(
+                "o_orderdate",
+                ColumnType::Date,
+                Distribution::Uniform {
+                    lo: 0,
+                    hi: DATE_DOMAIN,
+                },
+            ),
+            ColumnSpec::new(
+                "o_orderpriority",
+                ColumnType::Dict { cardinality: 5 },
+                Distribution::Uniform { lo: 0, hi: 4 },
+            ),
+            ColumnSpec::new(
+                "o_orderstatus",
+                ColumnType::Dict { cardinality: 3 },
+                Distribution::Uniform { lo: 0, hi: 2 },
+            ),
+            ColumnSpec::new(
+                "o_totalprice",
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform {
+                    lo: 100_000,
+                    hi: 50_000_000,
+                },
+            ),
+            ColumnSpec::new(
+                "o_shippriority",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 0, hi: 1 },
+            ),
+        ],
+    ).with_pad(70);
+
+    let lineitem = TableSchema::new(
+        "lineitem",
+        vec![
+            ColumnSpec::new(
+                "l_orderkey",
+                ColumnType::Int,
+                Distribution::FkUniform {
+                    parent_rows: orders as u64,
+                },
+            ),
+            ColumnSpec::new("l_partkey", ColumnType::Int, fk(parts, skew)),
+            ColumnSpec::new("l_suppkey", ColumnType::Int, fk(suppliers, skew)),
+            ColumnSpec::new(
+                "l_shipdate",
+                ColumnType::Date,
+                Distribution::Uniform {
+                    lo: 0,
+                    hi: DATE_DOMAIN + 90,
+                },
+            ),
+            // Receipt follows shipment by up to ~3 months (correlated).
+            ColumnSpec::new(
+                "l_receiptdate",
+                ColumnType::Date,
+                Distribution::Correlated {
+                    source: 3,
+                    a: 1,
+                    b: 1,
+                    m: DATE_DOMAIN + 200,
+                    noise: 89,
+                },
+            ),
+            ColumnSpec::new(
+                "l_quantity",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 1, hi: 50 },
+            ),
+            ColumnSpec::new(
+                "l_discount",
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform { lo: 0, hi: 10 },
+            ),
+            ColumnSpec::new(
+                "l_returnflag",
+                ColumnType::Dict { cardinality: 3 },
+                Distribution::Uniform { lo: 0, hi: 2 },
+            ),
+            ColumnSpec::new(
+                "l_linestatus",
+                ColumnType::Dict { cardinality: 2 },
+                Distribution::Uniform { lo: 0, hi: 1 },
+            ),
+            ColumnSpec::new(
+                "l_shipmode",
+                ColumnType::Dict { cardinality: 7 },
+                Distribution::Uniform { lo: 0, hi: 6 },
+            ),
+            ColumnSpec::new(
+                "l_extendedprice",
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform {
+                    lo: 90_000,
+                    hi: 10_500_000,
+                },
+            ),
+        ],
+    ).with_pad(50);
+
+    let part = TableSchema::new(
+        "part",
+        vec![
+            ColumnSpec::new("p_partkey", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "p_brand",
+                ColumnType::Dict { cardinality: 25 },
+                Distribution::Uniform { lo: 0, hi: 24 },
+            ),
+            ColumnSpec::new(
+                "p_type",
+                ColumnType::Dict { cardinality: 150 },
+                Distribution::Uniform { lo: 0, hi: 149 },
+            ),
+            ColumnSpec::new(
+                "p_size",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 1, hi: 50 },
+            ),
+            ColumnSpec::new(
+                "p_container",
+                ColumnType::Dict { cardinality: 40 },
+                Distribution::Uniform { lo: 0, hi: 39 },
+            ),
+        ],
+    ).with_pad(90);
+
+    let supplier = TableSchema::new(
+        "supplier",
+        vec![
+            ColumnSpec::new("s_suppkey", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "s_nationkey",
+                ColumnType::Int,
+                Distribution::FkUniform { parent_rows: 25 },
+            ),
+            ColumnSpec::new(
+                "s_acctbal",
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform {
+                    lo: -99_999,
+                    hi: 999_999,
+                },
+            ),
+        ],
+    ).with_pad(100);
+
+    let partsupp = TableSchema::new(
+        "partsupp",
+        vec![
+            ColumnSpec::new("ps_partkey", ColumnType::Int, fk(parts, skew)),
+            ColumnSpec::new(
+                "ps_suppkey",
+                ColumnType::Int,
+                Distribution::FkUniform {
+                    parent_rows: suppliers as u64,
+                },
+            ),
+            ColumnSpec::new(
+                "ps_supplycost",
+                ColumnType::Decimal { scale: 2 },
+                Distribution::Uniform {
+                    lo: 100,
+                    hi: 100_000,
+                },
+            ),
+            ColumnSpec::new(
+                "ps_availqty",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 1, hi: 9999 },
+            ),
+        ],
+    ).with_pad(140);
+
+    let nation = TableSchema::new(
+        "nation",
+        vec![
+            ColumnSpec::new("n_nationkey", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "n_regionkey",
+                ColumnType::Int,
+                Distribution::FkUniform { parent_rows: 5 },
+            ),
+        ],
+    ).with_pad(100);
+
+    let tables = vec![
+        (customer, customers),
+        (orders_t, orders),
+        (lineitem, lineitems),
+        (part, parts),
+        (supplier, suppliers),
+        (partsupp, partsupps),
+        (nation, 25),
+    ];
+
+    Benchmark::new(name, sf, tables, templates())
+}
+
+/// Structural paraphrases of the 22 TPC-H queries.
+fn templates() -> Vec<TemplateSpec> {
+    let mut t = Vec::with_capacity(22);
+    let mut id = 0u32;
+    let mut push = |preds: Vec<(dba_common::ColumnRef, ParamGen)>,
+                    joins: Vec<(dba_common::ColumnRef, dba_common::ColumnRef)>,
+                    payload: Vec<dba_common::ColumnRef>| {
+        id += 1;
+        t.push(TemplateSpec {
+            id: TemplateId(id),
+            preds,
+            joins,
+            payload,
+            aggregated: true,
+        });
+    };
+
+    // Q1: pricing summary — near-full lineitem scan by shipdate.
+    push(
+        vec![(
+            col("lineitem", "l_shipdate"),
+            ParamGen::Range {
+                lo: 0,
+                hi: DATE_DOMAIN + 90,
+                width: 2300,
+            },
+        )],
+        vec![],
+        vec![
+            col("lineitem", "l_returnflag"),
+            col("lineitem", "l_linestatus"),
+            col("lineitem", "l_quantity"),
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+        ],
+    );
+    // Q2: minimum-cost supplier for a part size/type.
+    push(
+        vec![
+            (col("part", "p_size"), ParamGen::Eq { lo: 1, hi: 50 }),
+            (col("part", "p_type"), ParamGen::Eq { lo: 0, hi: 149 }),
+        ],
+        vec![
+            (col("part", "p_partkey"), col("partsupp", "ps_partkey")),
+            (col("supplier", "s_suppkey"), col("partsupp", "ps_suppkey")),
+        ],
+        vec![
+            col("partsupp", "ps_supplycost"),
+            col("supplier", "s_acctbal"),
+        ],
+    );
+    // Q3: shipping priority — segment × date windows.
+    push(
+        vec![
+            (
+                col("customer", "c_mktsegment"),
+                ParamGen::Eq { lo: 0, hi: 4 },
+            ),
+            (
+                col("orders", "o_orderdate"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: DATE_DOMAIN,
+                    width: 1200,
+                },
+            ),
+            (
+                col("lineitem", "l_shipdate"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: DATE_DOMAIN + 90,
+                    width: 1200,
+                },
+            ),
+        ],
+        vec![
+            (col("customer", "c_custkey"), col("orders", "o_custkey")),
+            (col("orders", "o_orderkey"), col("lineitem", "l_orderkey")),
+        ],
+        vec![
+            col("orders", "o_orderdate"),
+            col("orders", "o_shippriority"),
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+        ],
+    );
+    // Q4: order priority checking — quarterly window.
+    push(
+        vec![
+            (
+                col("orders", "o_orderdate"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: DATE_DOMAIN,
+                    width: 90,
+                },
+            ),
+            (
+                col("lineitem", "l_receiptdate"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: DATE_DOMAIN + 200,
+                    width: 120,
+                },
+            ),
+        ],
+        vec![(col("orders", "o_orderkey"), col("lineitem", "l_orderkey"))],
+        vec![col("orders", "o_orderpriority")],
+    );
+    // Q5: local supplier volume — 5-way star with region restriction.
+    push(
+        vec![
+            (
+                col("nation", "n_regionkey"),
+                ParamGen::Eq { lo: 0, hi: 4 },
+            ),
+            (
+                col("orders", "o_orderdate"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: DATE_DOMAIN,
+                    width: 365,
+                },
+            ),
+        ],
+        vec![
+            (col("customer", "c_custkey"), col("orders", "o_custkey")),
+            (col("orders", "o_orderkey"), col("lineitem", "l_orderkey")),
+            (col("lineitem", "l_suppkey"), col("supplier", "s_suppkey")),
+            (col("supplier", "s_nationkey"), col("nation", "n_nationkey")),
+        ],
+        vec![
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+        ],
+    );
+    // Q6: forecasting revenue change — the classic covering-index query.
+    push(
+        vec![
+            (
+                col("lineitem", "l_shipdate"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: DATE_DOMAIN + 90,
+                    width: 365,
+                },
+            ),
+            (col("lineitem", "l_discount"), ParamGen::FixedRange(5, 7)),
+            (col("lineitem", "l_quantity"), ParamGen::FixedRange(1, 23)),
+        ],
+        vec![],
+        vec![
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+        ],
+    );
+    // Q7: volume shipping between two nations.
+    push(
+        vec![
+            (
+                col("supplier", "s_nationkey"),
+                ParamGen::Eq { lo: 0, hi: 24 },
+            ),
+            (
+                col("customer", "c_nationkey"),
+                ParamGen::Eq { lo: 0, hi: 24 },
+            ),
+            (
+                col("lineitem", "l_shipdate"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: DATE_DOMAIN + 90,
+                    width: 730,
+                },
+            ),
+        ],
+        vec![
+            (col("supplier", "s_suppkey"), col("lineitem", "l_suppkey")),
+            (col("lineitem", "l_orderkey"), col("orders", "o_orderkey")),
+            (col("orders", "o_custkey"), col("customer", "c_custkey")),
+        ],
+        vec![
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+            col("lineitem", "l_shipdate"),
+        ],
+    );
+    // Q8: national market share for a part type.
+    push(
+        vec![
+            (col("part", "p_type"), ParamGen::Eq { lo: 0, hi: 149 }),
+            (
+                col("orders", "o_orderdate"),
+                ParamGen::FixedRange(730, 1460),
+            ),
+        ],
+        vec![
+            (col("part", "p_partkey"), col("lineitem", "l_partkey")),
+            (col("lineitem", "l_orderkey"), col("orders", "o_orderkey")),
+        ],
+        vec![
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+            col("orders", "o_orderdate"),
+        ],
+    );
+    // Q9: product type profit measure across suppliers.
+    push(
+        vec![(col("part", "p_brand"), ParamGen::Eq { lo: 0, hi: 24 })],
+        vec![
+            (col("part", "p_partkey"), col("lineitem", "l_partkey")),
+            (col("lineitem", "l_suppkey"), col("supplier", "s_suppkey")),
+            (col("lineitem", "l_orderkey"), col("orders", "o_orderkey")),
+        ],
+        vec![
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+            col("orders", "o_orderdate"),
+            col("supplier", "s_nationkey"),
+        ],
+    );
+    // Q10: returned item reporting.
+    push(
+        vec![
+            (
+                col("orders", "o_orderdate"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: DATE_DOMAIN,
+                    width: 90,
+                },
+            ),
+            (col("lineitem", "l_returnflag"), ParamGen::FixedEq(2)),
+        ],
+        vec![
+            (col("customer", "c_custkey"), col("orders", "o_custkey")),
+            (col("orders", "o_orderkey"), col("lineitem", "l_orderkey")),
+        ],
+        vec![
+            col("customer", "c_acctbal"),
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+        ],
+    );
+    // Q11: important stock identification in a nation.
+    push(
+        vec![(
+            col("supplier", "s_nationkey"),
+            ParamGen::Eq { lo: 0, hi: 24 },
+        )],
+        vec![(
+            col("partsupp", "ps_suppkey"),
+            col("supplier", "s_suppkey"),
+        )],
+        vec![
+            col("partsupp", "ps_supplycost"),
+            col("partsupp", "ps_availqty"),
+        ],
+    );
+    // Q12: shipping modes and order priority.
+    push(
+        vec![
+            (col("lineitem", "l_shipmode"), ParamGen::Eq { lo: 0, hi: 6 }),
+            (
+                col("lineitem", "l_receiptdate"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: DATE_DOMAIN + 200,
+                    width: 365,
+                },
+            ),
+        ],
+        vec![(col("orders", "o_orderkey"), col("lineitem", "l_orderkey"))],
+        vec![col("orders", "o_orderpriority")],
+    );
+    // Q13: customer order-count distribution.
+    push(
+        vec![(
+            col("orders", "o_orderpriority"),
+            ParamGen::Eq { lo: 0, hi: 4 },
+        )],
+        vec![(col("customer", "c_custkey"), col("orders", "o_custkey"))],
+        vec![col("customer", "c_custkey")],
+    );
+    // Q14: promotion effect in a month.
+    push(
+        vec![(
+            col("lineitem", "l_shipdate"),
+            ParamGen::Range {
+                lo: 0,
+                hi: DATE_DOMAIN + 90,
+                width: 30,
+            },
+        )],
+        vec![(col("lineitem", "l_partkey"), col("part", "p_partkey"))],
+        vec![
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+            col("part", "p_type"),
+        ],
+    );
+    // Q15: top supplier over a quarter.
+    push(
+        vec![(
+            col("lineitem", "l_shipdate"),
+            ParamGen::Range {
+                lo: 0,
+                hi: DATE_DOMAIN + 90,
+                width: 90,
+            },
+        )],
+        vec![(col("lineitem", "l_suppkey"), col("supplier", "s_suppkey"))],
+        vec![
+            col("lineitem", "l_extendedprice"),
+            col("supplier", "s_acctbal"),
+        ],
+    );
+    // Q16: parts/supplier relationship by brand, type, sizes.
+    push(
+        vec![
+            (col("part", "p_brand"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (col("part", "p_type"), ParamGen::Eq { lo: 0, hi: 149 }),
+            (
+                col("part", "p_size"),
+                ParamGen::Range {
+                    lo: 1,
+                    hi: 50,
+                    width: 8,
+                },
+            ),
+        ],
+        vec![(col("partsupp", "ps_partkey"), col("part", "p_partkey"))],
+        vec![col("partsupp", "ps_suppkey")],
+    );
+    // Q17: small-quantity-order revenue for a brand/container.
+    push(
+        vec![
+            (col("part", "p_brand"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (col("part", "p_container"), ParamGen::Eq { lo: 0, hi: 39 }),
+            (col("lineitem", "l_quantity"), ParamGen::FixedRange(1, 10)),
+        ],
+        vec![(col("lineitem", "l_partkey"), col("part", "p_partkey"))],
+        vec![col("lineitem", "l_extendedprice")],
+    );
+    // Q18: large volume customer (the quantity tail).
+    push(
+        vec![(col("lineitem", "l_quantity"), ParamGen::FixedRange(45, 50))],
+        vec![
+            (col("customer", "c_custkey"), col("orders", "o_custkey")),
+            (col("orders", "o_orderkey"), col("lineitem", "l_orderkey")),
+        ],
+        vec![
+            col("customer", "c_custkey"),
+            col("orders", "o_orderdate"),
+            col("orders", "o_totalprice"),
+        ],
+    );
+    // Q19: discounted revenue, brand × container × quantity window.
+    push(
+        vec![
+            (col("part", "p_brand"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (col("part", "p_container"), ParamGen::Eq { lo: 0, hi: 39 }),
+            (
+                col("lineitem", "l_quantity"),
+                ParamGen::Range {
+                    lo: 1,
+                    hi: 50,
+                    width: 10,
+                },
+            ),
+            (
+                col("part", "p_size"),
+                ParamGen::Range {
+                    lo: 1,
+                    hi: 50,
+                    width: 14,
+                },
+            ),
+        ],
+        vec![(col("lineitem", "l_partkey"), col("part", "p_partkey"))],
+        vec![
+            col("lineitem", "l_extendedprice"),
+            col("lineitem", "l_discount"),
+        ],
+    );
+    // Q20: potential part promotion — partsupp star.
+    push(
+        vec![
+            (col("part", "p_brand"), ParamGen::Eq { lo: 0, hi: 24 }),
+            (
+                col("supplier", "s_nationkey"),
+                ParamGen::Eq { lo: 0, hi: 24 },
+            ),
+            (
+                col("partsupp", "ps_availqty"),
+                ParamGen::Range {
+                    lo: 1,
+                    hi: 9999,
+                    width: 4000,
+                },
+            ),
+        ],
+        vec![
+            (col("partsupp", "ps_partkey"), col("part", "p_partkey")),
+            (col("partsupp", "ps_suppkey"), col("supplier", "s_suppkey")),
+        ],
+        vec![col("supplier", "s_suppkey")],
+    );
+    // Q21: suppliers who kept orders waiting, one nation, status F.
+    push(
+        vec![
+            (
+                col("supplier", "s_nationkey"),
+                ParamGen::Eq { lo: 0, hi: 24 },
+            ),
+            (col("orders", "o_orderstatus"), ParamGen::FixedEq(1)),
+        ],
+        vec![
+            (col("supplier", "s_suppkey"), col("lineitem", "l_suppkey")),
+            (col("lineitem", "l_orderkey"), col("orders", "o_orderkey")),
+        ],
+        vec![col("supplier", "s_suppkey")],
+    );
+    // Q22: global sales opportunity — the o_custkey join pressure.
+    push(
+        vec![
+            (
+                col("customer", "c_acctbal"),
+                ParamGen::Range {
+                    lo: 0,
+                    hi: 999_999,
+                    width: 500_000,
+                },
+            ),
+            (
+                col("customer", "c_phone_cc"),
+                ParamGen::Range {
+                    lo: 10,
+                    hi: 34,
+                    width: 6,
+                },
+            ),
+        ],
+        vec![(col("customer", "c_custkey"), col("orders", "o_custkey"))],
+        vec![col("customer", "c_acctbal")],
+    );
+
+    debug_assert_eq!(t.len(), 22);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_22_templates_and_7_tables() {
+        let b = tpch(0.1);
+        assert_eq!(b.templates().len(), 22);
+        assert_eq!(b.table_count(), 7);
+        assert_eq!(b.templates()[0].id, TemplateId(1));
+        assert_eq!(b.templates()[21].id, TemplateId(22));
+    }
+
+    #[test]
+    fn skew_variant_differs_only_in_distributions() {
+        let u = tpch(0.1);
+        let s = tpch_skew(0.1);
+        assert_eq!(u.templates().len(), s.templates().len());
+        assert_eq!(u.rows_of("lineitem"), s.rows_of("lineitem"));
+        let uc = u.build_catalog(5).unwrap();
+        let sc = s.build_catalog(5).unwrap();
+        // In the skew variant the hottest customer owns a huge share of
+        // orders; in uniform it owns ~1/customers.
+        let hot_uniform = uc
+            .table_by_name("orders")
+            .unwrap()
+            .column_by_name("o_custkey")
+            .unwrap()
+            .1
+            .count_in_range(0, 0);
+        let hot_skew = sc
+            .table_by_name("orders")
+            .unwrap()
+            .column_by_name("o_custkey")
+            .unwrap()
+            .1
+            .count_in_range(0, 0);
+        assert!(
+            hot_skew > hot_uniform * 50,
+            "skew {hot_skew} vs uniform {hot_uniform}"
+        );
+    }
+
+    #[test]
+    fn row_ratios_match_tpch() {
+        let b = tpch(1.0);
+        let li = b.rows_of("lineitem").unwrap();
+        let o = b.rows_of("orders").unwrap();
+        let c = b.rows_of("customer").unwrap();
+        assert_eq!(li / o, 4);
+        assert_eq!(o / c, 10);
+        assert_eq!(b.rows_of("nation"), Some(25));
+    }
+
+    #[test]
+    fn q6_is_single_table_and_q5_is_five_way() {
+        let b = tpch(0.1);
+        let cat = b.build_catalog(1).unwrap();
+        let q6 = b.templates()[5]
+            .instantiate(&cat, dba_common::QueryId(0), 1, 0)
+            .unwrap();
+        assert_eq!(q6.tables.len(), 1);
+        assert_eq!(q6.predicates.len(), 3);
+        let q5 = b.templates()[4]
+            .instantiate(&cat, dba_common::QueryId(1), 1, 0)
+            .unwrap();
+        assert_eq!(q5.tables.len(), 5);
+        assert_eq!(q5.joins.len(), 4);
+    }
+
+    #[test]
+    fn receiptdate_is_correlated_with_shipdate() {
+        let b = tpch(0.1);
+        let cat = b.build_catalog(2).unwrap();
+        let li = cat.table_by_name("lineitem").unwrap();
+        let ship = li.column_by_name("l_shipdate").unwrap().1;
+        let receipt = li.column_by_name("l_receiptdate").unwrap().1;
+        for r in 0..200 {
+            let s = ship.value(r);
+            let rc = receipt.value(r);
+            assert!(rc >= s + 1 && rc <= s + 90, "row {r}: ship {s} receipt {rc}");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # DBA Bandits — self-driving index tuning in Rust
+//!
+//! A full reproduction of *"DBA bandits: Self-driving index tuning under
+//! ad-hoc, analytical workloads with safety guarantees"* (Perera, Oetomo,
+//! Rubinstein, Borovica-Gajic — ICDE 2021), including every substrate the
+//! paper's evaluation depends on: a columnar storage engine with skewed
+//! data generators, a cost-based query optimiser with a what-if interface,
+//! an executor that observes actual run-time statistics, the five
+//! benchmark workloads, and the comparison tuners (PDTool, DDQN, NoIndex).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use dba_bandits::prelude::*;
+//!
+//! // A benchmark gives you data + workload.
+//! let bench = dba_bandits::workloads::ssb::ssb(0.1);
+//! let mut catalog = bench.build_catalog(42).unwrap();
+//! let stats = StatsCatalog::build(&catalog);
+//! let cost = CostModel::paper_scale();
+//!
+//! // The self-driving tuner needs no workload knowledge up front.
+//! let mut tuner = MabTuner::new(
+//!     &catalog,
+//!     cost.clone(),
+//!     MabConfig { memory_budget_bytes: catalog.database_bytes(), ..Default::default() },
+//! );
+//!
+//! let seq = WorkloadSequencer::new(&bench, WorkloadKind::Static { rounds: 10 }, 42);
+//! let executor = Executor::new(cost.clone());
+//! for round in 0..seq.rounds() {
+//!     tuner.recommend_and_apply(&mut catalog, &stats);
+//!     let queries = seq.round_queries(&catalog, round).unwrap();
+//!     let execs: Vec<_> = {
+//!         let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
+//!         let planner = Planner::new(&ctx);
+//!         queries
+//!             .iter()
+//!             .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
+//!             .collect()
+//!     };
+//!     tuner.observe(&queries, &execs);
+//! }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries that regenerate every table and figure of the paper.
+
+pub use dba_baselines as baselines;
+pub use dba_common as common;
+pub use dba_core as bandit;
+pub use dba_engine as engine;
+pub use dba_optimizer as optimizer;
+pub use dba_storage as storage;
+pub use dba_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dba_baselines::{Advisor, AdvisorCost, MabAdvisor, NoIndexAdvisor, PdToolAdvisor};
+    pub use dba_common::{SimClock, SimSeconds};
+    pub use dba_core::{MabConfig, MabTuner};
+    pub use dba_engine::{CostModel, Executor, Query, QueryExecution};
+    pub use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIf};
+    pub use dba_storage::{Catalog, IndexDef};
+    pub use dba_workloads::{Benchmark, WorkloadKind, WorkloadSequencer};
+}

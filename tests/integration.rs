@@ -1,0 +1,332 @@
+//! Cross-crate integration tests: the full tuning loop through the public
+//! facade, plus property-based invariants on the planner/executor pair.
+
+use dba_bandits::prelude::*;
+use dba_common::{ColumnId, QueryId, TableId, TemplateId};
+use dba_engine::Predicate;
+use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Drive the full loop (benchmark → tuner → planner → executor → rewards)
+/// on a small SSB and check the bandit ends up faster than it started.
+#[test]
+fn mab_improves_ssb_end_to_end() {
+    let bench = dba_bandits::workloads::ssb::ssb(0.05);
+    let mut catalog = bench.build_catalog(3).unwrap();
+    let stats = StatsCatalog::build(&catalog);
+    let cost = CostModel::paper_scale();
+    let mut tuner = MabTuner::new(
+        &catalog,
+        cost.clone(),
+        MabConfig {
+            memory_budget_bytes: catalog.database_bytes(),
+            ..MabConfig::default()
+        },
+    );
+    let seq = WorkloadSequencer::new(&bench, WorkloadKind::Static { rounds: 8 }, 3);
+    let executor = Executor::new(cost.clone());
+
+    let mut first = 0.0;
+    let mut last = 0.0;
+    for round in 0..8 {
+        tuner.recommend_and_apply(&mut catalog, &stats);
+        let queries = seq.round_queries(&catalog, round).unwrap();
+        let execs: Vec<QueryExecution> = {
+            let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
+            let planner = Planner::new(&ctx);
+            queries
+                .iter()
+                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
+                .collect()
+        };
+        let total: f64 = execs.iter().map(|e| e.total.secs()).sum();
+        if round == 0 {
+            first = total;
+        }
+        last = total;
+        tuner.observe(&queries, &execs);
+    }
+    assert!(
+        last < first * 0.8,
+        "MAB should improve execution: round1 {first:.1}s, round8 {last:.1}s"
+    );
+    assert!(catalog.index_bytes() <= catalog.database_bytes());
+}
+
+/// The advisor interface is interchangeable: all tuners run the same loop.
+#[test]
+fn all_advisors_run_uniformly() {
+    let bench = dba_bandits::workloads::tpch::tpch(0.02);
+    let base = bench.build_catalog(5).unwrap();
+    let stats = StatsCatalog::build(&base);
+    let cost = CostModel::paper_scale();
+    let budget = base.database_bytes();
+
+    let mut advisors: Vec<Box<dyn Advisor>> = vec![
+        Box::new(NoIndexAdvisor),
+        Box::new(PdToolAdvisor::new(
+            cost.clone(),
+            dba_baselines::PdToolConfig::paper_defaults(
+                budget,
+                dba_baselines::InvokeSchedule::OnWorkloadChange,
+            ),
+        )),
+        Box::new(MabAdvisor::new(
+            &base,
+            cost.clone(),
+            MabConfig {
+                memory_budget_bytes: budget,
+                ..MabConfig::default()
+            },
+        )),
+        Box::new(dba_baselines::DdqnAdvisor::new(
+            &base,
+            cost.clone(),
+            dba_baselines::DdqnConfig::paper_defaults(budget, 1),
+        )),
+    ];
+
+    let seq = WorkloadSequencer::new(&bench, WorkloadKind::Static { rounds: 3 }, 5);
+    let executor = Executor::new(cost.clone());
+    for advisor in &mut advisors {
+        let mut catalog = base.fork_empty();
+        for round in 0..3 {
+            let c = advisor.before_round(round, &mut catalog, &stats);
+            assert!(c.recommendation.secs() >= 0.0);
+            let queries = seq.round_queries(&catalog, round).unwrap();
+            let execs: Vec<QueryExecution> = {
+                let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
+                let planner = Planner::new(&ctx);
+                queries
+                    .iter()
+                    .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
+                    .collect()
+            };
+            advisor.after_round(&queries, &execs);
+        }
+        assert!(
+            catalog.index_bytes() <= budget,
+            "{} exceeded the memory budget",
+            advisor.name()
+        );
+    }
+}
+
+/// What-if estimates must equal materialised estimates (facade-level check
+/// of the optimiser's defining invariant).
+#[test]
+fn whatif_matches_materialised_costing() {
+    let bench = dba_bandits::workloads::tpch::tpch(0.02);
+    let catalog = bench.build_catalog(11).unwrap();
+    let stats = StatsCatalog::build(&catalog);
+    let cost = CostModel::paper_scale();
+    let q = bench.templates()[5] // Q6: single-table lineitem
+        .instantiate(&catalog, QueryId(0), 11, 0)
+        .unwrap();
+    let lineitem = catalog.table_by_name("lineitem").unwrap().id();
+    let shipdate = catalog
+        .table_by_name("lineitem")
+        .unwrap()
+        .column_by_name("l_shipdate")
+        .unwrap()
+        .0;
+    let def = IndexDef::new(lineitem, vec![shipdate], vec![]);
+
+    let hypo = WhatIf::new(&catalog, &stats, &cost)
+        .cost_query(&q, &[def.clone()], false)
+        .est_cost;
+
+    let mut catalog2 = catalog.fork_empty();
+    catalog2.create_index(def).unwrap();
+    let real = WhatIf::new(&catalog2, &stats, &cost)
+        .cost_query(&q, &[], true)
+        .est_cost;
+    assert!((hypo.secs() - real.secs()).abs() < 1e-9);
+}
+
+/// Identical seeds give bit-identical experiment streams across the whole
+/// stack (data, params, tuning) — the reproducibility contract.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let bench = dba_bandits::workloads::imdb::imdb(1.0);
+        let mut catalog = bench.build_catalog(17).unwrap();
+        let stats = StatsCatalog::build(&catalog);
+        let cost = CostModel::paper_scale();
+        let mut tuner = MabTuner::new(
+            &catalog,
+            cost.clone(),
+            MabConfig {
+                memory_budget_bytes: catalog.database_bytes() / 2,
+                ..MabConfig::default()
+            },
+        );
+        let seq = WorkloadSequencer::new(
+            &bench,
+            WorkloadKind::Random {
+                rounds: 3,
+                queries_per_round: 6,
+            },
+            17,
+        );
+        let executor = Executor::new(cost.clone());
+        let mut trace = Vec::new();
+        for round in 0..3 {
+            tuner.recommend_and_apply(&mut catalog, &stats);
+            let queries = seq.round_queries(&catalog, round).unwrap();
+            let execs: Vec<QueryExecution> = {
+                let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
+                let planner = Planner::new(&ctx);
+                queries
+                    .iter()
+                    .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
+                    .collect()
+            };
+            trace.push(execs.iter().map(|e| e.total.secs()).sum::<f64>());
+            tuner.observe(&queries, &execs);
+        }
+        trace
+    };
+    assert_eq!(run(), run());
+}
+
+// ---------------------------------------------------------------------
+// Property-based invariants
+// ---------------------------------------------------------------------
+
+/// Naive reference evaluation of a single-table conjunctive query.
+fn reference_count(catalog: &Catalog, table: TableId, preds: &[Predicate]) -> u64 {
+    let t = catalog.table(table);
+    (0..t.rows())
+        .filter(|&r| {
+            preds
+                .iter()
+                .all(|p| p.matches(t.column(p.column.ordinal).value(r)))
+        })
+        .count() as u64
+}
+
+fn prop_catalog(rows: usize, seed: u64) -> Catalog {
+    let schema = TableSchema::new(
+        "t",
+        vec![
+            ColumnSpec::new("a", ColumnType::Int, Distribution::Sequential),
+            ColumnSpec::new(
+                "b",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 0, hi: 50 },
+            ),
+            ColumnSpec::new(
+                "c",
+                ColumnType::Int,
+                Distribution::Zipf { n: 40, s: 1.5 },
+            ),
+        ],
+    );
+    Catalog::new(vec![Arc::new(
+        TableBuilder::new(schema, rows).build(TableId(0), seed),
+    )])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever plan the optimiser picks — scan, seek, covering, with any
+    /// index set materialised — the executor's result cardinality equals
+    /// naive evaluation, and access costs are non-negative.
+    #[test]
+    fn planner_executor_agree_with_reference(
+        seed in 0u64..500,
+        rows in 200usize..1500,
+        b_lo in 0i64..40,
+        b_width in 0i64..15,
+        c_val in 0i64..40,
+        with_index in proptest::bool::ANY,
+        with_covering in proptest::bool::ANY,
+    ) {
+        let mut catalog = prop_catalog(rows, seed);
+        if with_index {
+            catalog.create_index(IndexDef::new(TableId(0), vec![1], vec![])).unwrap();
+        }
+        if with_covering {
+            catalog.create_index(IndexDef::new(TableId(0), vec![2], vec![0])).unwrap();
+        }
+        let stats = StatsCatalog::build(&catalog);
+        let cost = CostModel::unit_scale();
+        let preds = vec![
+            Predicate::range(ColumnId::new(TableId(0), 1), b_lo, b_lo + b_width),
+            Predicate::eq(ColumnId::new(TableId(0), 2), c_val),
+        ];
+        let q = Query {
+            id: QueryId(0),
+            template: TemplateId(0),
+            tables: vec![TableId(0)],
+            predicates: preds.clone(),
+            joins: vec![],
+            payload: vec![ColumnId::new(TableId(0), 0)],
+            aggregated: false,
+        };
+        let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
+        let plan = Planner::new(&ctx).plan(&q);
+        let exec = Executor::new(cost).execute(&catalog, &q, &plan);
+        prop_assert_eq!(exec.result_rows, reference_count(&catalog, TableId(0), &preds));
+        prop_assert!(exec.total.secs() >= 0.0);
+        for a in &exec.accesses {
+            prop_assert!(a.time.secs() >= 0.0);
+        }
+    }
+
+    /// Index probes return exactly the rows matching the seek condition,
+    /// for arbitrary composite keys.
+    #[test]
+    fn index_probe_matches_filter(
+        seed in 0u64..500,
+        rows in 100usize..1200,
+        eq in 0i64..50,
+        range_lo in 0i64..40,
+    ) {
+        let catalog = prop_catalog(rows, seed);
+        let t = catalog.table(TableId(0));
+        let ix = dba_storage::Index::build(
+            dba_common::IndexId(0),
+            IndexDef::new(TableId(0), vec![1, 2], vec![]),
+            t,
+        );
+        let (s, e) = ix.probe(t, &[eq], Some((range_lo, range_lo + 5)));
+        let expected = (0..t.rows())
+            .filter(|&r| {
+                t.column(1).value(r) == eq
+                    && (range_lo..=range_lo + 5).contains(&t.column(2).value(r))
+            })
+            .count();
+        prop_assert_eq!(e - s, expected);
+    }
+
+    /// The greedy oracle never exceeds its budget and never selects
+    /// non-positive arms.
+    #[test]
+    fn oracle_respects_budget(
+        scores in proptest::collection::vec(-5.0f64..10.0, 1..60),
+        sizes in proptest::collection::vec(1u64..100, 1..60),
+        budget in 1u64..500,
+    ) {
+        let n = scores.len().min(sizes.len());
+        let inputs: Vec<dba_core::oracle::OracleInput> = (0..n)
+            .map(|i| dba_core::oracle::OracleInput {
+                arm_idx: i,
+                score: scores[i],
+                size_bytes: sizes[i],
+                def: IndexDef::new(TableId(0), vec![i as u16 % 8], vec![]),
+                generated_by: vec![TemplateId(0)],
+                covers: vec![],
+            })
+            .collect();
+        let picked = dba_core::oracle::greedy_select(inputs, budget);
+        let total: u64 = picked.iter().map(|&i| sizes[i]).sum();
+        prop_assert!(total <= budget);
+        for &i in &picked {
+            prop_assert!(scores[i] > 0.0);
+        }
+    }
+}
