@@ -333,7 +333,7 @@ impl Advisor for DdqnAdvisor {
             budget -= arm.size_bytes;
             selected.push(arm_idx);
             self.samples += 1;
-            if self.samples % self.config.target_sync_every == 0 {
+            if self.samples.is_multiple_of(self.config.target_sync_every) {
                 self.target.copy_from(&self.online);
             }
         }
@@ -377,7 +377,10 @@ impl Advisor for DdqnAdvisor {
         self.pending = selected
             .iter()
             .map(|&arm_idx| {
-                let pos = active.iter().position(|&a| a == arm_idx).expect("played ⊆ active");
+                let pos = active
+                    .iter()
+                    .position(|&a| a == arm_idx)
+                    .expect("played ⊆ active");
                 PendingTransition {
                     input: Self::q_input(&state, &actions[pos]),
                     reward: 0.0, // filled in after_round
@@ -460,7 +463,12 @@ mod tests {
         for round in 0..rounds {
             advisor.before_round(round, cat, &stats);
             let qs: Vec<Query> = (0..3)
-                .map(|i| query((round * 10 + i) as u64, ((round * 7 + i) as i64 * 331) % 20_000))
+                .map(|i| {
+                    query(
+                        (round * 10 + i) as u64,
+                        ((round * 7 + i) as i64 * 331) % 20_000,
+                    )
+                })
                 .collect();
             let ctx = PlannerContext::from_catalog(cat, &stats, &cost);
             let planner = Planner::new(&ctx);

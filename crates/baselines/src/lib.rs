@@ -1,47 +1,16 @@
 //! The tuners the paper compares (§V): the commercial-style Physical
-//! Design Tool (PDTool), the no-op NoIndex baseline, DDQN reinforcement
-//! learning (and its single-column variant), and a thin adapter exposing
-//! the MAB tuner behind the same [`Advisor`] interface so the experiment
-//! harness can drive all of them identically.
+//! Design Tool (PDTool), the no-op NoIndex baseline, and DDQN
+//! reinforcement learning (plus its single-column variant). All implement
+//! the [`Advisor`] interface from `dba-core`, as does the MAB tuner
+//! itself, so a tuning session can drive any of them identically.
 
 pub mod ddqn;
-pub mod mab;
 pub mod nn;
 pub mod noindex;
 pub mod pdtool;
 
-use dba_common::SimSeconds;
-use dba_engine::{Query, QueryExecution};
-use dba_optimizer::StatsCatalog;
-use dba_storage::Catalog;
+pub use dba_core::{Advisor, AdvisorCost};
 
 pub use ddqn::{DdqnAdvisor, DdqnConfig};
-pub use mab::MabAdvisor;
 pub use noindex::NoIndexAdvisor;
 pub use pdtool::{InvokeSchedule, PdToolAdvisor, PdToolConfig};
-
-/// Time charged by an advisor in one round, split the way Table I reports
-/// it.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct AdvisorCost {
-    pub recommendation: SimSeconds,
-    pub creation: SimSeconds,
-}
-
-/// Uniform tuner interface driven by the experiment harness: a
-/// recommendation step before each round's workload, an observation step
-/// after.
-pub trait Advisor {
-    fn name(&self) -> &str;
-
-    /// Adjust the physical design before round `round` (0-based) executes.
-    fn before_round(
-        &mut self,
-        round: usize,
-        catalog: &mut Catalog,
-        stats: &StatsCatalog,
-    ) -> AdvisorCost;
-
-    /// Observe the executed workload.
-    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]);
-}

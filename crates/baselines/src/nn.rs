@@ -5,6 +5,9 @@
 //! straightforward SGD/momentum implementation is faster than pulling in a
 //! framework, and keeps the workspace dependency-light.
 
+// Index-based loops mirror the layer equations they implement.
+#![allow(clippy::needless_range_loop)]
+
 use rand::rngs::StdRng;
 use rand::Rng;
 

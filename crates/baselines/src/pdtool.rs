@@ -102,7 +102,7 @@ impl PdToolAdvisor {
         match self.config.schedule {
             InvokeSchedule::OnWorkloadChange => self.pending_change,
             InvokeSchedule::EveryKRounds(k) => {
-                self.round > 0 && self.round % k == 0 && !self.history.is_empty()
+                self.round > 0 && self.round.is_multiple_of(k) && !self.history.is_empty()
             }
         }
     }
@@ -111,9 +111,7 @@ impl PdToolAdvisor {
         match self.config.schedule {
             // Train on the most recent round (the round that introduced the
             // new queries).
-            InvokeSchedule::OnWorkloadChange => {
-                self.history.last().cloned().unwrap_or_default()
-            }
+            InvokeSchedule::OnWorkloadChange => self.history.last().cloned().unwrap_or_default(),
             // Train on everything since the previous invocation.
             InvokeSchedule::EveryKRounds(k) => self
                 .history
@@ -128,11 +126,7 @@ impl PdToolAdvisor {
     /// Per-query candidate generation: the most-selective ordering of each
     /// table's indexable columns (up to `max_key_width`), its covering
     /// variant, and single-column candidates.
-    fn generate_candidates(
-        &self,
-        workload: &[Query],
-        est: &CardEstimator<'_>,
-    ) -> Vec<IndexDef> {
+    fn generate_candidates(&self, workload: &[Query], est: &CardEstimator<'_>) -> Vec<IndexDef> {
         let mut out: Vec<IndexDef> = Vec::new();
         let push = |def: IndexDef, out: &mut Vec<IndexDef>| {
             if !out.contains(&def) {
@@ -253,11 +247,10 @@ impl PdToolAdvisor {
         // (quality degradation under the cap, §V-A TPC-DS note).
         let mut whatif_calls = workload.len() as f64 * candidates.len() as f64;
         if let Some(limit) = self.config.time_limit {
-            let affordable =
-                ((limit.secs() - self.config.invocation_overhead_s)
-                    / self.config.per_whatif_call_s
-                    / workload.len().max(1) as f64)
-                    .max(8.0) as usize;
+            let affordable = ((limit.secs() - self.config.invocation_overhead_s)
+                / self.config.per_whatif_call_s
+                / workload.len().max(1) as f64)
+                .max(8.0) as usize;
             if candidates.len() > affordable {
                 candidates.truncate(affordable);
                 whatif_calls = workload.len() as f64 * candidates.len() as f64;
@@ -274,7 +267,8 @@ impl PdToolAdvisor {
         let mut scored: Vec<(IndexDef, f64, u64)> = candidates
             .into_iter()
             .map(|def| {
-                let (with_c, usage) = whatif.cost_workload(workload, &[def.clone()], false);
+                let (with_c, usage) =
+                    whatif.cost_workload(workload, std::slice::from_ref(&def), false);
                 let used: u32 = usage.iter().sum();
                 let benefit = if used > 0 {
                     (base_cost - with_c).secs().max(0.0)
@@ -466,10 +460,7 @@ mod tests {
         let cost = CostModel::unit_scale();
         let mut pd = PdToolAdvisor::new(
             cost.clone(),
-            PdToolConfig::paper_defaults(
-                cat.database_bytes(),
-                InvokeSchedule::OnWorkloadChange,
-            ),
+            PdToolConfig::paper_defaults(cat.database_bytes(), InvokeSchedule::OnWorkloadChange),
         );
 
         // Round 0: no invocation (nothing seen yet).
@@ -506,10 +497,7 @@ mod tests {
 
         let mut pd = PdToolAdvisor::new(
             cost.clone(),
-            PdToolConfig::paper_defaults(
-                cat.database_bytes(),
-                InvokeSchedule::OnWorkloadChange,
-            ),
+            PdToolConfig::paper_defaults(cat.database_bytes(), InvokeSchedule::OnWorkloadChange),
         );
         pd.after_round(&qs, &run_round(&cat, &stats, &cost, &qs));
         pd.before_round(1, &mut cat, &stats);
@@ -538,7 +526,9 @@ mod tests {
             if c.recommendation.secs() > 0.0 {
                 invocations.push(round);
             }
-            let qs: Vec<Query> = (0..2).map(|i| query(round as u64 * 10 + i, 1, 500)).collect();
+            let qs: Vec<Query> = (0..2)
+                .map(|i| query(round as u64 * 10 + i, 1, 500))
+                .collect();
             let ex = run_round(&cat, &stats, &cost, &qs);
             pd.after_round(&qs, &ex);
         }
@@ -564,10 +554,7 @@ mod tests {
             .collect();
 
         let mk = |limit| {
-            let mut cfg = PdToolConfig::paper_defaults(
-                u64::MAX,
-                InvokeSchedule::OnWorkloadChange,
-            );
+            let mut cfg = PdToolConfig::paper_defaults(u64::MAX, InvokeSchedule::OnWorkloadChange);
             cfg.time_limit = limit;
             PdToolAdvisor::new(cost.clone(), cfg)
         };

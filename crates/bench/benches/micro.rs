@@ -83,10 +83,7 @@ fn bench_c2ucb(c: &mut Criterion) {
         })
         .collect();
     // Warm the model.
-    let plays: Vec<(SparseVec, f64)> = contexts[..10]
-        .iter()
-        .map(|x| (x.clone(), 1.0))
-        .collect();
+    let plays: Vec<(SparseVec, f64)> = contexts[..10].iter().map(|x| (x.clone(), 1.0)).collect();
     bandit.update_sparse(&plays);
 
     c.bench_function("c2ucb_score_3000_arms_d430", |b| {

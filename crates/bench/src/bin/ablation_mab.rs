@@ -5,57 +5,38 @@
 //! * shift-triggered forgetting — Algorithm 2;
 //! * the two-part context (Part 2 derived features).
 //!
-//! Each variant runs the same shifting TPC-H workload; differences in
-//! total and final-round execution time quantify each design choice's
-//! contribution. Not a paper artefact — an extension experiment.
+//! Each variant runs the same shifting TPC-H workload through a
+//! [`TuningSession`]; differences in total and final-round execution time
+//! quantify each design choice's contribution. Not a paper artefact — an
+//! extension experiment.
 
 use dba_core::{AlphaSchedule, ArmGenConfig, C2UcbConfig, MabConfig, MabTuner};
-use dba_engine::{CostModel, Executor, QueryExecution};
-use dba_optimizer::{Planner, PlannerContext, StatsCatalog};
-use dba_workloads::{tpch::tpch, WorkloadKind, WorkloadSequencer};
+use dba_session::SessionBuilder;
+use dba_workloads::{tpch::tpch, WorkloadKind};
 
-fn run_variant(label: &str, config: MabConfig) {
-    let bench = tpch(1.0);
-    let mut catalog = bench.build_catalog(42).expect("catalog");
-    let stats = StatsCatalog::build(&catalog);
-    let cost = CostModel::paper_scale();
-    let mut tuner = MabTuner::new(&catalog, cost.clone(), config);
-    let seq = WorkloadSequencer::new(
-        &bench,
-        WorkloadKind::Shifting {
+/// Run one MAB variant; `config_for` receives the session's memory budget
+/// (1× the data size) and returns the variant's configuration.
+fn run_variant(label: &str, config_for: impl Fn(u64) -> MabConfig) {
+    let mut session = SessionBuilder::new()
+        .benchmark(tpch(1.0))
+        .workload(WorkloadKind::Shifting {
             groups: 2,
             rounds_per_group: 6,
-        },
-        42,
-    );
-    let executor = Executor::new(cost.clone());
-
-    let (mut rec, mut cre, mut exe, mut last) = (0.0, 0.0, 0.0, 0.0);
-    for round in 0..seq.rounds() {
-        let outcome = tuner.recommend_and_apply(&mut catalog, &stats);
-        rec += outcome.recommendation_time.secs();
-        cre += outcome.creation_time.secs();
-        let queries = seq.round_queries(&catalog, round).expect("queries");
-        let execs: Vec<QueryExecution> = {
-            let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
-            let planner = Planner::new(&ctx);
-            queries
-                .iter()
-                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-                .collect()
-        };
-        last = execs.iter().map(|e| e.total.secs()).sum();
-        exe += last;
-        tuner.observe(&queries, &execs);
-    }
+        })
+        .seed(42)
+        .build_with(|catalog, cost, budget| {
+            MabTuner::new(catalog, cost.clone(), config_for(budget))
+        })
+        .expect("session");
+    let result = session.run().expect("run");
     println!(
         "{:<22} total {:>9.1}s  (rec {:>6.1} + create {:>7.1} + exec {:>8.1})  final-round exec {:>7.1}s",
         label,
-        rec + cre + exe,
-        rec,
-        cre,
-        exe,
-        last
+        result.total().secs(),
+        result.total_recommendation().secs(),
+        result.total_creation().secs(),
+        result.total_execution().secs(),
+        result.final_round_execution().secs(),
     );
 }
 
@@ -64,57 +45,38 @@ fn main() {
         memory_budget_bytes: budget,
         ..MabConfig::default()
     };
-    let budget = tpch(1.0)
-        .build_catalog(42)
-        .expect("catalog")
-        .database_bytes();
 
     println!("MAB ablations — TPC-H shifting (2 groups x 6 rounds, sf 1):\n");
-    run_variant("full (paper design)", base(budget));
+    run_variant("full (paper design)", base);
 
-    run_variant(
-        "no covering arms",
-        MabConfig {
-            arm_gen: ArmGenConfig {
-                include_covering: false,
-                ..ArmGenConfig::default()
-            },
-            ..base(budget)
+    run_variant("no covering arms", move |b| MabConfig {
+        arm_gen: ArmGenConfig {
+            include_covering: false,
+            ..ArmGenConfig::default()
         },
-    );
+        ..base(b)
+    });
 
-    run_variant(
-        "no exploration (α=0)",
-        MabConfig {
-            bandit: C2UcbConfig {
-                alpha: AlphaSchedule::Constant(0.0),
-                ..C2UcbConfig::default()
-            },
-            ..base(budget)
+    run_variant("no exploration (α=0)", move |b| MabConfig {
+        bandit: C2UcbConfig {
+            alpha: AlphaSchedule::Constant(0.0),
+            ..C2UcbConfig::default()
         },
-    );
+        ..base(b)
+    });
 
-    run_variant(
-        "no forgetting",
-        MabConfig {
-            forget_on_shift: false,
-            ..base(budget)
+    run_variant("no forgetting", move |b| MabConfig {
+        forget_on_shift: false,
+        ..base(b)
+    });
+
+    run_variant("half memory budget", move |b| base(b / 2));
+
+    run_variant("narrow arms (width 1)", move |b| MabConfig {
+        arm_gen: ArmGenConfig {
+            max_key_width: 1,
+            ..ArmGenConfig::default()
         },
-    );
-
-    run_variant(
-        "half memory budget",
-        base(budget / 2),
-    );
-
-    run_variant(
-        "narrow arms (width 1)",
-        MabConfig {
-            arm_gen: ArmGenConfig {
-                max_key_width: 1,
-                ..ArmGenConfig::default()
-            },
-            ..base(budget)
-        },
-    );
+        ..base(b)
+    });
 }

@@ -1,11 +1,11 @@
-//! Diagnostic: drive the MAB tuner round by round on one benchmark and
-//! print its internals (arms, selections, creations, gains) to understand
-//! convergence. Not part of the paper reproduction.
+//! Diagnostic: drive the MAB tuner round by round on one benchmark
+//! through a [`TuningSession`] and print its internals (arms, selections,
+//! creations, gains) to understand convergence. Not part of the paper
+//! reproduction.
 
 use dba_core::{MabConfig, MabTuner};
-use dba_engine::{CostModel, Executor, QueryExecution};
-use dba_optimizer::{Planner, PlannerContext, StatsCatalog};
-use dba_workloads::{all_benchmarks, WorkloadKind, WorkloadSequencer};
+use dba_session::SessionBuilder;
+use dba_workloads::{all_benchmarks, WorkloadKind};
 
 fn main() {
     let sf: f64 = std::env::var("DBA_SF")
@@ -17,66 +17,61 @@ fn main() {
         .into_iter()
         .find(|b| b.name == name)
         .expect("unknown benchmark");
-    let base = bench.build_catalog(42).unwrap();
-    let stats = StatsCatalog::build(&base);
-    let cost = CostModel::paper_scale();
-    let mut catalog = base.fork_empty();
-    let mut tuner = MabTuner::new(
-        &catalog,
-        cost.clone(),
-        MabConfig {
-            memory_budget_bytes: catalog.database_bytes(),
-            ..MabConfig::default()
-        },
-    );
-    let seq = WorkloadSequencer::new(&bench, WorkloadKind::Static { rounds: 10 }, 42);
-    let executor = Executor::new(cost.clone());
+    let rounds = 10;
 
-    for round in 0..10 {
-        let outcome = tuner.recommend_and_apply(&mut catalog, &stats);
-        let queries = seq.round_queries(&catalog, round).unwrap();
-        let executions: Vec<QueryExecution> = {
-            let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
-            let planner = Planner::new(&ctx);
-            queries
-                .iter()
-                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-                .collect()
+    let mut session = SessionBuilder::new()
+        .benchmark(bench)
+        .workload(WorkloadKind::Static { rounds })
+        .seed(42)
+        .build_with(|catalog, cost, budget| {
+            MabTuner::new(
+                catalog,
+                cost.clone(),
+                MabConfig {
+                    memory_budget_bytes: budget,
+                    ..MabConfig::default()
+                },
+            )
+        })
+        .expect("session");
+
+    while let Some(record) = session.step().expect("round") {
+        let round = record.round;
+        let created_info = {
+            let catalog = session.catalog();
+            catalog
+                .all_indexes()
+                .map(|ix| {
+                    let def = ix.def();
+                    let t = catalog.table(def.table);
+                    format!(
+                        "    ix {:?} on {} keys={:?} incl={:?} {:.1}MB",
+                        ix.id(),
+                        t.name(),
+                        def.key_cols,
+                        def.include_cols,
+                        ix.size_bytes() as f64 / 1e6
+                    )
+                })
+                .collect::<Vec<_>>()
         };
-        let exec_total: f64 = executions.iter().map(|e| e.total.secs()).sum();
-        let used: usize = executions.iter().map(|e| e.indexes_used().len()).sum();
         println!(
-            "round {:>2}: arms={:>4} created={} dropped={} cfg={:>6.1}MB rec={:>6.2}s cre={:>7.2}s exec={:>8.2}s idx_used={}",
-            round + 1,
-            tuner.arm_count(),
-            outcome.created,
-            outcome.dropped,
-            outcome.config_bytes as f64 / 1e6,
-            outcome.recommendation_time.secs(),
-            outcome.creation_time.secs(),
-            exec_total,
-            used,
+            "round {:>2}: arms={:>4} indexes={} cfg={:>6.1}MB rec={:>6.2}s cre={:>7.2}s exec={:>8.2}s",
+            round,
+            session.advisor().arm_count(),
+            created_info.len(),
+            session.catalog().index_bytes() as f64 / 1e6,
+            record.recommendation.secs(),
+            record.creation.secs(),
+            record.execution.secs(),
         );
-        for ix in catalog.all_indexes() {
-            let def = ix.def();
-            let t = catalog.table(def.table);
-            println!(
-                "    ix {:?} on {} keys={:?} incl={:?} {:.1}MB",
-                ix.id(),
-                t.name(),
-                def.key_cols,
-                def.include_cols,
-                ix.size_bytes() as f64 / 1e6
-            );
+        for line in created_info {
+            println!("{line}");
         }
-        tuner.observe(&queries, &executions);
 
-        if round == 9 {
+        if round == rounds {
             println!("--- final round plans ---");
-            let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
-            let planner = Planner::new(&ctx);
-            for (q, e) in queries.iter().zip(&executions) {
-                let plan = planner.plan(q);
+            for (q, plan) in session.plan_round(round - 1).expect("plans") {
                 let steps: Vec<String> = plan
                     .joins
                     .iter()
@@ -90,13 +85,12 @@ fn main() {
                     })
                     .collect();
                 println!(
-                    "  {} t{} driver={:?} est={:.0} steps={:?} actual={:.1}s",
+                    "  {} t{} driver={:?} est={:.0} steps={:?}",
                     q.template,
                     plan.driver.table.raw(),
                     plan.driver.method,
                     plan.driver.est_rows,
                     steps,
-                    e.total.secs()
                 );
             }
         }

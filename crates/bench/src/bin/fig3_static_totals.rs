@@ -10,7 +10,10 @@ fn main() {
     let kind = env.static_kind();
     let tuners = [TunerKind::NoIndex, TunerKind::PdTool, TunerKind::Mab];
 
-    println!("Figure 3 — static total end-to-end workload time (sf={}, seed={})", env.sf, env.seed);
+    println!(
+        "Figure 3 — static total end-to-end workload time (sf={}, seed={})",
+        env.sf, env.seed
+    );
     let mut all = Vec::new();
     for bench in all_benchmarks(env.sf) {
         let results = run_benchmark_suite(&bench, kind, &tuners, env.seed)

@@ -10,12 +10,18 @@ fn main() {
     let kind = env.shifting_kind();
     let tuners = [TunerKind::NoIndex, TunerKind::PdTool, TunerKind::Mab];
 
-    println!("Figure 4 — dynamic shifting convergence (sf={}, seed={})", env.sf, env.seed);
+    println!(
+        "Figure 4 — dynamic shifting convergence (sf={}, seed={})",
+        env.sf, env.seed
+    );
     for (panel, bench) in ["a", "b", "c", "d", "e"].iter().zip(all_benchmarks(env.sf)) {
         let results = run_benchmark_suite(&bench, kind, &tuners, env.seed)
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         print_series(
-            &format!("Fig 4({panel}): {} shifting — total time per round (s)", bench.name),
+            &format!(
+                "Fig 4({panel}): {} shifting — total time per round (s)",
+                bench.name
+            ),
             &results,
         );
         let (header, rows) = series_rows(&results);

@@ -10,13 +10,19 @@ fn main() {
     let env = ExperimentEnv::from_env();
     let tuners = [TunerKind::NoIndex, TunerKind::PdTool, TunerKind::Mab];
 
-    println!("Figure 6 — dynamic random convergence (sf={}, seed={})", env.sf, env.seed);
+    println!(
+        "Figure 6 — dynamic random convergence (sf={}, seed={})",
+        env.sf, env.seed
+    );
     for (panel, bench) in ["a", "b", "c", "d", "e"].iter().zip(all_benchmarks(env.sf)) {
         let kind = env.random_kind(bench.templates().len());
         let results = run_benchmark_suite(&bench, kind, &tuners, env.seed)
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         print_series(
-            &format!("Fig 6({panel}): {} random — total time per round (s)", bench.name),
+            &format!(
+                "Fig 6({panel}): {} random — total time per round (s)",
+                bench.name
+            ),
             &results,
         );
         let (header, rows) = series_rows(&results);

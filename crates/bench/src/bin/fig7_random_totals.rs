@@ -8,7 +8,10 @@ fn main() {
     let env = ExperimentEnv::from_env();
     let tuners = [TunerKind::NoIndex, TunerKind::PdTool, TunerKind::Mab];
 
-    println!("Figure 7 — random total end-to-end workload time (sf={}, seed={})", env.sf, env.seed);
+    println!(
+        "Figure 7 — random total end-to-end workload time (sf={}, seed={})",
+        env.sf, env.seed
+    );
     let mut all = Vec::new();
     for bench in all_benchmarks(env.sf) {
         let kind = env.random_kind(bench.templates().len());

@@ -40,11 +40,26 @@ fn main() {
         for rep in 0..reps {
             let seed = env.seed + rep as u64;
             ddqn_runs.push(
-                run_one(&bench, &base, &stats, kind, TunerKind::Ddqn { seed }, env.seed).unwrap(),
+                run_one(
+                    &bench,
+                    &base,
+                    &stats,
+                    kind,
+                    TunerKind::Ddqn { seed },
+                    env.seed,
+                )
+                .unwrap(),
             );
             ddqn_sc_runs.push(
-                run_one(&bench, &base, &stats, kind, TunerKind::DdqnSc { seed }, env.seed)
-                    .unwrap(),
+                run_one(
+                    &bench,
+                    &base,
+                    &stats,
+                    kind,
+                    TunerKind::DdqnSc { seed },
+                    env.seed,
+                )
+                .unwrap(),
             );
         }
 
@@ -52,7 +67,10 @@ fn main() {
         let mean = |runs: &[RunResult], f: fn(&RunResult) -> f64| -> f64 {
             runs.iter().map(f).sum::<f64>() / runs.len() as f64
         };
-        println!("\n# Fig 8({panel}): {} — totals breakdown (min)", bench.name);
+        println!(
+            "\n# Fig 8({panel}): {} — totals breakdown (min)",
+            bench.name
+        );
         println!(
             "{:<10} {:>10} {:>12} {:>12} {:>12}",
             "method", "rec", "creation", "execution", "total"
@@ -103,8 +121,7 @@ fn main() {
         let mut csv = Vec::new();
         for i in 0..rounds {
             let per_rep = |runs: &[RunResult]| -> Vec<f64> {
-                let mut v: Vec<f64> =
-                    runs.iter().map(|r| r.rounds[i].total().secs()).collect();
+                let mut v: Vec<f64> = runs.iter().map(|r| r.rounds[i].total().secs()).collect();
                 v.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 v
             };

@@ -10,27 +10,31 @@ fn main() {
     let env = ExperimentEnv::from_env();
     let tuners = [TunerKind::PdTool, TunerKind::Mab];
 
-    println!("Table I — total time breakdown in minutes (sf={}, seed={})", env.sf, env.seed);
+    println!(
+        "Table I — total time breakdown in minutes (sf={}, seed={})",
+        env.sf, env.seed
+    );
     println!(
         "{:<10} {:<12} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-        "workload", "benchmark", "rec PD", "rec MAB", "cre PD", "cre MAB", "exe PD", "exe MAB",
-        "tot PD", "tot MAB"
+        "workload",
+        "benchmark",
+        "rec PD",
+        "rec MAB",
+        "cre PD",
+        "cre MAB",
+        "exe PD",
+        "exe MAB",
+        "tot PD",
+        "tot MAB"
     );
 
+    type KindOf = Box<dyn Fn(usize) -> WorkloadKind>;
+
     let mut csv_rows: Vec<String> = Vec::new();
-    let sections: Vec<(&str, Box<dyn Fn(usize) -> WorkloadKind>)> = vec![
-        ("Static", Box::new({
-            let env = env;
-            move |_| env.static_kind()
-        })),
-        ("Dynamic", Box::new({
-            let env = env;
-            move |_| env.shifting_kind()
-        })),
-        ("Random", Box::new({
-            let env = env;
-            move |n| env.random_kind(n)
-        })),
+    let sections: Vec<(&str, KindOf)> = vec![
+        ("Static", Box::new(move |_| env.static_kind())),
+        ("Dynamic", Box::new(move |_| env.shifting_kind())),
+        ("Random", Box::new(move |n| env.random_kind(n))),
     ];
 
     for (label, kind_of) in &sections {

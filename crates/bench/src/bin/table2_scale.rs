@@ -10,7 +10,11 @@ fn main() {
     let env = ExperimentEnv::from_env();
     let kind = env.static_kind();
     let tuners = [TunerKind::PdTool, TunerKind::Mab];
-    let sfs: &[f64] = if env.quick { &[1.0, 5.0] } else { &[1.0, 10.0, 100.0] };
+    let sfs: &[f64] = if env.quick {
+        &[1.0, 5.0]
+    } else {
+        &[1.0, 10.0, 100.0]
+    };
 
     println!("Table II — static workloads under different database sizes (min)");
     println!(
@@ -20,7 +24,10 @@ fn main() {
     let mut csv_rows = Vec::new();
     for (name, build) in [
         ("TPC-H", tpch as fn(f64) -> dba_workloads::Benchmark),
-        ("TPC-H Skew", tpch_skew as fn(f64) -> dba_workloads::Benchmark),
+        (
+            "TPC-H Skew",
+            tpch_skew as fn(f64) -> dba_workloads::Benchmark,
+        ),
     ] {
         for &sf in sfs {
             let bench = build(sf);

@@ -1,85 +1,17 @@
-//! Experiment driver: one tuner × one benchmark × one workload type.
+//! Experiment configuration and suite runners on top of
+//! [`dba_session::TuningSession`].
+//!
+//! The driving loop itself lives in `dba-session`; this module only maps
+//! environment knobs to workload configurations and fans sessions out
+//! over tuner sets, sharing generated data so comparisons are fair.
 
-use dba_baselines::{
-    Advisor, DdqnAdvisor, DdqnConfig, InvokeSchedule, MabAdvisor, NoIndexAdvisor, PdToolAdvisor,
-    PdToolConfig,
-};
-use dba_common::{DbResult, SimSeconds};
-use dba_core::MabConfig;
-use dba_engine::{CostModel, Executor, QueryExecution};
-use dba_optimizer::{Planner, PlannerContext, StatsCatalog};
+use dba_common::DbResult;
+use dba_optimizer::StatsCatalog;
+use dba_session::SessionBuilder;
 use dba_storage::Catalog;
-use dba_workloads::{Benchmark, WorkloadKind, WorkloadSequencer};
+use dba_workloads::{Benchmark, WorkloadKind};
 
-/// Per-round accounting, split the way Table I reports it.
-#[derive(Debug, Clone, Copy)]
-pub struct RoundRecord {
-    pub round: usize,
-    pub recommendation: SimSeconds,
-    pub creation: SimSeconds,
-    pub execution: SimSeconds,
-}
-
-impl RoundRecord {
-    pub fn total(&self) -> SimSeconds {
-        self.recommendation + self.creation + self.execution
-    }
-}
-
-/// A complete run of one tuner over one workload.
-#[derive(Debug, Clone)]
-pub struct RunResult {
-    pub tuner: String,
-    pub benchmark: String,
-    pub workload: String,
-    pub rounds: Vec<RoundRecord>,
-}
-
-impl RunResult {
-    pub fn total_recommendation(&self) -> SimSeconds {
-        self.rounds.iter().map(|r| r.recommendation).sum()
-    }
-
-    pub fn total_creation(&self) -> SimSeconds {
-        self.rounds.iter().map(|r| r.creation).sum()
-    }
-
-    pub fn total_execution(&self) -> SimSeconds {
-        self.rounds.iter().map(|r| r.execution).sum()
-    }
-
-    pub fn total(&self) -> SimSeconds {
-        self.total_recommendation() + self.total_creation() + self.total_execution()
-    }
-
-    /// Execution time of the final round (the paper's converged-quality
-    /// metric, §V-B1 "What is the best search strategy?").
-    pub fn final_round_execution(&self) -> SimSeconds {
-        self.rounds.last().map(|r| r.execution).unwrap_or(SimSeconds::ZERO)
-    }
-}
-
-/// The tuners under comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TunerKind {
-    NoIndex,
-    PdTool,
-    Mab,
-    Ddqn { seed: u64 },
-    DdqnSc { seed: u64 },
-}
-
-impl TunerKind {
-    pub fn label(&self) -> &'static str {
-        match self {
-            TunerKind::NoIndex => "NoIndex",
-            TunerKind::PdTool => "PDTool",
-            TunerKind::Mab => "MAB",
-            TunerKind::Ddqn { .. } => "DDQN",
-            TunerKind::DdqnSc { .. } => "DDQN_SC",
-        }
-    }
-}
+pub use dba_session::{make_advisor, RoundRecord, RunResult, TunerKind};
 
 /// Experiment-wide configuration from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -87,98 +19,125 @@ pub struct ExperimentEnv {
     pub sf: f64,
     pub seed: u64,
     pub quick: bool,
+    /// `DBA_ROUNDS` override: rounds for static/random workloads,
+    /// rounds-per-group for shifting.
+    pub rounds: Option<usize>,
+}
+
+/// Parse an environment variable, warning (rather than silently
+/// defaulting) when a value is present but unparsable.
+fn env_parsed<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: ignoring unparsable {name}={raw:?}; using the default");
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 impl ExperimentEnv {
+    /// Read `DBA_SF`, `DBA_SEED`, `DBA_QUICK` and `DBA_ROUNDS`.
     pub fn from_env() -> Self {
-        let quick = std::env::var("DBA_QUICK").map(|v| v == "1").unwrap_or(false);
-        let sf = std::env::var("DBA_SF")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(if quick { 1.0 } else { 10.0 });
-        let seed = std::env::var("DBA_SEED")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(42);
-        ExperimentEnv { sf, seed, quick }
+        let quick = match std::env::var("DBA_QUICK") {
+            Ok(v) if v == "1" => true,
+            Ok(v) if v == "0" || v.is_empty() => false,
+            Ok(v) => {
+                eprintln!("warning: ignoring DBA_QUICK={v:?}; use 1 to enable, 0 to disable");
+                false
+            }
+            Err(_) => false,
+        };
+        let sf = env_parsed("DBA_SF", if quick { 1.0 } else { 10.0 });
+        let seed = env_parsed("DBA_SEED", 42);
+        let rounds = match std::env::var("DBA_ROUNDS") {
+            Ok(raw) => match raw.parse::<usize>() {
+                Ok(0) => {
+                    eprintln!("warning: ignoring DBA_ROUNDS=0; a workload needs at least 1 round");
+                    None
+                }
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!("warning: ignoring unparsable DBA_ROUNDS={raw:?}");
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        ExperimentEnv {
+            sf,
+            seed,
+            quick,
+            rounds,
+        }
     }
 
-    /// Workload-type configurations, reduced under `quick`.
+    /// Workload-type configurations: the paper's settings (the
+    /// `WorkloadKind::paper_*` helpers are the single source of truth),
+    /// reduced under `quick`, with `DBA_ROUNDS` taking precedence over
+    /// both (as rounds-per-group for shifting).
     pub fn static_kind(&self) -> WorkloadKind {
-        if self.quick {
+        let base = if self.quick {
             WorkloadKind::Static { rounds: 8 }
         } else {
             WorkloadKind::paper_static()
+        };
+        match (self.rounds, base) {
+            (Some(rounds), WorkloadKind::Static { .. }) => WorkloadKind::Static { rounds },
+            (_, base) => base,
         }
     }
 
     pub fn shifting_kind(&self) -> WorkloadKind {
-        if self.quick {
+        let base = if self.quick {
             WorkloadKind::Shifting {
                 groups: 4,
                 rounds_per_group: 5,
             }
         } else {
             WorkloadKind::paper_shifting()
+        };
+        match (self.rounds, base) {
+            (Some(rounds_per_group), WorkloadKind::Shifting { groups, .. }) => {
+                WorkloadKind::Shifting {
+                    groups,
+                    rounds_per_group,
+                }
+            }
+            (_, base) => base,
         }
     }
 
     pub fn random_kind(&self, templates: usize) -> WorkloadKind {
-        if self.quick {
+        let base = if self.quick {
             WorkloadKind::Random {
                 rounds: 8,
                 queries_per_round: templates,
             }
         } else {
             WorkloadKind::paper_random(templates)
+        };
+        match (self.rounds, base) {
+            (
+                Some(rounds),
+                WorkloadKind::Random {
+                    queries_per_round, ..
+                },
+            ) => WorkloadKind::Random {
+                rounds,
+                queries_per_round,
+            },
+            (_, base) => base,
         }
     }
 }
 
-/// Construct an advisor for `kind`, configured per the paper's setup:
-/// memory budget 1× the data size, PDTool scheduled per workload type, the
-/// TPC-DS dynamic-random PDTool invocation capped at one hour (§V-A).
-pub fn make_advisor(
-    kind: TunerKind,
-    benchmark: &Benchmark,
-    workload: WorkloadKind,
-    catalog: &Catalog,
-    cost: &CostModel,
-) -> Box<dyn Advisor> {
-    let budget = catalog.database_bytes();
-    match kind {
-        TunerKind::NoIndex => Box::new(NoIndexAdvisor),
-        TunerKind::PdTool => {
-            let schedule = match workload {
-                WorkloadKind::Random { .. } => InvokeSchedule::EveryKRounds(4),
-                _ => InvokeSchedule::OnWorkloadChange,
-            };
-            let mut config = PdToolConfig::paper_defaults(budget, schedule);
-            if benchmark.name == "TPC-DS" && matches!(workload, WorkloadKind::Random { .. }) {
-                config.time_limit = Some(SimSeconds::new(3600.0));
-            }
-            Box::new(PdToolAdvisor::new(cost.clone(), config))
-        }
-        TunerKind::Mab => {
-            let config = MabConfig {
-                memory_budget_bytes: budget,
-                ..MabConfig::default()
-            };
-            Box::new(MabAdvisor::new(catalog, cost.clone(), config))
-        }
-        TunerKind::Ddqn { seed } => {
-            let config = DdqnConfig::paper_defaults(budget, seed);
-            Box::new(DdqnAdvisor::new(catalog, cost.clone(), config))
-        }
-        TunerKind::DdqnSc { seed } => {
-            let config = DdqnConfig::paper_defaults(budget, seed).single_column();
-            Box::new(DdqnAdvisor::new(catalog, cost.clone(), config))
-        }
-    }
-}
-
-/// Run one tuner over one workload. `base` supplies the shared generated
-/// data; each run forks an index-free catalog from it.
+/// Run one tuner over one workload through a [`TuningSession`]. `base`
+/// and `stats` supply the shared generated data and its statistics; each
+/// run forks an index-free catalog from `base`.
 pub fn run_one(
     benchmark: &Benchmark,
     base: &Catalog,
@@ -187,53 +146,19 @@ pub fn run_one(
     tuner: TunerKind,
     seed: u64,
 ) -> DbResult<RunResult> {
-    let cost = CostModel::paper_scale();
-    let mut catalog = base.fork_empty();
-    let mut advisor = make_advisor(tuner, benchmark, workload, &catalog, &cost);
-    let sequencer = WorkloadSequencer::new(benchmark, workload, seed);
-    let executor = Executor::new(cost.clone());
-
-    let mut rounds = Vec::with_capacity(sequencer.rounds());
-    for round in 0..sequencer.rounds() {
-        let advisor_cost = advisor.before_round(round, &mut catalog, stats);
-        let queries = sequencer.round_queries(&catalog, round)?;
-
-        let executions: Vec<QueryExecution> = {
-            let ctx = PlannerContext::from_catalog(&catalog, stats, &cost);
-            let planner = Planner::new(&ctx);
-            queries
-                .iter()
-                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-                .collect()
-        };
-        let execution: SimSeconds = executions.iter().map(|e| e.total).sum();
-        advisor.after_round(&queries, &executions);
-
-        rounds.push(RoundRecord {
-            round: round + 1,
-            recommendation: advisor_cost.recommendation,
-            creation: advisor_cost.creation,
-            execution,
-        });
-    }
-
-    Ok(RunResult {
-        tuner: advisor.name().to_string(),
-        benchmark: benchmark.name.to_string(),
-        workload: workload_label(workload).to_string(),
-        rounds,
-    })
+    SessionBuilder::new()
+        .benchmark(benchmark.clone())
+        .shared_data(base)
+        .shared_stats(stats)
+        .workload(workload)
+        .tuner(tuner)
+        .seed(seed)
+        .build()?
+        .run()
 }
 
-fn workload_label(kind: WorkloadKind) -> &'static str {
-    match kind {
-        WorkloadKind::Static { .. } => "static",
-        WorkloadKind::Shifting { .. } => "shifting",
-        WorkloadKind::Random { .. } => "random",
-    }
-}
-
-/// Run a set of tuners over one benchmark/workload, sharing generated data.
+/// Run a set of tuners over one benchmark/workload, sharing generated
+/// data and statistics.
 pub fn run_benchmark_suite(
     benchmark: &Benchmark,
     workload: WorkloadKind,
@@ -308,5 +233,24 @@ mod tests {
         assert!(pd.rounds[1].recommendation.secs() > 0.0);
         assert!(pd.rounds[4].recommendation.secs() > 0.0);
         assert_eq!(pd.rounds[0].recommendation.secs(), 0.0);
+    }
+
+    #[test]
+    fn dba_rounds_overrides_every_workload_kind() {
+        let env = ExperimentEnv {
+            sf: 1.0,
+            seed: 42,
+            quick: false,
+            rounds: Some(3),
+        };
+        assert_eq!(env.static_kind().rounds(), 3);
+        assert_eq!(env.shifting_kind().rounds(), 12); // 4 groups × 3
+        assert_eq!(env.random_kind(5).rounds(), 3);
+
+        let default_env = ExperimentEnv {
+            rounds: None,
+            ..env
+        };
+        assert_eq!(default_env.static_kind().rounds(), 25);
     }
 }

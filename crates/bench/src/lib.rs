@@ -9,7 +9,12 @@
 //! * `DBA_SF` — scale factor (default 10, the paper's main setting);
 //! * `DBA_SEED` — experiment seed (default 42);
 //! * `DBA_QUICK` — set to `1` for a reduced-size smoke configuration
-//!   (SF 1, fewer rounds) that preserves the qualitative shapes.
+//!   (SF 1, fewer rounds) that preserves the qualitative shapes;
+//! * `DBA_ROUNDS` — override the per-workload round count (rounds per
+//!   group for shifting workloads).
+//!
+//! All driving goes through [`dba_session::TuningSession`]; this crate
+//! only configures sessions and formats their results.
 
 pub mod harness;
 pub mod report;

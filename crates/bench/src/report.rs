@@ -89,8 +89,7 @@ pub fn print_totals_table(title: &str, results: &[RunResult]) {
 
 /// Totals as CSV rows.
 pub fn totals_rows(results: &[RunResult]) -> (String, Vec<String>) {
-    let header =
-        "benchmark,tuner,recommendation_s,creation_s,execution_s,total_s".to_string();
+    let header = "benchmark,tuner,recommendation_s,creation_s,execution_s,total_s".to_string();
     let rows = results
         .iter()
         .map(|r| {

@@ -15,7 +15,10 @@ pub enum DbError {
     /// empty key sets, etc.).
     Invalid(String),
     /// A memory-budget constraint was violated.
-    BudgetExceeded { requested_bytes: u64, budget_bytes: u64 },
+    BudgetExceeded {
+        requested_bytes: u64,
+        budget_bytes: u64,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -48,7 +51,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(DbError::UnknownTable("orders".into()).to_string().contains("orders"));
+        assert!(DbError::UnknownTable("orders".into())
+            .to_string()
+            .contains("orders"));
         let e = DbError::UnknownColumn {
             table: "orders".into(),
             column: "o_custkey".into(),

@@ -111,6 +111,9 @@ mod tests {
 
     #[test]
     fn column_ref_display() {
-        assert_eq!(ColumnRef::new("orders", "o_custkey").to_string(), "orders.o_custkey");
+        assert_eq!(
+            ColumnRef::new("orders", "o_custkey").to_string(),
+            "orders.o_custkey"
+        );
     }
 }

@@ -1,0 +1,57 @@
+//! The uniform tuner interface every index advisor implements.
+//!
+//! This trait is the seam between *tuners* (the MAB tuner in this crate,
+//! the PDTool/DDQN/NoIndex baselines in `dba-baselines`, future backends)
+//! and *drivers* (the `TuningSession` in `dba-session`, which owns the
+//! recommend → execute → observe loop of Algorithm 2). A tuner only ever
+//! sees two calls per round: `before_round` to adjust the physical design,
+//! `after_round` to observe what actually happened.
+
+use dba_common::SimSeconds;
+use dba_engine::{Query, QueryExecution};
+use dba_optimizer::StatsCatalog;
+use dba_storage::Catalog;
+
+/// Time charged by an advisor in one round, split the way Table I reports
+/// it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvisorCost {
+    pub recommendation: SimSeconds,
+    pub creation: SimSeconds,
+}
+
+/// Uniform tuner interface driven by a tuning session: a recommendation
+/// step before each round's workload, an observation step after.
+pub trait Advisor {
+    fn name(&self) -> &str;
+
+    /// Adjust the physical design before round `round` (0-based) executes.
+    fn before_round(
+        &mut self,
+        round: usize,
+        catalog: &mut Catalog,
+        stats: &StatsCatalog,
+    ) -> AdvisorCost;
+
+    /// Observe the executed workload.
+    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]);
+}
+
+impl<A: Advisor + ?Sized> Advisor for Box<A> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn before_round(
+        &mut self,
+        round: usize,
+        catalog: &mut Catalog,
+        stats: &StatsCatalog,
+    ) -> AdvisorCost {
+        (**self).before_round(round, catalog, stats)
+    }
+
+    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]) {
+        (**self).after_round(queries, executions)
+    }
+}

@@ -167,8 +167,8 @@ impl ArmRegistry {
         let maximal = indexable.len().min(config.max_key_width);
 
         for subset in subsets_up_to(&indexable, config.max_key_width) {
-            let covering_eligible = subset.len() == maximal
-                || (subset.len() == 1 && join_cols.contains(&subset[0]));
+            let covering_eligible =
+                subset.len() == maximal || (subset.len() == 1 && join_cols.contains(&subset[0]));
             for ordering in orderings(&subset, &selectivity, &join_cols) {
                 let key_cols: Vec<u16> = ordering.iter().map(|c| c.ordinal).collect();
                 let def = IndexDef::new(table, key_cols.clone(), vec![]);
@@ -433,9 +433,7 @@ mod tests {
             .filter(|&&i| reg.arm(i).def.table == TableId(1))
             .collect();
         assert!(!b_arms.is_empty());
-        assert!(b_arms
-            .iter()
-            .any(|&&i| reg.arm(i).def.key_cols == vec![0]));
+        assert!(b_arms.iter().any(|&&i| reg.arm(i).def.key_cols == vec![0]));
     }
 
     #[test]
@@ -484,9 +482,7 @@ mod tests {
             include_covering: false,
         };
         let active = reg.generate(&[&q], &cat, &est, &cfg);
-        assert!(active
-            .iter()
-            .all(|&i| reg.arm(i).def.key_cols.len() <= 2));
+        assert!(active.iter().all(|&i| reg.arm(i).def.key_cols.len() <= 2));
         // 4 singles + C(4,2)=6 pairs × ≤2 orderings.
         assert!(active.len() >= 10);
     }

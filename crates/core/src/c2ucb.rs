@@ -217,7 +217,10 @@ mod tests {
         let width0 = bandit.width(&[1.0, 0.0]);
         let width1 = bandit.width(&[0.0, 1.0]);
         assert!(width1 > width0 * 5.0);
-        assert!(scores[0] > scores[1], "exploitation should still dominate here");
+        assert!(
+            scores[0] > scores[1],
+            "exploitation should still dominate here"
+        );
     }
 
     #[test]
@@ -242,7 +245,10 @@ mod tests {
         }
         let unseen = vec![0.5, 0.5];
         let mean = bandit.mean_score(&unseen);
-        assert!((mean - 0.5).abs() < 0.1, "0.5·2 + 0.5·(-1) = 0.5, got {mean}");
+        assert!(
+            (mean - 0.5).abs() < 0.1,
+            "0.5·2 + 0.5·(-1) = 0.5, got {mean}"
+        );
     }
 
     #[test]

@@ -135,9 +135,7 @@ impl<'a> ContextBuilder<'a> {
 mod tests {
     use super::*;
     use dba_common::{TableId, TemplateId};
-    use dba_storage::{
-        ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema,
-    };
+    use dba_storage::{ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema};
     use std::sync::Arc;
 
     fn catalog() -> Catalog {
@@ -247,9 +245,7 @@ mod tests {
         let preds: HashSet<ColumnId> = [col(0, 1)].into_iter().collect();
         let builder = ContextBuilder::new(&layout, preds, 1000, 1);
         let a = arm(vec![col(0, 1)], vec![], 250);
-        let get = |ctx: &SparseVec, d: usize| {
-            ctx.iter().find(|&&(i, _)| i == d).map(|&(_, v)| v)
-        };
+        let get = |ctx: &SparseVec, d: usize| ctx.iter().find(|&&(i, _)| i == d).map(|&(_, v)| v);
         let fresh = builder.build(&a, false);
         assert_eq!(get(&fresh, layout.size_dim()), Some(0.25));
         let existing = builder.build(&a, true);
@@ -275,8 +271,7 @@ mod tests {
     fn context_dims_are_sorted_and_unique() {
         let cat = catalog();
         let layout = ContextLayout::new(&cat);
-        let preds: HashSet<ColumnId> =
-            [col(0, 0), col(0, 1), col(0, 2)].into_iter().collect();
+        let preds: HashSet<ColumnId> = [col(0, 0), col(0, 1), col(0, 2)].into_iter().collect();
         let builder = ContextBuilder::new(&layout, preds, 1000, 1);
         let mut a = arm(vec![col(0, 0), col(0, 1), col(0, 2)], vec![], 10);
         a.times_used = 1;

@@ -18,9 +18,10 @@
 //!    [`reward`] shapes observed execution statistics into per-arm rewards
 //!    that update the bandit.
 //!
-//! [`tuner::MabTuner`] ties the steps together behind the `Advisor`-style
-//! API the experiment harness drives.
+//! [`tuner::MabTuner`] ties the steps together and implements the
+//! [`Advisor`] interface that tuning sessions drive.
 
+pub mod advisor;
 pub mod arms;
 pub mod c2ucb;
 pub mod context;
@@ -30,6 +31,7 @@ pub mod query_store;
 pub mod reward;
 pub mod tuner;
 
+pub use advisor::{Advisor, AdvisorCost};
 pub use arms::{Arm, ArmGenConfig, ArmRegistry};
 pub use c2ucb::{AlphaSchedule, C2Ucb, C2UcbConfig};
 pub use context::{ContextBuilder, ContextLayout};

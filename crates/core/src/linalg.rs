@@ -9,6 +9,9 @@
 //! hundred at most), so dense storage is appropriate — no external linear
 //! algebra crate is needed.
 
+// Index-based loops mirror the matrix equations they implement.
+#![allow(clippy::needless_range_loop)]
+
 /// Dense row-major square matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -358,7 +361,10 @@ mod tests {
             sm.add_observation(&x);
         }
         let after = sm.width_sq(&x);
-        assert!(after < before / 5.0, "width should shrink: {before} → {after}");
+        assert!(
+            after < before / 5.0,
+            "width should shrink: {before} → {after}"
+        );
         // An orthogonal direction keeps its width.
         let y = vec![0.0, 1.0, 0.0, 0.0];
         assert!((sm.width_sq(&y) - 1.0).abs() < 1e-9);

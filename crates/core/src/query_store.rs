@@ -191,7 +191,10 @@ mod tests {
     #[test]
     fn templates_are_tracked_across_rounds() {
         let mut qs = QueryStore::new();
-        qs.ingest_round(&[query(1), query(2)], &[exec_with(vec![]), exec_with(vec![])]);
+        qs.ingest_round(
+            &[query(1), query(2)],
+            &[exec_with(vec![]), exec_with(vec![])],
+        );
         qs.ingest_round(&[query(2)], &[exec_with(vec![])]);
         assert_eq!(qs.template_count(), 2);
         let t1 = qs.template(TemplateId(1)).unwrap();
@@ -204,11 +207,20 @@ mod tests {
     #[test]
     fn shift_intensity_measures_new_templates() {
         let mut qs = QueryStore::new();
-        let i1 = qs.ingest_round(&[query(1), query(2)], &[exec_with(vec![]), exec_with(vec![])]);
+        let i1 = qs.ingest_round(
+            &[query(1), query(2)],
+            &[exec_with(vec![]), exec_with(vec![])],
+        );
         assert_eq!(i1, 1.0, "everything is new in round 1");
-        let i2 = qs.ingest_round(&[query(1), query(2)], &[exec_with(vec![]), exec_with(vec![])]);
+        let i2 = qs.ingest_round(
+            &[query(1), query(2)],
+            &[exec_with(vec![]), exec_with(vec![])],
+        );
         assert_eq!(i2, 0.0, "repeat round");
-        let i3 = qs.ingest_round(&[query(1), query(3)], &[exec_with(vec![]), exec_with(vec![])]);
+        let i3 = qs.ingest_round(
+            &[query(1), query(3)],
+            &[exec_with(vec![]), exec_with(vec![])],
+        );
         assert_eq!(i3, 0.5, "half the templates are new");
     }
 

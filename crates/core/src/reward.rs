@@ -190,8 +190,7 @@ mod tests {
         let executions = vec![exec(vec![via_index(0, 5, 25.0)])];
         store.ingest_round(&queries, &executions);
         let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
-        let (rewards, _) =
-            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        let (rewards, _) = RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
         assert_eq!(rewards, vec![(42, -15.0)]);
     }
 
@@ -206,8 +205,7 @@ mod tests {
         ];
         store.ingest_round(&queries, &executions);
         let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
-        let (rewards, _) =
-            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        let (rewards, _) = RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
         // (10−2) + (6−1) = 13.
         assert_eq!(rewards, vec![(42, 13.0)]);
     }
@@ -220,8 +218,7 @@ mod tests {
         let queries = vec![query(9)];
         let executions = vec![exec(vec![via_index(0, 5, 4.0)])];
         let config: HashMap<IndexId, usize> = [(IndexId(5), 7usize)].into_iter().collect();
-        let (rewards, _) =
-            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[7]);
+        let (rewards, _) = RewardShaper::shape(&store, &queries, &executions, &config, &[], &[7]);
         assert_eq!(rewards, vec![(7, 0.0)]);
     }
 

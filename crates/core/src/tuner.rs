@@ -20,6 +20,7 @@ use dba_optimizer::{CardEstimator, StatsCatalog};
 use dba_storage::Catalog;
 use serde::{Deserialize, Serialize};
 
+use crate::advisor::{Advisor, AdvisorCost};
 use crate::arms::{ArmGenConfig, ArmRegistry};
 use crate::c2ucb::{C2Ucb, C2UcbConfig};
 use crate::context::{ContextBuilder, ContextLayout};
@@ -240,8 +241,7 @@ impl MabTuner {
                         self.registry.arm(arm).size_bytes,
                     )
                     .secs();
-                scores[pos] -=
-                    build / scale / self.config.creation_amortization_rounds.max(1.0);
+                scores[pos] -= build / scale / self.config.creation_amortization_rounds.max(1.0);
             }
         }
 
@@ -265,14 +265,19 @@ impl MabTuner {
         let selected_set: HashSet<usize> = selected.iter().copied().collect();
 
         if std::env::var("DBA_MAB_DEBUG").is_ok() {
-            let mut ranked: Vec<(usize, f64)> = active.iter().copied().zip(scores.iter().copied()).collect();
+            let mut ranked: Vec<(usize, f64)> =
+                active.iter().copied().zip(scores.iter().copied()).collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             for (arm, score) in ranked.iter().take(12) {
                 let a = self.registry.arm(*arm);
                 eprintln!(
                     "  [score] {:+.3} {} arm{} t{} keys={:?} incl={:?} used={} sel={}",
                     score,
-                    if selected_set.contains(arm) { "SEL" } else { "   " },
+                    if selected_set.contains(arm) {
+                        "SEL"
+                    } else {
+                        "   "
+                    },
                     arm,
                     a.def.table.raw(),
                     a.def.key_cols,
@@ -327,7 +332,10 @@ impl MabTuner {
         self.played = selected
             .iter()
             .map(|&i| {
-                let pos = active.iter().position(|&a| a == i).expect("selected ⊆ active");
+                let pos = active
+                    .iter()
+                    .position(|&a| a == i)
+                    .expect("selected ⊆ active");
                 (i, contexts[pos].clone())
             })
             .collect();
@@ -394,21 +402,39 @@ impl MabTuner {
             let plays: Vec<(SparseVec, f64)> = self
                 .played
                 .iter()
-                .map(|(arm, ctx)| {
-                    (ctx.clone(), (reward_by_arm[arm] / scale).clamp(-clip, clip))
-                })
+                .map(|(arm, ctx)| (ctx.clone(), (reward_by_arm[arm] / scale).clamp(-clip, clip)))
                 .collect();
             self.bandit.update_sparse(&plays);
         }
 
-        if self.config.forget_on_shift
-            && round > 1
-            && intensity >= self.config.shift_threshold
-        {
+        if self.config.forget_on_shift && round > 1 && intensity >= self.config.shift_threshold {
             // Forget proportionally to the shift: a full shift resets the
             // model, a partial shift decays it.
             self.bandit.forget(1.0 - intensity);
         }
+    }
+}
+
+impl Advisor for MabTuner {
+    fn name(&self) -> &str {
+        "MAB"
+    }
+
+    fn before_round(
+        &mut self,
+        _round: usize,
+        catalog: &mut Catalog,
+        stats: &StatsCatalog,
+    ) -> AdvisorCost {
+        let outcome = self.recommend_and_apply(catalog, stats);
+        AdvisorCost {
+            recommendation: outcome.recommendation_time,
+            creation: outcome.creation_time,
+        }
+    }
+
+    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]) {
+        self.observe(queries, executions);
     }
 }
 

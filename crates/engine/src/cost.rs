@@ -160,11 +160,9 @@ impl CostModel {
     /// charged separately. The output term is what makes join-cardinality
     /// explosions (skewed foreign keys) *observable* in execution time.
     pub fn hash_join(&self, build_rows: u64, probe_rows: u64, output_rows: u64) -> SimSeconds {
-        self.t(
-            build_rows as f64 * self.hash_build_row_s
-                + probe_rows as f64 * self.hash_probe_row_s
-                + output_rows as f64 * self.cpu_row_s,
-        )
+        self.t(build_rows as f64 * self.hash_build_row_s
+            + probe_rows as f64 * self.hash_probe_row_s
+            + output_rows as f64 * self.cpu_row_s)
     }
 
     /// Aggregation over `rows` input rows.
@@ -178,12 +176,10 @@ impl CostModel {
         let n = rows.max(2) as f64;
         let sort = n * n.log2() * self.sort_cmp_s;
         let write_pages = index_bytes.div_ceil(PAGE_BYTES);
-        self.t(
-            heap_pages as f64 * self.seq_page_s
-                + n * self.cpu_row_s
-                + sort
-                + write_pages as f64 * self.write_page_s,
-        )
+        self.t(heap_pages as f64 * self.seq_page_s
+            + n * self.cpu_row_s
+            + sort
+            + write_pages as f64 * self.write_page_s)
     }
 
     /// Cost model's own estimate of a full table scan given page/row counts

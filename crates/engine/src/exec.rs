@@ -274,9 +274,7 @@ impl Executor {
         match method {
             AccessMethod::FullScan => {
                 let rows = filter_all(table, preds);
-                let time = self
-                    .cost
-                    .scan(table.heap_pages(), table.rows() as u64);
+                let time = self.cost.scan(table.heap_pages(), table.rows() as u64);
                 let stats = AccessStats {
                     table: table.id(),
                     index: None,
@@ -344,9 +342,7 @@ impl Executor {
 
 /// Bytes per leaf row of `index` on `table` (keys + includes + locator).
 fn leaf_row_bytes(table: &Table, index: &Index) -> u64 {
-    table.columns_width(&index.def().key_cols)
-        + table.columns_width(&index.def().include_cols)
-        + 8
+    table.columns_width(&index.def().key_cols) + table.columns_width(&index.def().include_cols) + 8
 }
 
 /// Row ids of `table` matching all `preds` (full evaluation).
@@ -360,10 +356,7 @@ fn filter_all(table: &Table, preds: &[Predicate]) -> Vec<u32> {
         .collect();
     let mut out = Vec::new();
     for r in 0..table.rows() {
-        let ok = preds
-            .iter()
-            .zip(&cols)
-            .all(|(p, c)| p.matches(c[r]));
+        let ok = preds.iter().zip(&cols).all(|(p, c)| p.matches(c[r]));
         if ok {
             out.push(r as u32);
         }
@@ -385,9 +378,7 @@ mod tests {
     use crate::plan::{JoinStep, TableAccess};
     use crate::query::JoinPred;
     use dba_common::{ColumnId, TemplateId};
-    use dba_storage::{
-        ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema,
-    };
+    use dba_storage::{ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema};
     use std::sync::Arc;
 
     /// Two-table catalog: `dim` (200 rows) and `fact` (5000 rows) with
@@ -458,17 +449,17 @@ mod tests {
     #[test]
     fn full_scan_counts_match_ground_truth() {
         let cat = catalog();
-        let q = single_table_query(
-            vec![Predicate::range(col(1, 2), 0, 99)],
-            vec![col(1, 0)],
-        );
+        let q = single_table_query(vec![Predicate::range(col(1, 2), 0, 99)], vec![col(1, 0)]);
         let exec = Executor::new(CostModel::unit_scale());
         let result = exec.execute(&cat, &q, &scan_plan(TableId(1), 0.0));
         let truth = cat.table(TableId(1)).column(2).count_in_range(0, 99) as u64;
         assert_eq!(result.result_rows, truth);
         assert!(result.accesses[0].is_full_scan);
         assert!(result.total.secs() > 0.0);
-        assert_eq!(result.full_scan_time(TableId(1)), Some(result.accesses[0].time));
+        assert_eq!(
+            result.full_scan_time(TableId(1)),
+            Some(result.accesses[0].time)
+        );
     }
 
     #[test]
@@ -477,10 +468,7 @@ mod tests {
         let meta = cat
             .create_index(IndexDef::new(TableId(1), vec![2], vec![]))
             .unwrap();
-        let q = single_table_query(
-            vec![Predicate::range(col(1, 2), 10, 30)],
-            vec![col(1, 0)],
-        );
+        let q = single_table_query(vec![Predicate::range(col(1, 2), 10, 30)], vec![col(1, 0)]);
         let exec = Executor::new(CostModel::unit_scale());
         let seek_plan = Plan {
             driver: TableAccess {
@@ -519,11 +507,7 @@ mod tests {
                     ColumnType::Int,
                     Distribution::Uniform { lo: 0, hi: 599_999 },
                 ),
-                ColumnSpec::new(
-                    "w",
-                    ColumnType::Int,
-                    Distribution::Uniform { lo: 0, hi: 9 },
-                ),
+                ColumnSpec::new("w", ColumnType::Int, Distribution::Uniform { lo: 0, hi: 9 }),
             ],
         );
         let mut cat = Catalog::new(vec![Arc::new(
@@ -578,10 +562,7 @@ mod tests {
         let covering = cat
             .create_index(IndexDef::new(TableId(1), vec![2], vec![0]))
             .unwrap();
-        let q = single_table_query(
-            vec![Predicate::range(col(1, 2), 10, 300)],
-            vec![col(1, 0)],
-        );
+        let q = single_table_query(vec![Predicate::range(col(1, 2), 10, 300)], vec![col(1, 0)]);
         let exec = Executor::new(CostModel::unit_scale());
         let mk = |id, cov| Plan {
             driver: TableAccess {
@@ -628,8 +609,7 @@ mod tests {
             }
             let key = dim.column(0).value(dr);
             for fr in 0..fact.rows() {
-                if fact.column(1).value(fr) == key
-                    && (0..=499).contains(&fact.column(2).value(fr))
+                if fact.column(1).value(fr) == key && (0..=499).contains(&fact.column(2).value(fr))
                 {
                     n += 1;
                 }

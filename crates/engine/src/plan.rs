@@ -242,10 +242,7 @@ mod tests {
                     est_rows: 5.0,
                 },
                 algo: JoinAlgo::IndexNestedLoop,
-                join: JoinPred::new(
-                    ColumnId::new(TableId(0), 0),
-                    ColumnId::new(TableId(1), 0),
-                ),
+                join: JoinPred::new(ColumnId::new(TableId(0), 0), ColumnId::new(TableId(1), 0)),
                 est_rows_out: 50.0,
             }],
             aggregated: false,

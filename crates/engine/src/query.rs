@@ -19,7 +19,11 @@ pub struct Predicate {
 
 impl Predicate {
     pub fn eq(column: ColumnId, v: i64) -> Self {
-        Predicate { column, lo: v, hi: v }
+        Predicate {
+            column,
+            lo: v,
+            hi: v,
+        }
     }
 
     pub fn range(column: ColumnId, lo: i64, hi: i64) -> Self {
@@ -109,10 +113,7 @@ impl Query {
 
     /// Join columns on `table` (its side of each join it participates in).
     pub fn join_columns_on(&self, table: TableId) -> Vec<ColumnId> {
-        self.joins
-            .iter()
-            .filter_map(|j| j.side_on(table))
-            .collect()
+        self.joins.iter().filter_map(|j| j.side_on(table)).collect()
     }
 
     /// Every column of `table` the query must be able to read: predicate,

@@ -28,10 +28,7 @@ impl<'a> CardEstimator<'a> {
 
     /// Selectivity (0..=1) of a single predicate.
     pub fn predicate_selectivity(&self, p: &Predicate) -> f64 {
-        let col = self
-            .stats
-            .table(p.column.table)
-            .column(p.column.ordinal);
+        let col = self.stats.table(p.column.table).column(p.column.ordinal);
         if p.is_equality() {
             col.selectivity_eq(p.lo)
         } else {
@@ -82,9 +79,7 @@ impl<'a> CardEstimator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dba_storage::{
-        Catalog, ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema,
-    };
+    use dba_storage::{Catalog, ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
     use std::sync::Arc;
 
     /// `left` has a correlated pair (c1 determines c2); `right` is a

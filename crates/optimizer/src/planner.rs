@@ -241,7 +241,12 @@ impl<'a> Planner<'a> {
                 let local_sel = est.conjunction_selectivity(&preds);
                 let inner_rows_est = est.table_output(t, &preds);
                 let rows_out = est
-                    .join_output(current_rows, inner_rows_est, join.other_side(t).unwrap(), inner_col)
+                    .join_output(
+                        current_rows,
+                        inner_rows_est,
+                        join.other_side(t).unwrap(),
+                        inner_col,
+                    )
                     .max(0.0);
 
                 // Option A: hash join over the best standalone access.
@@ -485,7 +490,10 @@ mod tests {
             aggregated: true,
         };
         let plan = Planner::new(&ctx).plan(&q);
-        assert_eq!(plan.driver.method, AccessMethod::CoveringScan { index: meta.id });
+        assert_eq!(
+            plan.driver.method,
+            AccessMethod::CoveringScan { index: meta.id }
+        );
     }
 
     fn join_query() -> Query {
@@ -525,10 +533,7 @@ mod tests {
         // ~10 outer rows × ~100 matched: INL through the covering FK index
         // should beat scanning 100k rows.
         assert_eq!(plan.joins[0].algo, JoinAlgo::IndexNestedLoop);
-        assert_eq!(
-            plan.joins[0].access.method.index_id(),
-            Some(meta.id)
-        );
+        assert_eq!(plan.joins[0].access.method.index_id(), Some(meta.id));
     }
 
     #[test]

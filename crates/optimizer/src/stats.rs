@@ -64,8 +64,13 @@ impl Histogram {
     fn bucket_bounds(&self, i: usize) -> (i64, i64) {
         let b = self.counts.len() as u128;
         let span = (self.max - self.min) as u128 + 1;
-        let lo = self.min + ((span * i as u128) / b) as i64
-            + if (span * i as u128) % b != 0 { 1 } else { 0 };
+        let lo = self.min
+            + ((span * i as u128) / b) as i64
+            + if !(span * i as u128).is_multiple_of(b) {
+                1
+            } else {
+                0
+            };
         let hi = self.min + ((span * (i as u128 + 1) - 1) / b) as i64;
         (lo, hi)
     }
@@ -135,10 +140,7 @@ impl ColumnStats {
     pub fn build(column: &Column) -> ColumnStats {
         let rows = column.len() as u64;
         let histogram = Histogram::build(column.data(), HISTOGRAM_BUCKETS);
-        let ndv = histogram
-            .as_ref()
-            .map(|h| h.total_distinct())
-            .unwrap_or(0);
+        let ndv = histogram.as_ref().map(|h| h.total_distinct()).unwrap_or(0);
         let top_values = top_k(column.data(), TOP_K_VALUES);
         ColumnStats {
             rows,
@@ -310,14 +312,7 @@ mod tests {
         // under long-tail skew. Warm values past the tracked top-K fall
         // back to uniformity-within-bucket and are underestimated — and
         // AVI/join-fan-out errors (see `crate::est`) remain in full force.
-        let c = column(
-            Distribution::Zipf {
-                n: 100_000,
-                s: 1.2,
-            },
-            100_000,
-            2,
-        );
+        let c = column(Distribution::Zipf { n: 100_000, s: 1.2 }, 100_000, 2);
         let s = ColumnStats::build(&c);
         let truth_hot = c.count_in_range(0, 0) as f64 / 100_000.0;
         let est_hot = s.selectivity_eq(0);
@@ -338,14 +333,7 @@ mod tests {
 
     #[test]
     fn long_tail_zipf_cold_value_is_overestimated() {
-        let c = column(
-            Distribution::Zipf {
-                n: 100_000,
-                s: 1.2,
-            },
-            100_000,
-            3,
-        );
+        let c = column(Distribution::Zipf { n: 100_000, s: 1.2 }, 100_000, 3);
         let s = ColumnStats::build(&c);
         let h = s.histogram.as_ref().unwrap();
         // A cold value sharing bucket 0 with the hot values: near the top

@@ -50,10 +50,13 @@ impl<'a> WhatIf<'a> {
     /// `include_materialised` additionally exposes the catalog's real
     /// indexes (an advisor evaluating *incremental* benefit wants them; a
     /// from-scratch recommendation pass does not).
-    fn candidates(&self, hypothetical: &[IndexDef], include_materialised: bool) -> Vec<IndexCandidate> {
-        let mut out: Vec<IndexCandidate> = Vec::with_capacity(
-            hypothetical.len() + if include_materialised { 8 } else { 0 },
-        );
+    fn candidates(
+        &self,
+        hypothetical: &[IndexDef],
+        include_materialised: bool,
+    ) -> Vec<IndexCandidate> {
+        let mut out: Vec<IndexCandidate> =
+            Vec::with_capacity(hypothetical.len() + if include_materialised { 8 } else { 0 });
         for (i, def) in hypothetical.iter().enumerate() {
             let table = self.catalog.table(def.table);
             out.push(IndexCandidate {
@@ -141,11 +144,7 @@ mod tests {
                     ColumnType::Int,
                     Distribution::Uniform { lo: 0, hi: 99_999 },
                 ),
-                ColumnSpec::new(
-                    "c",
-                    ColumnType::Int,
-                    Distribution::Uniform { lo: 0, hi: 9 },
-                ),
+                ColumnSpec::new("c", ColumnType::Int, Distribution::Uniform { lo: 0, hi: 9 }),
             ],
         );
         Catalog::new(vec![Arc::new(
@@ -191,7 +190,7 @@ mod tests {
         let stats = StatsCatalog::build(&cat);
         let cost = CostModel::unit_scale();
         let hypo_cost = WhatIf::new(&cat, &stats, &cost)
-            .cost_query(&query(), &[def.clone()], false)
+            .cost_query(&query(), std::slice::from_ref(&def), false)
             .est_cost;
 
         let mut cat2 = catalog();

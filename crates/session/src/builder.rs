@@ -1,0 +1,353 @@
+//! Session construction: tuner selection and validated assembly of the
+//! substrate a tuning loop needs.
+
+use dba_baselines::{
+    DdqnAdvisor, DdqnConfig, InvokeSchedule, NoIndexAdvisor, PdToolAdvisor, PdToolConfig,
+};
+use dba_common::{DbError, DbResult, SimSeconds};
+use dba_core::{Advisor, MabConfig, MabTuner};
+use dba_engine::{CostModel, Executor};
+use dba_optimizer::StatsCatalog;
+use dba_storage::Catalog;
+use dba_workloads::{Benchmark, WorkloadKind};
+
+use crate::session::TuningSession;
+
+/// The built-in tuners (the paper's comparison set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunerKind {
+    NoIndex,
+    PdTool,
+    Mab,
+    Ddqn { seed: u64 },
+    DdqnSc { seed: u64 },
+}
+
+impl TunerKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            TunerKind::NoIndex => "NoIndex",
+            TunerKind::PdTool => "PDTool",
+            TunerKind::Mab => "MAB",
+            TunerKind::Ddqn { .. } => "DDQN",
+            TunerKind::DdqnSc { .. } => "DDQN-SC",
+        }
+    }
+}
+
+/// Construct an advisor for `kind`, configured per the paper's setup:
+/// PDTool scheduled per workload type, the TPC-DS dynamic-random PDTool
+/// invocation capped at one hour (§V-A).
+pub fn make_advisor(
+    kind: TunerKind,
+    benchmark_name: &str,
+    workload: WorkloadKind,
+    catalog: &Catalog,
+    cost: &CostModel,
+    memory_budget_bytes: u64,
+) -> Box<dyn Advisor> {
+    let budget = memory_budget_bytes;
+    match kind {
+        TunerKind::NoIndex => Box::new(NoIndexAdvisor),
+        TunerKind::PdTool => {
+            let schedule = match workload {
+                WorkloadKind::Random { .. } => InvokeSchedule::EveryKRounds(4),
+                _ => InvokeSchedule::OnWorkloadChange,
+            };
+            let mut config = PdToolConfig::paper_defaults(budget, schedule);
+            if benchmark_name == "TPC-DS" && matches!(workload, WorkloadKind::Random { .. }) {
+                config.time_limit = Some(SimSeconds::new(3600.0));
+            }
+            Box::new(PdToolAdvisor::new(cost.clone(), config))
+        }
+        TunerKind::Mab => {
+            let config = MabConfig {
+                memory_budget_bytes: budget,
+                ..MabConfig::default()
+            };
+            Box::new(MabTuner::new(catalog, cost.clone(), config))
+        }
+        TunerKind::Ddqn { seed } => {
+            let config = DdqnConfig::paper_defaults(budget, seed);
+            Box::new(DdqnAdvisor::new(catalog, cost.clone(), config))
+        }
+        TunerKind::DdqnSc { seed } => {
+            let config = DdqnConfig::paper_defaults(budget, seed).single_column();
+            Box::new(DdqnAdvisor::new(catalog, cost.clone(), config))
+        }
+    }
+}
+
+/// Builds a [`TuningSession`].
+///
+/// Required: a benchmark and a tuner (either a [`TunerKind`] or, via
+/// [`build_with`](SessionBuilder::build_with), any [`Advisor`]).
+/// Defaults: the paper's static workload, seed 42, the paper-scale cost
+/// model, and a memory budget of 1× the generated data size.
+pub struct SessionBuilder {
+    benchmark: Option<Benchmark>,
+    shared_data: Option<Catalog>,
+    shared_stats: Option<StatsCatalog>,
+    workload: WorkloadKind,
+    tuner: Option<TunerKind>,
+    seed: u64,
+    memory_budget_bytes: Option<u64>,
+    cost: CostModel,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionBuilder {
+    pub fn new() -> Self {
+        SessionBuilder {
+            benchmark: None,
+            shared_data: None,
+            shared_stats: None,
+            workload: WorkloadKind::paper_static(),
+            tuner: None,
+            seed: 42,
+            memory_budget_bytes: None,
+            cost: CostModel::paper_scale(),
+        }
+    }
+
+    /// The benchmark supplying schema, data generators and query
+    /// templates. Required.
+    pub fn benchmark(mut self, benchmark: Benchmark) -> Self {
+        self.benchmark = Some(benchmark);
+        self
+    }
+
+    /// Reuse already-generated benchmark data instead of regenerating it.
+    /// The session forks an index-free catalog from `base` (tables are
+    /// shared by reference), so several sessions can run over identical
+    /// data — how suites compare tuners fairly.
+    pub fn shared_data(mut self, base: &Catalog) -> Self {
+        self.shared_data = Some(base.fork_empty());
+        self
+    }
+
+    /// Reuse already-built statistics instead of re-ANALYZE-ing the data.
+    /// Statistics depend only on table contents, so a suite sharing data
+    /// across sessions can build them once and hand a clone to each.
+    pub fn shared_stats(mut self, stats: &StatsCatalog) -> Self {
+        self.shared_stats = Some(stats.clone());
+        self
+    }
+
+    /// The workload type (defaults to the paper's 25-round static
+    /// workload).
+    pub fn workload(mut self, kind: WorkloadKind) -> Self {
+        self.workload = kind;
+        self
+    }
+
+    /// Pick a built-in tuner. Required unless building with
+    /// [`build_with`](SessionBuilder::build_with).
+    pub fn tuner(mut self, kind: TunerKind) -> Self {
+        self.tuner = Some(kind);
+        self
+    }
+
+    /// Experiment seed for data generation and query parameter binding
+    /// (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Memory budget for secondary indexes, in bytes. Defaults to 1× the
+    /// generated data size (the paper's setting). Must be non-zero.
+    pub fn memory_budget_bytes(mut self, bytes: u64) -> Self {
+        self.memory_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Override the cost model (default: [`CostModel::paper_scale`]).
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Validate and build the substrate shared by both build paths.
+    fn prepare(self) -> DbResult<PreparedSession> {
+        let benchmark = self
+            .benchmark
+            .ok_or_else(|| DbError::Invalid("session builder: no benchmark configured".into()))?;
+        if self.workload.rounds() == 0 {
+            return Err(DbError::Invalid(
+                "session builder: workload has zero rounds".into(),
+            ));
+        }
+        if self.memory_budget_bytes == Some(0) {
+            return Err(DbError::Invalid(
+                "session builder: memory budget of 0 bytes leaves no room for any index".into(),
+            ));
+        }
+        let catalog = match self.shared_data {
+            Some(base) => base,
+            None => benchmark.build_catalog(self.seed)?.fork_empty(),
+        };
+        let stats = self
+            .shared_stats
+            .unwrap_or_else(|| StatsCatalog::build(&catalog));
+        let budget = self
+            .memory_budget_bytes
+            .unwrap_or_else(|| catalog.database_bytes());
+        Ok(PreparedSession {
+            benchmark,
+            catalog,
+            stats,
+            workload: self.workload,
+            tuner: self.tuner,
+            seed: self.seed,
+            budget,
+            cost: self.cost,
+        })
+    }
+
+    /// Build a session over the configured [`TunerKind`].
+    pub fn build(self) -> DbResult<TuningSession<Box<dyn Advisor>>> {
+        let p = self.prepare()?;
+        let kind = p
+            .tuner
+            .ok_or_else(|| DbError::Invalid("session builder: no tuner configured".into()))?;
+        let advisor = make_advisor(
+            kind,
+            p.benchmark.name,
+            p.workload,
+            &p.catalog,
+            &p.cost,
+            p.budget,
+        );
+        Ok(p.into_session(advisor))
+    }
+
+    /// Build a session over a custom advisor. The closure receives the
+    /// session's catalog, cost model and memory budget — everything an
+    /// advisor constructor needs — and keeps the concrete advisor type,
+    /// so session accessors can reach tuner internals (e.g.
+    /// `MabTuner::arm_count`).
+    pub fn build_with<A, F>(self, make: F) -> DbResult<TuningSession<A>>
+    where
+        A: Advisor,
+        F: FnOnce(&Catalog, &CostModel, u64) -> A,
+    {
+        let p = self.prepare()?;
+        let advisor = make(&p.catalog, &p.cost, p.budget);
+        Ok(p.into_session(advisor))
+    }
+}
+
+/// Validated substrate, ready to pair with an advisor.
+struct PreparedSession {
+    benchmark: Benchmark,
+    catalog: Catalog,
+    stats: StatsCatalog,
+    workload: WorkloadKind,
+    tuner: Option<TunerKind>,
+    seed: u64,
+    budget: u64,
+    cost: CostModel,
+}
+
+impl PreparedSession {
+    fn into_session<A: Advisor>(self, advisor: A) -> TuningSession<A> {
+        TuningSession::from_parts(
+            self.benchmark,
+            self.catalog,
+            self.stats,
+            self.workload,
+            self.seed,
+            self.budget,
+            Executor::new(self.cost.clone()),
+            self.cost,
+            advisor,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dba_workloads::ssb::ssb;
+
+    /// `unwrap_err` needs `Debug` on the success type; sessions have no
+    /// meaningful `Debug`, so extract the `Invalid` message by hand.
+    fn invalid_msg<T>(result: DbResult<T>) -> String {
+        match result {
+            Err(DbError::Invalid(msg)) => msg,
+            Err(other) => panic!("expected DbError::Invalid, got {other:?}"),
+            Ok(_) => panic!("expected an error, got a session"),
+        }
+    }
+
+    #[test]
+    fn missing_benchmark_is_rejected() {
+        let result = SessionBuilder::new().tuner(TunerKind::Mab).build();
+        assert!(invalid_msg(result).contains("no benchmark"));
+    }
+
+    #[test]
+    fn zero_round_workload_is_rejected() {
+        let result = SessionBuilder::new()
+            .benchmark(ssb(0.01))
+            .tuner(TunerKind::Mab)
+            .workload(WorkloadKind::Static { rounds: 0 })
+            .build();
+        assert!(invalid_msg(result).contains("zero rounds"));
+    }
+
+    #[test]
+    fn zero_byte_budget_is_rejected() {
+        let result = SessionBuilder::new()
+            .benchmark(ssb(0.01))
+            .tuner(TunerKind::Mab)
+            .memory_budget_bytes(0)
+            .build();
+        assert!(invalid_msg(result).contains("budget of 0"));
+    }
+
+    #[test]
+    fn missing_tuner_is_rejected() {
+        let result = SessionBuilder::new().benchmark(ssb(0.01)).build();
+        assert!(invalid_msg(result).contains("no tuner"));
+    }
+
+    #[test]
+    fn budget_defaults_to_database_size() {
+        let session = SessionBuilder::new()
+            .benchmark(ssb(0.01))
+            .tuner(TunerKind::NoIndex)
+            .workload(WorkloadKind::Static { rounds: 1 })
+            .build()
+            .unwrap();
+        assert_eq!(
+            session.memory_budget_bytes(),
+            session.catalog().database_bytes()
+        );
+    }
+
+    #[test]
+    fn every_tuner_kind_constructs() {
+        for kind in [
+            TunerKind::NoIndex,
+            TunerKind::PdTool,
+            TunerKind::Mab,
+            TunerKind::Ddqn { seed: 1 },
+            TunerKind::DdqnSc { seed: 1 },
+        ] {
+            let session = SessionBuilder::new()
+                .benchmark(ssb(0.01))
+                .tuner(kind)
+                .workload(WorkloadKind::Static { rounds: 1 })
+                .build()
+                .unwrap();
+            assert_eq!(session.advisor().name(), kind.label());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `TuningSession`: the first-class API for driving index tuners.
+//!
+//! The paper's central loop — recommend, execute, observe, repeat
+//! (Algorithm 2 of Perera et al., ICDE 2021) — lives here, in exactly one
+//! place. A session owns everything the loop needs (catalog, statistics,
+//! planner context, executor, workload sequencer) and drives any
+//! [`Advisor`] — the MAB tuner, the PDTool/DDQN/NoIndex baselines, or a
+//! user-supplied implementation — over any benchmark and workload type.
+//!
+//! ```no_run
+//! use dba_session::{SessionBuilder, TunerKind};
+//! use dba_workloads::{ssb::ssb, WorkloadKind};
+//!
+//! let mut session = SessionBuilder::new()
+//!     .benchmark(ssb(0.1))
+//!     .workload(WorkloadKind::Static { rounds: 10 })
+//!     .tuner(TunerKind::Mab)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! let result = session
+//!     .run_with(&mut |event| {
+//!         eprintln!("round {}: {:.1}s", event.round, event.record.execution.secs());
+//!     })
+//!     .unwrap();
+//! println!("total {:.1}s over {} rounds", result.total().secs(), result.rounds.len());
+//! ```
+//!
+//! * [`SessionBuilder`] validates the configuration and constructs the
+//!   substrate (catalog from the benchmark's generators, statistics, cost
+//!   model, memory budget — 1× the data size unless overridden).
+//! * [`TuningSession::step`] runs one round and returns its
+//!   [`RoundRecord`]; [`TuningSession::run`] drains the workload and
+//!   returns a [`RunResult`].
+//! * The `*_with` variants additionally emit a [`RoundEvent`] to an
+//!   `FnMut(&RoundEvent)` observer after every round — convergence
+//!   telemetry without touching the loop.
+
+pub mod builder;
+pub mod record;
+pub mod session;
+
+pub use builder::{make_advisor, SessionBuilder, TunerKind};
+pub use dba_core::{Advisor, AdvisorCost};
+pub use record::{RoundRecord, RunResult};
+pub use session::{RoundEvent, TuningSession};
+
+/// A session over a type-erased advisor, as produced by
+/// [`SessionBuilder::build`].
+pub type DynTuningSession = TuningSession<Box<dyn Advisor>>;

@@ -1,0 +1,56 @@
+//! Per-round and per-run accounting, split the way the paper's Table I
+//! reports it.
+
+use dba_common::SimSeconds;
+
+/// One round's time breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    pub recommendation: SimSeconds,
+    pub creation: SimSeconds,
+    pub execution: SimSeconds,
+}
+
+impl RoundRecord {
+    pub fn total(&self) -> SimSeconds {
+        self.recommendation + self.creation + self.execution
+    }
+}
+
+/// A complete run of one tuner over one workload.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub tuner: String,
+    pub benchmark: String,
+    pub workload: String,
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl RunResult {
+    pub fn total_recommendation(&self) -> SimSeconds {
+        self.rounds.iter().map(|r| r.recommendation).sum()
+    }
+
+    pub fn total_creation(&self) -> SimSeconds {
+        self.rounds.iter().map(|r| r.creation).sum()
+    }
+
+    pub fn total_execution(&self) -> SimSeconds {
+        self.rounds.iter().map(|r| r.execution).sum()
+    }
+
+    pub fn total(&self) -> SimSeconds {
+        self.total_recommendation() + self.total_creation() + self.total_execution()
+    }
+
+    /// Execution time of the final round (the paper's converged-quality
+    /// metric, §V-B1 "What is the best search strategy?").
+    pub fn final_round_execution(&self) -> SimSeconds {
+        self.rounds
+            .last()
+            .map(|r| r.execution)
+            .unwrap_or(SimSeconds::ZERO)
+    }
+}

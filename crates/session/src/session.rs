@@ -1,0 +1,351 @@
+//! The tuning loop itself — the only implementation of the paper's
+//! Algorithm 2 driving loop in the workspace.
+
+use dba_common::{DbResult, SimSeconds};
+use dba_engine::{Executor, Plan, Query, QueryExecution};
+use dba_optimizer::{Planner, PlannerContext, StatsCatalog};
+use dba_storage::Catalog;
+use dba_workloads::{Benchmark, WorkloadKind, WorkloadSequencer};
+
+use dba_core::Advisor;
+
+use crate::record::{RoundRecord, RunResult};
+
+/// Snapshot emitted to observers after every completed round.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundEvent {
+    /// 1-based round number (matches [`RoundRecord::round`]).
+    pub round: usize,
+    /// Total rounds in the session's workload.
+    pub rounds_total: usize,
+    /// The round's time accounting.
+    pub record: RoundRecord,
+    /// Number of queries executed this round.
+    pub queries: usize,
+    /// Materialised secondary indexes after the round.
+    pub index_count: usize,
+    /// Bytes held by materialised secondary indexes after the round.
+    pub index_bytes: u64,
+}
+
+/// A tuner driving session: one advisor × one benchmark × one workload.
+///
+/// Create via [`SessionBuilder`](crate::SessionBuilder). Drive with
+/// [`run`](Self::run) (whole workload) or [`step`](Self::step) (one round
+/// at a time); the `*_with` variants emit a [`RoundEvent`] per round to an
+/// observer.
+pub struct TuningSession<A: Advisor> {
+    benchmark: Benchmark,
+    catalog: Catalog,
+    stats: StatsCatalog,
+    workload: WorkloadKind,
+    seed: u64,
+    memory_budget_bytes: u64,
+    executor: Executor,
+    cost: dba_engine::CostModel,
+    advisor: A,
+    /// Seeded template order, computed once so per-round sequencer
+    /// reconstruction does no re-shuffling.
+    template_order: Vec<usize>,
+    records: Vec<RoundRecord>,
+    next_round: usize,
+}
+
+impl<A: Advisor> TuningSession<A> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        benchmark: Benchmark,
+        catalog: Catalog,
+        stats: StatsCatalog,
+        workload: WorkloadKind,
+        seed: u64,
+        memory_budget_bytes: u64,
+        executor: Executor,
+        cost: dba_engine::CostModel,
+        advisor: A,
+    ) -> Self {
+        let template_order = WorkloadSequencer::new(&benchmark, workload, seed)
+            .order()
+            .to_vec();
+        TuningSession {
+            benchmark,
+            catalog,
+            stats,
+            workload,
+            seed,
+            memory_budget_bytes,
+            executor,
+            cost,
+            advisor,
+            template_order,
+            records: Vec::new(),
+            next_round: 0,
+        }
+    }
+
+    /// A sequencer over the precomputed template order.
+    fn sequencer(&self) -> WorkloadSequencer<'_> {
+        WorkloadSequencer::with_order(
+            &self.benchmark,
+            self.workload,
+            self.seed,
+            &self.template_order,
+        )
+    }
+
+    pub fn benchmark(&self) -> &Benchmark {
+        &self.benchmark
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn stats(&self) -> &StatsCatalog {
+        &self.stats
+    }
+
+    pub fn advisor(&self) -> &A {
+        &self.advisor
+    }
+
+    pub fn advisor_mut(&mut self) -> &mut A {
+        &mut self.advisor
+    }
+
+    pub fn workload(&self) -> WorkloadKind {
+        self.workload
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn memory_budget_bytes(&self) -> u64 {
+        self.memory_budget_bytes
+    }
+
+    /// Rounds in the configured workload.
+    pub fn rounds_total(&self) -> usize {
+        self.workload.rounds()
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.next_round
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.next_round >= self.rounds_total()
+    }
+
+    /// Per-round records accumulated so far.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Run one round of Algorithm 2: recommend → execute → observe.
+    /// Returns `None` once the workload is exhausted.
+    pub fn step(&mut self) -> DbResult<Option<RoundRecord>> {
+        self.step_with(&mut |_| {})
+    }
+
+    /// [`step`](Self::step), emitting a [`RoundEvent`] to `observer` after
+    /// the round completes.
+    pub fn step_with(
+        &mut self,
+        observer: &mut dyn FnMut(&RoundEvent),
+    ) -> DbResult<Option<RoundRecord>> {
+        if self.is_finished() {
+            return Ok(None);
+        }
+        let round = self.next_round;
+        // Field-precise construction: borrowing via `self.sequencer()`
+        // would hold all of `self` across the advisor's mutable calls.
+        let sequencer = WorkloadSequencer::with_order(
+            &self.benchmark,
+            self.workload,
+            self.seed,
+            &self.template_order,
+        );
+
+        // 1. Recommendation: the advisor adjusts the physical design.
+        let advisor_cost = self
+            .advisor
+            .before_round(round, &mut self.catalog, &self.stats);
+
+        // 2. Execution: plan against the current design, run, observe.
+        let queries = sequencer.round_queries(&self.catalog, round)?;
+        let executions: Vec<QueryExecution> = {
+            let ctx = PlannerContext::from_catalog(&self.catalog, &self.stats, &self.cost);
+            let planner = Planner::new(&ctx);
+            queries
+                .iter()
+                .map(|q| self.executor.execute(&self.catalog, q, &planner.plan(q)))
+                .collect()
+        };
+        let execution: SimSeconds = executions.iter().map(|e| e.total).sum();
+
+        // 3. Observation: feed actual run-time statistics back.
+        self.advisor.after_round(&queries, &executions);
+
+        let record = RoundRecord {
+            round: round + 1,
+            recommendation: advisor_cost.recommendation,
+            creation: advisor_cost.creation,
+            execution,
+        };
+        self.records.push(record);
+        self.next_round += 1;
+
+        let event = RoundEvent {
+            round: record.round,
+            rounds_total: self.rounds_total(),
+            record,
+            queries: queries.len(),
+            index_count: self.catalog.all_indexes().count(),
+            index_bytes: self.catalog.index_bytes(),
+        };
+        observer(&event);
+        Ok(Some(record))
+    }
+
+    /// Run every remaining round and return the complete [`RunResult`].
+    pub fn run(&mut self) -> DbResult<RunResult> {
+        self.run_with(&mut |_| {})
+    }
+
+    /// [`run`](Self::run), emitting a [`RoundEvent`] per round.
+    pub fn run_with(&mut self, observer: &mut dyn FnMut(&RoundEvent)) -> DbResult<RunResult> {
+        while self.step_with(observer)?.is_some() {}
+        Ok(self.result())
+    }
+
+    /// The run's accounting so far (complete after [`run`](Self::run)).
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            tuner: self.advisor.name().to_string(),
+            benchmark: self.benchmark.name.to_string(),
+            workload: self.workload.label().to_string(),
+            rounds: self.records.clone(),
+        }
+    }
+
+    /// Plan (without executing) the queries of `round` against the current
+    /// physical design — diagnostic introspection for tools that explain
+    /// what the optimiser would do.
+    pub fn plan_round(&self, round: usize) -> DbResult<Vec<(Query, Plan)>> {
+        let sequencer = self.sequencer();
+        let queries = sequencer.round_queries(&self.catalog, round)?;
+        let ctx = PlannerContext::from_catalog(&self.catalog, &self.stats, &self.cost);
+        let planner = Planner::new(&ctx);
+        Ok(queries
+            .into_iter()
+            .map(|q| {
+                let plan = planner.plan(&q);
+                (q, plan)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{SessionBuilder, TunerKind};
+    use dba_workloads::{ssb::ssb, WorkloadKind};
+
+    #[test]
+    fn step_accounting_sums_to_run_result_totals() {
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 5 })
+            .tuner(TunerKind::Mab)
+            .seed(7)
+            .build()
+            .unwrap();
+
+        let (mut rec, mut cre, mut exe) = (0.0, 0.0, 0.0);
+        let mut steps = 0;
+        while let Some(record) = session.step().unwrap() {
+            steps += 1;
+            assert_eq!(record.round, steps, "rounds are 1-based and in order");
+            rec += record.recommendation.secs();
+            cre += record.creation.secs();
+            exe += record.execution.secs();
+            assert_eq!(session.rounds_done(), steps);
+        }
+        assert_eq!(steps, 5);
+        assert!(session.is_finished());
+        // Stepping past the end is a no-op.
+        assert!(session.step().unwrap().is_none());
+
+        let result = session.result();
+        assert_eq!(result.rounds.len(), 5);
+        assert!((result.total_recommendation().secs() - rec).abs() < 1e-9);
+        assert!((result.total_creation().secs() - cre).abs() < 1e-9);
+        assert!((result.total_execution().secs() - exe).abs() < 1e-9);
+        assert!((result.total().secs() - (rec + cre + exe)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_and_run_agree() {
+        let build = || {
+            SessionBuilder::new()
+                .benchmark(ssb(0.02))
+                .workload(WorkloadKind::Static { rounds: 4 })
+                .tuner(TunerKind::Mab)
+                .seed(11)
+                .build()
+                .unwrap()
+        };
+        let run_result = build().run().unwrap();
+        let mut stepped = build();
+        while stepped.step().unwrap().is_some() {}
+        let step_result = stepped.result();
+        assert_eq!(run_result.rounds.len(), step_result.rounds.len());
+        for (a, b) in run_result.rounds.iter().zip(&step_result.rounds) {
+            assert_eq!(a.execution.secs(), b.execution.secs());
+            assert_eq!(a.creation.secs(), b.creation.secs());
+            assert_eq!(a.recommendation.secs(), b.recommendation.secs());
+        }
+    }
+
+    #[test]
+    fn run_resumes_after_manual_steps() {
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 4 })
+            .tuner(TunerKind::NoIndex)
+            .build()
+            .unwrap();
+        session.step().unwrap();
+        session.step().unwrap();
+        let result = session.run().unwrap();
+        assert_eq!(result.rounds.len(), 4, "run() completes remaining rounds");
+    }
+
+    #[test]
+    fn events_report_materialised_state() {
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 5 })
+            .tuner(TunerKind::Mab)
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut last_bytes = 0;
+        let mut saw_indexes = false;
+        session
+            .run_with(&mut |event| {
+                if event.index_count > 0 {
+                    saw_indexes = true;
+                    assert!(event.index_bytes > 0);
+                }
+                last_bytes = event.index_bytes;
+            })
+            .unwrap();
+        assert!(saw_indexes, "MAB should materialise something in 5 rounds");
+        assert_eq!(last_bytes, session.catalog().index_bytes());
+        assert!(last_bytes <= session.memory_budget_bytes());
+    }
+}

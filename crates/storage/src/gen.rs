@@ -145,7 +145,13 @@ impl Distribution {
                 let sampler = ZipfSampler::new(parent_rows, s);
                 (0..rows).map(|_| sampler.sample(rng) as i64).collect()
             }
-            Distribution::Correlated { source, a, b, m, noise } => {
+            Distribution::Correlated {
+                source,
+                a,
+                b,
+                m,
+                noise,
+            } => {
                 let src = earlier
                     .get(source as usize)
                     .expect("correlated source must be an earlier column");
@@ -244,7 +250,7 @@ mod tests {
             m: 1000,
             noise: 0,
         }
-        .generate(1000, &mut rng, &[src.clone()]);
+        .generate(1000, &mut rng, std::slice::from_ref(&src));
         for (s, d) in src.iter().zip(&data) {
             assert_eq!(*d, (s * 3 + 7) % 1000);
         }

@@ -141,9 +141,7 @@ impl Index {
 
     /// Leaf pages for a full index (covering) scan.
     pub fn leaf_pages(&self) -> u64 {
-        self.size_bytes
-            .div_ceil(crate::table::PAGE_BYTES)
-            .max(1)
+        self.size_bytes.div_ceil(crate::table::PAGE_BYTES).max(1)
     }
 
     /// Row ids in key order.
@@ -233,7 +231,11 @@ mod tests {
             "t",
             vec![
                 ColumnSpec::new("a", ColumnType::Int, Distribution::Uniform { lo: 0, hi: 9 }),
-                ColumnSpec::new("b", ColumnType::Int, Distribution::Uniform { lo: 0, hi: 99 }),
+                ColumnSpec::new(
+                    "b",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 99 },
+                ),
                 ColumnSpec::new("c", ColumnType::Int, Distribution::Sequential),
             ],
         );

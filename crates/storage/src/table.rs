@@ -141,11 +141,7 @@ impl TableBuilder {
     pub fn build(self, id: TableId, root_seed: u64) -> Table {
         let mut generated: Vec<Vec<i64>> = Vec::with_capacity(self.schema.columns.len());
         for (ord, spec) in self.schema.columns.iter().enumerate() {
-            let mut rng = rng_for(
-                root_seed,
-                "datagen",
-                ((id.raw() as u64) << 16) | ord as u64,
-            );
+            let mut rng = rng_for(root_seed, "datagen", ((id.raw() as u64) << 16) | ord as u64);
             let data = spec.dist.generate(self.rows, &mut rng, &generated);
             generated.push(data);
         }

@@ -77,7 +77,8 @@ pub fn imdb(_sf: f64) -> Benchmark {
                 Distribution::Uniform { lo: 0, hi: 1999 },
             ),
         ],
-    ).with_pad(60);
+    )
+    .with_pad(60);
 
     let movie_info = TableSchema::new(
         "movie_info",
@@ -97,7 +98,8 @@ pub fn imdb(_sf: f64) -> Benchmark {
                 Distribution::Uniform { lo: 0, hi: 4999 },
             ),
         ],
-    ).with_pad(60);
+    )
+    .with_pad(60);
 
     let cast_info = TableSchema::new(
         "cast_info",
@@ -117,7 +119,8 @@ pub fn imdb(_sf: f64) -> Benchmark {
                 Distribution::Zipf { n: 12, s: 0.8 },
             ),
         ],
-    ).with_pad(16);
+    )
+    .with_pad(16);
 
     let movie_companies = TableSchema::new(
         "movie_companies",
@@ -137,7 +140,8 @@ pub fn imdb(_sf: f64) -> Benchmark {
                 Distribution::Uniform { lo: 0, hi: 1 },
             ),
         ],
-    ).with_pad(8);
+    )
+    .with_pad(8);
 
     let movie_keyword = TableSchema::new(
         "movie_keyword",
@@ -169,7 +173,8 @@ pub fn imdb(_sf: f64) -> Benchmark {
                 Distribution::Uniform { lo: 0, hi: 999 },
             ),
         ],
-    ).with_pad(50);
+    )
+    .with_pad(50);
 
     let company_name = TableSchema::new(
         "company_name",
@@ -181,7 +186,8 @@ pub fn imdb(_sf: f64) -> Benchmark {
                 Distribution::Zipf { n: 100, s: 1.2 },
             ),
         ],
-    ).with_pad(40);
+    )
+    .with_pad(40);
 
     let keyword = TableSchema::new(
         "keyword",
@@ -190,7 +196,8 @@ pub fn imdb(_sf: f64) -> Benchmark {
             ColumnType::Int,
             Distribution::Sequential,
         )],
-    ).with_pad(20);
+    )
+    .with_pad(20);
 
     let info_type = TableSchema::new(
         "info_type",
@@ -199,7 +206,8 @@ pub fn imdb(_sf: f64) -> Benchmark {
             ColumnType::Int,
             Distribution::Sequential,
         )],
-    ).with_pad(20);
+    )
+    .with_pad(20);
 
     let tables = vec![
         (title, TITLES),
@@ -321,8 +329,9 @@ fn templates() -> Vec<TemplateSpec> {
                 if rng.gen_bool(0.5) {
                     joins.push((col(e.name, fk_col), col(dim, dim_key)));
                     match dim {
-                        "name" => preds
-                            .push((col("name", "gender"), ParamGen::Eq { lo: 0, hi: 2 })),
+                        "name" => {
+                            preds.push((col("name", "gender"), ParamGen::Eq { lo: 0, hi: 2 }))
+                        }
                         "company_name" => preds.push((
                             col("company_name", "country_code"),
                             ParamGen::EqZipf { n: 100, s: 1.2 },

@@ -54,6 +54,15 @@ impl WorkloadKind {
         }
     }
 
+    /// Short label used in reports ("static" / "shifting" / "random").
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::Static { .. } => "static",
+            WorkloadKind::Shifting { .. } => "shifting",
+            WorkloadKind::Random { .. } => "random",
+        }
+    }
+
     pub fn rounds(&self) -> usize {
         match *self {
             WorkloadKind::Static { rounds } => rounds,
@@ -71,8 +80,9 @@ pub struct WorkloadSequencer<'a> {
     benchmark: &'a Benchmark,
     kind: WorkloadKind,
     seed: u64,
-    /// Template order for the shifting workload (seeded shuffle).
-    shuffled: Vec<usize>,
+    /// Template order for the shifting workload (seeded shuffle); borrowed
+    /// when reconstructed from a previously computed order.
+    shuffled: std::borrow::Cow<'a, [usize]>,
 }
 
 impl<'a> WorkloadSequencer<'a> {
@@ -84,8 +94,32 @@ impl<'a> WorkloadSequencer<'a> {
             benchmark,
             kind,
             seed,
-            shuffled,
+            shuffled: std::borrow::Cow::Owned(shuffled),
         }
+    }
+
+    /// Reconstruct a sequencer from a previously computed template order
+    /// (see [`order`](Self::order)) without re-shuffling or allocating.
+    /// Drivers that rebuild the sequencer per round use this to keep round
+    /// generation cheap and independent of shuffle implementation details.
+    pub fn with_order(
+        benchmark: &'a Benchmark,
+        kind: WorkloadKind,
+        seed: u64,
+        shuffled: &'a [usize],
+    ) -> Self {
+        debug_assert_eq!(shuffled.len(), benchmark.templates().len());
+        WorkloadSequencer {
+            benchmark,
+            kind,
+            seed,
+            shuffled: std::borrow::Cow::Borrowed(shuffled),
+        }
+    }
+
+    /// The seeded template order backing the shifting workload's groups.
+    pub fn order(&self) -> &[usize] {
+        &self.shuffled
     }
 
     pub fn rounds(&self) -> usize {
@@ -211,8 +245,7 @@ mod tests {
     #[test]
     fn random_repeat_rate_is_paperlike() {
         let b = tpch(0.05);
-        let seq =
-            WorkloadSequencer::new(&b, WorkloadKind::paper_random(22), 5);
+        let seq = WorkloadSequencer::new(&b, WorkloadKind::paper_random(22), 5);
         // Measure round-to-round template repeat fraction.
         let mut repeats = 0.0;
         let mut total = 0.0;

@@ -145,12 +145,13 @@ impl TemplateSpec {
 
 fn resolve(catalog: &Catalog, cref: &ColumnRef) -> DbResult<dba_common::ColumnId> {
     let table = catalog.table_by_name(&cref.table)?;
-    let (ordinal, _) = table
-        .column_by_name(&cref.column)
-        .ok_or_else(|| DbError::UnknownColumn {
-            table: cref.table.clone(),
-            column: cref.column.clone(),
-        })?;
+    let (ordinal, _) =
+        table
+            .column_by_name(&cref.column)
+            .ok_or_else(|| DbError::UnknownColumn {
+                table: cref.table.clone(),
+                column: cref.column.clone(),
+            })?;
     Ok(dba_common::ColumnId::new(table.id(), ordinal))
 }
 

@@ -82,7 +82,8 @@ pub fn ssb(sf: f64) -> Benchmark {
                 },
             ),
         ],
-    ).with_pad(40);
+    )
+    .with_pad(40);
 
     // d_year/d_yearmonth/d_weeknum derive from the date key, giving the
     // contiguous date-range semantics of the real SSB date dimension.
@@ -118,7 +119,8 @@ pub fn ssb(sf: f64) -> Benchmark {
                 Distribution::Uniform { lo: 0, hi: 52 },
             ),
         ],
-    ).with_pad(60);
+    )
+    .with_pad(60);
 
     let customer = TableSchema::new(
         "customer",
@@ -140,7 +142,8 @@ pub fn ssb(sf: f64) -> Benchmark {
                 Distribution::Uniform { lo: 0, hi: 249 },
             ),
         ],
-    ).with_pad(90);
+    )
+    .with_pad(90);
 
     let supplier = TableSchema::new(
         "supplier",
@@ -162,7 +165,8 @@ pub fn ssb(sf: f64) -> Benchmark {
                 Distribution::Uniform { lo: 0, hi: 249 },
             ),
         ],
-    ).with_pad(90);
+    )
+    .with_pad(90);
 
     let part = TableSchema::new(
         "part",
@@ -184,7 +188,8 @@ pub fn ssb(sf: f64) -> Benchmark {
                 Distribution::Uniform { lo: 0, hi: 999 },
             ),
         ],
-    ).with_pad(60);
+    )
+    .with_pad(60);
 
     let tables = vec![
         (lineorder, lineorders),
@@ -423,12 +428,7 @@ fn templates() -> Vec<TemplateSpec> {
             (col("part", "p_category"), ParamGen::Eq { lo: 0, hi: 24 }),
             (col("date", "d_datekey"), year),
         ],
-        vec![
-            join_date,
-            join_cust,
-            join_supp,
-            join_part,
-        ],
+        vec![join_date, join_cust, join_supp, join_part],
         vec![
             col("lineorder", "lo_revenue"),
             col("lineorder", "lo_supplycost"),

@@ -45,6 +45,8 @@ struct FactDesc {
     weight: usize,
 }
 
+// Sequential pushes keep each table's schema block self-contained.
+#[allow(clippy::vec_init_then_push)]
 pub fn tpcds(sf: f64) -> Benchmark {
     let items = RowCount::PerSf(102_000).rows(sf);
     let customers = RowCount::PerSf(100_000).rows(sf);
@@ -85,7 +87,8 @@ pub fn tpcds(sf: f64) -> Benchmark {
                     Distribution::Uniform { lo: 1, hi: 4 },
                 ),
             ],
-        ).with_pad(100),
+        )
+        .with_pad(100),
         DATE_ROWS,
     ));
     tables.push((
@@ -124,7 +127,8 @@ pub fn tpcds(sf: f64) -> Benchmark {
                     Distribution::Uniform { lo: 0, hi: 91 },
                 ),
             ],
-        ).with_pad(120),
+        )
+        .with_pad(120),
         items,
     ));
     tables.push((
@@ -150,7 +154,8 @@ pub fn tpcds(sf: f64) -> Benchmark {
                     Distribution::Uniform { lo: 0, hi: 1 },
                 ),
             ],
-        ).with_pad(90),
+        )
+        .with_pad(90),
         customers,
     ));
     tables.push((
@@ -174,7 +179,8 @@ pub fn tpcds(sf: f64) -> Benchmark {
                     Distribution::Uniform { lo: -10, hi: -5 },
                 ),
             ],
-        ).with_pad(80),
+        )
+        .with_pad(80),
         addresses,
     ));
     tables.push((
@@ -193,7 +199,8 @@ pub fn tpcds(sf: f64) -> Benchmark {
                     Distribution::Uniform { lo: 0, hi: 9 },
                 ),
             ],
-        ).with_pad(20),
+        )
+        .with_pad(20),
         72,
     ));
     tables.push((
@@ -212,7 +219,8 @@ pub fn tpcds(sf: f64) -> Benchmark {
                     Distribution::Uniform { lo: 200, hi: 300 },
                 ),
             ],
-        ).with_pad(150),
+        )
+        .with_pad(150),
         12,
     ));
     tables.push((
@@ -226,7 +234,8 @@ pub fn tpcds(sf: f64) -> Benchmark {
                     Distribution::Uniform { lo: 0, hi: 7 },
                 ),
             ],
-        ).with_pad(100),
+        )
+        .with_pad(100),
         8,
     ));
     tables.push((
@@ -240,7 +249,8 @@ pub fn tpcds(sf: f64) -> Benchmark {
                     Distribution::Uniform { lo: 0, hi: 1 },
                 ),
             ],
-        ).with_pad(80),
+        )
+        .with_pad(80),
         30,
     ));
 
@@ -264,7 +274,11 @@ pub fn tpcds(sf: f64) -> Benchmark {
                 ColumnType::Date,
                 date_fk.clone(),
             ),
-            ColumnSpec::new(format!("{prefix}_item_sk"), ColumnType::Int, item_fk.clone()),
+            ColumnSpec::new(
+                format!("{prefix}_item_sk"),
+                ColumnType::Int,
+                item_fk.clone(),
+            ),
             ColumnSpec::new(
                 format!("{prefix}_customer_sk"),
                 ColumnType::Int,
@@ -341,7 +355,11 @@ pub fn tpcds(sf: f64) -> Benchmark {
                 ColumnType::Date,
                 date_fk.clone(),
             ),
-            ColumnSpec::new(format!("{prefix}_item_sk"), ColumnType::Int, item_fk.clone()),
+            ColumnSpec::new(
+                format!("{prefix}_item_sk"),
+                ColumnType::Int,
+                item_fk.clone(),
+            ),
             ColumnSpec::new(
                 format!("{prefix}_customer_sk"),
                 ColumnType::Int,
@@ -397,13 +415,7 @@ pub fn tpcds(sf: f64) -> Benchmark {
 }
 
 fn attr_cols() -> Vec<AttrCol> {
-    fn a(
-        table: &'static str,
-        column: &'static str,
-        lo: i64,
-        hi: i64,
-        prefer_eq: bool,
-    ) -> AttrCol {
+    fn a(table: &'static str, column: &'static str, lo: i64, hi: i64, prefer_eq: bool) -> AttrCol {
         AttrCol {
             table,
             column,
@@ -437,31 +449,27 @@ fn attr_cols() -> Vec<AttrCol> {
 
 fn facts() -> Vec<FactDesc> {
     let sales_fks = |p: &'static str| -> Vec<(&'static str, &'static str, &'static str)> {
-        let (date, item, cust, promo): (
-            &'static str,
-            &'static str,
-            &'static str,
-            &'static str,
-        ) = match p {
-            "ss" => (
-                "ss_sold_date_sk",
-                "ss_item_sk",
-                "ss_customer_sk",
-                "ss_promo_sk",
-            ),
-            "cs" => (
-                "cs_sold_date_sk",
-                "cs_item_sk",
-                "cs_customer_sk",
-                "cs_promo_sk",
-            ),
-            _ => (
-                "ws_sold_date_sk",
-                "ws_item_sk",
-                "ws_customer_sk",
-                "ws_promo_sk",
-            ),
-        };
+        let (date, item, cust, promo): (&'static str, &'static str, &'static str, &'static str) =
+            match p {
+                "ss" => (
+                    "ss_sold_date_sk",
+                    "ss_item_sk",
+                    "ss_customer_sk",
+                    "ss_promo_sk",
+                ),
+                "cs" => (
+                    "cs_sold_date_sk",
+                    "cs_item_sk",
+                    "cs_customer_sk",
+                    "cs_promo_sk",
+                ),
+                _ => (
+                    "ws_sold_date_sk",
+                    "ws_item_sk",
+                    "ws_customer_sk",
+                    "ws_promo_sk",
+                ),
+            };
         vec![
             (date, "date_dim", "d_date_sk"),
             (item, "item", "i_item_sk"),
@@ -566,7 +574,11 @@ fn templates() -> Vec<TemplateSpec> {
     for fact in &fact_descs {
         for k in 0..fact.weight {
             id += 1;
-            let mut rng = rng_for(TEMPLATE_SEED, "tpcds-templates", ((id as u64) << 8) | k as u64);
+            let mut rng = rng_for(
+                TEMPLATE_SEED,
+                "tpcds-templates",
+                ((id as u64) << 8) | k as u64,
+            );
 
             // 1-3 dimensions joined, chosen without replacement.
             let n_dims = rng.gen_range(1..=3.min(fact.fks.len()));
@@ -583,8 +595,7 @@ fn templates() -> Vec<TemplateSpec> {
             // Predicates: 1-2 per joined dimension, maybe one fact predicate.
             let mut preds: Vec<(ColumnRef, ParamGen)> = Vec::new();
             for dim in &joined_dims {
-                let dim_attrs: Vec<&AttrCol> =
-                    attrs.iter().filter(|a| a.table == *dim).collect();
+                let dim_attrs: Vec<&AttrCol> = attrs.iter().filter(|a| a.table == *dim).collect();
                 if dim_attrs.is_empty() {
                     continue;
                 }
@@ -595,7 +606,7 @@ fn templates() -> Vec<TemplateSpec> {
                     let gen = if a.prefer_eq {
                         ParamGen::Eq { lo: a.lo, hi: a.hi }
                     } else {
-                        let width = ((a.hi - a.lo) / rng.gen_range(4..20)).max(1);
+                        let width = ((a.hi - a.lo) / rng.gen_range(4i64..20)).max(1);
                         ParamGen::Range {
                             lo: a.lo,
                             hi: a.hi,
@@ -607,7 +618,7 @@ fn templates() -> Vec<TemplateSpec> {
             }
             if rng.gen_bool(0.4) && !fact.fact_preds.is_empty() {
                 let (c, lo, hi) = fact.fact_preds[rng.gen_range(0..fact.fact_preds.len())];
-                let width = ((hi - lo) / rng.gen_range(3..10)).max(1);
+                let width = ((hi - lo) / rng.gen_range(3i64..10)).max(1);
                 preds.push((col(fact.name, c), ParamGen::Range { lo, hi, width }));
             }
 

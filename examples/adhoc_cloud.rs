@@ -4,84 +4,43 @@
 //! PDTool-style advisor (invoked every 4 rounds, as a cloud operator
 //! would) on TPC-H Skew, where optimiser estimates mislead the advisor.
 //!
+//! Each tuner runs in its own [`TuningSession`] over shared generated
+//! data, so the comparison is apples to apples.
+//!
 //! Run with: `cargo run --release --example adhoc_cloud`
 
 use dba_bandits::prelude::*;
-use dba_baselines::InvokeSchedule;
-use dba_engine::QueryExecution;
-
-fn run(
-    label: &str,
-    advisor: &mut dyn Advisor,
-    bench: &Benchmark,
-    base: &Catalog,
-    stats: &StatsCatalog,
-    cost: &CostModel,
-) {
-    let mut catalog = base.fork_empty();
-    let seq = WorkloadSequencer::new(
-        bench,
-        WorkloadKind::Random {
-            rounds: 10,
-            queries_per_round: 22,
-        },
-        99,
-    );
-    let executor = Executor::new(cost.clone());
-    let (mut rec, mut cre, mut exe) = (0.0, 0.0, 0.0);
-    for round in 0..seq.rounds() {
-        let c = advisor.before_round(round, &mut catalog, stats);
-        rec += c.recommendation.secs();
-        cre += c.creation.secs();
-        let queries = seq.round_queries(&catalog, round).expect("queries");
-        let execs: Vec<QueryExecution> = {
-            let ctx = PlannerContext::from_catalog(&catalog, stats, cost);
-            let planner = Planner::new(&ctx);
-            queries
-                .iter()
-                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-                .collect()
-        };
-        exe += execs.iter().map(|e| e.total.secs()).sum::<f64>();
-        advisor.after_round(&queries, &execs);
-    }
-    println!(
-        "{:<8} rec {:>8.1}s  create {:>8.1}s  exec {:>9.1}s  total {:>9.1}s",
-        label,
-        rec,
-        cre,
-        exe,
-        rec + cre + exe
-    );
-}
 
 fn main() {
     let bench = dba_bandits::workloads::tpch::tpch_skew(0.5);
     let base = bench.build_catalog(99).expect("catalog");
-    let stats = StatsCatalog::build(&base);
-    let cost = CostModel::paper_scale();
-    let budget = base.database_bytes();
+    let workload = WorkloadKind::Random {
+        rounds: 10,
+        queries_per_round: 22,
+    };
 
     println!("TPC-H Skew (zipf 4), 10 rounds of random ad-hoc queries:\n");
 
-    let mut noindex = NoIndexAdvisor;
-    run("NoIndex", &mut noindex, &bench, &base, &stats, &cost);
-
-    let mut pdtool = PdToolAdvisor::new(
-        cost.clone(),
-        dba_baselines::PdToolConfig::paper_defaults(budget, InvokeSchedule::EveryKRounds(4)),
-    );
-    run("PDTool", &mut pdtool, &bench, &base, &stats, &cost);
-
-    let mut mab = MabAdvisor::new(
-        &base,
-        cost.clone(),
-        MabConfig {
-            memory_budget_bytes: budget,
-            ..MabConfig::default()
-        },
-    );
-    run("MAB", &mut mab, &bench, &base, &stats, &cost);
+    for tuner in [TunerKind::NoIndex, TunerKind::PdTool, TunerKind::Mab] {
+        let result = SessionBuilder::new()
+            .benchmark(bench.clone())
+            .shared_data(&base)
+            .workload(workload)
+            .tuner(tuner)
+            .seed(99)
+            .build()
+            .expect("session")
+            .run()
+            .expect("run");
+        println!(
+            "{:<8} rec {:>8.1}s  create {:>8.1}s  exec {:>9.1}s  total {:>9.1}s",
+            result.tuner,
+            result.total_recommendation().secs(),
+            result.total_creation().secs(),
+            result.total_execution().secs(),
+            result.total().secs(),
+        );
+    }
 
     println!("\nThe bandit learns from observed executions, so data skew");
     println!("misleads only the estimate-driven advisor, not the MAB.");

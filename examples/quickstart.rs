@@ -1,67 +1,49 @@
 //! Quickstart: self-driving index tuning on the Star Schema Benchmark.
 //!
 //! Builds a small SSB database, runs the MAB tuner for 12 rounds of a
-//! static workload, and prints the per-round time breakdown — watch the
-//! execution time fall as the bandit converges on a configuration.
+//! static workload through a [`TuningSession`], and prints the per-round
+//! time breakdown — watch the execution time fall as the bandit converges
+//! on a configuration.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use dba_bandits::prelude::*;
 
 fn main() {
-    let bench = dba_bandits::workloads::ssb::ssb(0.5);
-    let mut catalog = bench.build_catalog(42).expect("catalog");
-    let stats = StatsCatalog::build(&catalog);
-    let cost = CostModel::paper_scale();
+    let mut session = SessionBuilder::new()
+        .benchmark(dba_bandits::workloads::ssb::ssb(0.5))
+        .workload(WorkloadKind::Static { rounds: 12 })
+        .tuner(TunerKind::Mab)
+        .seed(42)
+        .build()
+        .expect("session");
 
     println!(
         "SSB at sf 0.5: {} tables, {:.1} MB of data, {} query templates",
-        catalog.tables().len(),
-        catalog.database_bytes() as f64 / 1e6,
-        bench.templates().len()
+        session.catalog().tables().len(),
+        session.catalog().database_bytes() as f64 / 1e6,
+        session.benchmark().templates().len()
     );
-
-    let mut tuner = MabTuner::new(
-        &catalog,
-        cost.clone(),
-        MabConfig {
-            memory_budget_bytes: catalog.database_bytes(), // paper: 1x data
-            ..MabConfig::default()
-        },
-    );
-
-    let seq = WorkloadSequencer::new(&bench, WorkloadKind::Static { rounds: 12 }, 42);
-    let executor = Executor::new(cost.clone());
 
     println!(
-        "\n{:>5} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "round", "rec (s)", "create(s)", "exec (s)", "indexes", "arms"
+        "\n{:>5} {:>10} {:>10} {:>10} {:>8}",
+        "round", "rec (s)", "create(s)", "exec (s)", "indexes"
     );
-    for round in 0..seq.rounds() {
-        let outcome = tuner.recommend_and_apply(&mut catalog, &stats);
-        let queries = seq.round_queries(&catalog, round).expect("queries");
-        let execs: Vec<QueryExecution> = {
-            let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
-            let planner = Planner::new(&ctx);
-            queries
-                .iter()
-                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-                .collect()
-        };
-        let exec_total: f64 = execs.iter().map(|e| e.total.secs()).sum();
-        println!(
-            "{:>5} {:>10.2} {:>10.2} {:>10.2} {:>8} {:>8}",
-            round + 1,
-            outcome.recommendation_time.secs(),
-            outcome.creation_time.secs(),
-            exec_total,
-            catalog.all_indexes().count(),
-            tuner.arm_count(),
-        );
-        tuner.observe(&queries, &execs);
-    }
+    session
+        .run_with(&mut |event| {
+            println!(
+                "{:>5} {:>10.2} {:>10.2} {:>10.2} {:>8}",
+                event.round,
+                event.record.recommendation.secs(),
+                event.record.creation.secs(),
+                event.record.execution.secs(),
+                event.index_count,
+            );
+        })
+        .expect("run");
 
     println!("\nFinal configuration:");
+    let catalog = session.catalog();
     for ix in catalog.all_indexes() {
         let table = catalog.table(ix.def().table);
         let keys: Vec<&str> = ix

@@ -3,70 +3,60 @@
 //! disjoint TPC-H template groups; the tuner detects the shift, forgets
 //! stale knowledge proportionally, drops obsolete indexes and adapts.
 //!
+//! Built with [`SessionBuilder::build_with`], which keeps the concrete
+//! `MabTuner` type so the example can report bandit internals (query-store
+//! size, shift intensity) after the run.
+//!
 //! Run with: `cargo run --release --example shifting_analytics`
 
 use dba_bandits::prelude::*;
 
 fn main() {
-    let bench = dba_bandits::workloads::tpch::tpch(0.5);
-    let mut catalog = bench.build_catalog(7).expect("catalog");
-    let stats = StatsCatalog::build(&catalog);
-    let cost = CostModel::paper_scale();
-
-    let mut tuner = MabTuner::new(
-        &catalog,
-        cost.clone(),
-        MabConfig {
-            memory_budget_bytes: catalog.database_bytes(),
-            qoi_window: 1, // react fast: only last round's templates matter
-            ..MabConfig::default()
-        },
-    );
-
     // 3 groups x 6 rounds: a miniature of the paper's 4 x 20 setting.
-    let seq = WorkloadSequencer::new(
-        &bench,
-        WorkloadKind::Shifting {
+    let mut session = SessionBuilder::new()
+        .benchmark(dba_bandits::workloads::tpch::tpch(0.5))
+        .workload(WorkloadKind::Shifting {
             groups: 3,
             rounds_per_group: 6,
-        },
-        7,
-    );
-    let executor = Executor::new(cost.clone());
+        })
+        .seed(7)
+        .build_with(|catalog, cost, budget| {
+            MabTuner::new(
+                catalog,
+                cost.clone(),
+                MabConfig {
+                    memory_budget_bytes: budget,
+                    qoi_window: 1, // react fast: only last round's templates matter
+                    ..MabConfig::default()
+                },
+            )
+        })
+        .expect("session");
 
     println!(
-        "{:>5} {:>6} {:>10} {:>9} {:>9} {:>8}",
-        "round", "group", "templates", "exec (s)", "created", "dropped"
+        "{:>5} {:>6} {:>10} {:>9} {:>8}",
+        "round", "group", "templates", "exec (s)", "indexes"
     );
-    for round in 0..seq.rounds() {
-        let outcome = tuner.recommend_and_apply(&mut catalog, &stats);
-        let queries = seq.round_queries(&catalog, round).expect("queries");
-        let execs: Vec<QueryExecution> = {
-            let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
-            let planner = Planner::new(&ctx);
-            queries
-                .iter()
-                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-                .collect()
-        };
-        let exec_total: f64 = execs.iter().map(|e| e.total.secs()).sum();
-        let marker = if round % 6 == 0 && round > 0 {
-            "  <- workload shift"
-        } else {
-            ""
-        };
-        println!(
-            "{:>5} {:>6} {:>10} {:>9.1} {:>9} {:>8}{}",
-            round + 1,
-            round / 6 + 1,
-            queries.len(),
-            exec_total,
-            outcome.created,
-            outcome.dropped,
-            marker
-        );
-        tuner.observe(&queries, &execs);
-    }
+    session
+        .run_with(&mut |event| {
+            let marker = if (event.round - 1) % 6 == 0 && event.round > 1 {
+                "  <- workload shift"
+            } else {
+                ""
+            };
+            println!(
+                "{:>5} {:>6} {:>10} {:>9.1} {:>8}{}",
+                event.round,
+                (event.round - 1) / 6 + 1,
+                event.queries,
+                event.record.execution.secs(),
+                event.index_count,
+                marker
+            );
+        })
+        .expect("run");
+
+    let tuner = session.advisor();
     println!(
         "\n{} templates summarised in the query store; final shift intensity {:.2}",
         tuner.query_store().template_count(),

@@ -6,6 +6,10 @@
 //! *measures* — showing the estimate/actual divergence that breaks
 //! estimate-driven advisors (§I, §V-B1).
 //!
+//! This example deliberately works *below* the `TuningSession` layer: it
+//! probes a single query against the optimiser and executor directly. See
+//! `quickstart.rs` for the session-driven tuning loop.
+//!
 //! Run with: `cargo run --release --example whatif_vs_observed`
 
 use dba_bandits::prelude::*;
@@ -62,7 +66,7 @@ fn main() {
         let q = query_for(custkey);
         // What-if: estimated cost with the hypothetical index.
         let wi = WhatIf::new(&catalog, &stats, &cost);
-        let estimate = wi.cost_query(&q, &[index.clone()], false);
+        let estimate = wi.cost_query(&q, std::slice::from_ref(&index), false);
 
         // Reality: materialise, plan, execute, measure.
         let meta = catalog.create_index(index.clone()).expect("create");

@@ -10,57 +10,72 @@
 //!
 //! ## Quick start
 //!
+//! The paper's central loop — recommend, execute, observe, repeat
+//! (Algorithm 2) — is driven through a [`TuningSession`](session::TuningSession):
+//! pick a benchmark, a workload type and a tuner, and run.
+//!
 //! ```no_run
 //! use dba_bandits::prelude::*;
 //!
-//! // A benchmark gives you data + workload.
-//! let bench = dba_bandits::workloads::ssb::ssb(0.1);
-//! let mut catalog = bench.build_catalog(42).unwrap();
-//! let stats = StatsCatalog::build(&catalog);
-//! let cost = CostModel::paper_scale();
+//! let mut session = SessionBuilder::new()
+//!     .benchmark(dba_bandits::workloads::ssb::ssb(0.1))
+//!     .workload(WorkloadKind::Static { rounds: 10 })
+//!     .tuner(TunerKind::Mab)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
 //!
-//! // The self-driving tuner needs no workload knowledge up front.
-//! let mut tuner = MabTuner::new(
-//!     &catalog,
-//!     cost.clone(),
-//!     MabConfig { memory_budget_bytes: catalog.database_bytes(), ..Default::default() },
+//! // Observe convergence round by round...
+//! let result = session
+//!     .run_with(&mut |event| {
+//!         println!(
+//!             "round {:>2}/{}: exec {:.1}s with {} indexes",
+//!             event.round, event.rounds_total,
+//!             event.record.execution.secs(), event.index_count,
+//!         );
+//!     })
+//!     .unwrap();
+//!
+//! // ...and read the Table-I style breakdown at the end.
+//! println!(
+//!     "{}: rec {:.0}s + create {:.0}s + exec {:.0}s = {:.0}s",
+//!     result.tuner,
+//!     result.total_recommendation().secs(),
+//!     result.total_creation().secs(),
+//!     result.total_execution().secs(),
+//!     result.total().secs(),
 //! );
-//!
-//! let seq = WorkloadSequencer::new(&bench, WorkloadKind::Static { rounds: 10 }, 42);
-//! let executor = Executor::new(cost.clone());
-//! for round in 0..seq.rounds() {
-//!     tuner.recommend_and_apply(&mut catalog, &stats);
-//!     let queries = seq.round_queries(&catalog, round).unwrap();
-//!     let execs: Vec<_> = {
-//!         let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
-//!         let planner = Planner::new(&ctx);
-//!         queries
-//!             .iter()
-//!             .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-//!             .collect()
-//!     };
-//!     tuner.observe(&queries, &execs);
-//! }
 //! ```
 //!
+//! Custom tuners implement [`Advisor`](bandit::Advisor) (two methods:
+//! `before_round`, `after_round`) and plug into the same session via
+//! [`SessionBuilder::build_with`](session::SessionBuilder::build_with),
+//! which also keeps the concrete tuner type so its internals stay
+//! reachable during and after the run.
+//!
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
-//! the binaries that regenerate every table and figure of the paper.
+//! the binaries that regenerate every table and figure of the paper
+//! (README has the figure → binary map).
 
 pub use dba_baselines as baselines;
 pub use dba_common as common;
 pub use dba_core as bandit;
 pub use dba_engine as engine;
 pub use dba_optimizer as optimizer;
+pub use dba_session as session;
 pub use dba_storage as storage;
 pub use dba_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use dba_baselines::{Advisor, AdvisorCost, MabAdvisor, NoIndexAdvisor, PdToolAdvisor};
+    pub use dba_baselines::{NoIndexAdvisor, PdToolAdvisor};
     pub use dba_common::{SimClock, SimSeconds};
-    pub use dba_core::{MabConfig, MabTuner};
+    pub use dba_core::{Advisor, AdvisorCost, MabConfig, MabTuner};
     pub use dba_engine::{CostModel, Executor, Query, QueryExecution};
     pub use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIf};
+    pub use dba_session::{
+        RoundEvent, RoundRecord, RunResult, SessionBuilder, TunerKind, TuningSession,
+    };
     pub use dba_storage::{Catalog, IndexDef};
     pub use dba_workloads::{Benchmark, WorkloadKind, WorkloadSequencer};
 }

@@ -1,115 +1,79 @@
 //! Cross-crate integration tests: the full tuning loop through the public
-//! facade, plus property-based invariants on the planner/executor pair.
+//! [`TuningSession`] facade, plus randomized invariants on the
+//! planner/executor pair (deterministic seeded sweeps — the offline
+//! environment has no proptest, so properties are checked over a fixed
+//! fan-out of seeds via the workspace's own RNG).
 
 use dba_bandits::prelude::*;
+use dba_common::rng::rng_for;
 use dba_common::{ColumnId, QueryId, TableId, TemplateId};
 use dba_engine::Predicate;
 use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
-use proptest::prelude::*;
+use rand::Rng;
 use std::sync::Arc;
 
 /// Drive the full loop (benchmark → tuner → planner → executor → rewards)
 /// on a small SSB and check the bandit ends up faster than it started.
 #[test]
 fn mab_improves_ssb_end_to_end() {
-    let bench = dba_bandits::workloads::ssb::ssb(0.05);
-    let mut catalog = bench.build_catalog(3).unwrap();
-    let stats = StatsCatalog::build(&catalog);
-    let cost = CostModel::paper_scale();
-    let mut tuner = MabTuner::new(
-        &catalog,
-        cost.clone(),
-        MabConfig {
-            memory_budget_bytes: catalog.database_bytes(),
-            ..MabConfig::default()
-        },
-    );
-    let seq = WorkloadSequencer::new(&bench, WorkloadKind::Static { rounds: 8 }, 3);
-    let executor = Executor::new(cost.clone());
+    let mut session = SessionBuilder::new()
+        .benchmark(dba_bandits::workloads::ssb::ssb(0.05))
+        .workload(WorkloadKind::Static { rounds: 8 })
+        .tuner(TunerKind::Mab)
+        .seed(3)
+        .build()
+        .unwrap();
 
     let mut first = 0.0;
     let mut last = 0.0;
-    for round in 0..8 {
-        tuner.recommend_and_apply(&mut catalog, &stats);
-        let queries = seq.round_queries(&catalog, round).unwrap();
-        let execs: Vec<QueryExecution> = {
-            let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
-            let planner = Planner::new(&ctx);
-            queries
-                .iter()
-                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-                .collect()
-        };
-        let total: f64 = execs.iter().map(|e| e.total.secs()).sum();
-        if round == 0 {
-            first = total;
-        }
-        last = total;
-        tuner.observe(&queries, &execs);
-    }
+    session
+        .run_with(&mut |event| {
+            if event.round == 1 {
+                first = event.record.execution.secs();
+            }
+            last = event.record.execution.secs();
+        })
+        .unwrap();
     assert!(
         last < first * 0.8,
         "MAB should improve execution: round1 {first:.1}s, round8 {last:.1}s"
     );
-    assert!(catalog.index_bytes() <= catalog.database_bytes());
+    assert!(session.catalog().index_bytes() <= session.catalog().database_bytes());
 }
 
-/// The advisor interface is interchangeable: all tuners run the same loop.
+/// The advisor interface is interchangeable: every tuner kind runs the
+/// same session loop over shared data and respects the memory budget.
 #[test]
 fn all_advisors_run_uniformly() {
     let bench = dba_bandits::workloads::tpch::tpch(0.02);
     let base = bench.build_catalog(5).unwrap();
-    let stats = StatsCatalog::build(&base);
-    let cost = CostModel::paper_scale();
     let budget = base.database_bytes();
 
-    let mut advisors: Vec<Box<dyn Advisor>> = vec![
-        Box::new(NoIndexAdvisor),
-        Box::new(PdToolAdvisor::new(
-            cost.clone(),
-            dba_baselines::PdToolConfig::paper_defaults(
-                budget,
-                dba_baselines::InvokeSchedule::OnWorkloadChange,
-            ),
-        )),
-        Box::new(MabAdvisor::new(
-            &base,
-            cost.clone(),
-            MabConfig {
-                memory_budget_bytes: budget,
-                ..MabConfig::default()
-            },
-        )),
-        Box::new(dba_baselines::DdqnAdvisor::new(
-            &base,
-            cost.clone(),
-            dba_baselines::DdqnConfig::paper_defaults(budget, 1),
-        )),
-    ];
-
-    let seq = WorkloadSequencer::new(&bench, WorkloadKind::Static { rounds: 3 }, 5);
-    let executor = Executor::new(cost.clone());
-    for advisor in &mut advisors {
-        let mut catalog = base.fork_empty();
-        for round in 0..3 {
-            let c = advisor.before_round(round, &mut catalog, &stats);
-            assert!(c.recommendation.secs() >= 0.0);
-            let queries = seq.round_queries(&catalog, round).unwrap();
-            let execs: Vec<QueryExecution> = {
-                let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
-                let planner = Planner::new(&ctx);
-                queries
-                    .iter()
-                    .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-                    .collect()
-            };
-            advisor.after_round(&queries, &execs);
+    for kind in [
+        TunerKind::NoIndex,
+        TunerKind::PdTool,
+        TunerKind::Mab,
+        TunerKind::Ddqn { seed: 1 },
+    ] {
+        let mut session = SessionBuilder::new()
+            .benchmark(bench.clone())
+            .shared_data(&base)
+            .workload(WorkloadKind::Static { rounds: 3 })
+            .tuner(kind)
+            .seed(5)
+            .build()
+            .unwrap();
+        let result = session.run().unwrap();
+        assert_eq!(result.rounds.len(), 3, "{} ran all rounds", result.tuner);
+        for round in &result.rounds {
+            assert!(round.recommendation.secs() >= 0.0);
         }
         assert!(
-            catalog.index_bytes() <= budget,
+            session.catalog().index_bytes() <= budget,
             "{} exceeded the memory budget",
-            advisor.name()
+            result.tuner
         );
+        assert_eq!(result.tuner, kind.label());
     }
 }
 
@@ -134,7 +98,7 @@ fn whatif_matches_materialised_costing() {
     let def = IndexDef::new(lineitem, vec![shipdate], vec![]);
 
     let hypo = WhatIf::new(&catalog, &stats, &cost)
-        .cost_query(&q, &[def.clone()], false)
+        .cost_query(&q, std::slice::from_ref(&def), false)
         .est_cost;
 
     let mut catalog2 = catalog.fork_empty();
@@ -151,48 +115,54 @@ fn whatif_matches_materialised_costing() {
 fn full_stack_determinism() {
     let run = || {
         let bench = dba_bandits::workloads::imdb::imdb(1.0);
-        let mut catalog = bench.build_catalog(17).unwrap();
-        let stats = StatsCatalog::build(&catalog);
-        let cost = CostModel::paper_scale();
-        let mut tuner = MabTuner::new(
-            &catalog,
-            cost.clone(),
-            MabConfig {
-                memory_budget_bytes: catalog.database_bytes() / 2,
-                ..MabConfig::default()
-            },
-        );
-        let seq = WorkloadSequencer::new(
-            &bench,
-            WorkloadKind::Random {
+        let base = bench.build_catalog(17).unwrap();
+        let budget = base.database_bytes() / 2;
+        let mut trace = Vec::new();
+        SessionBuilder::new()
+            .benchmark(bench)
+            .shared_data(&base)
+            .workload(WorkloadKind::Random {
                 rounds: 3,
                 queries_per_round: 6,
-            },
-            17,
-        );
-        let executor = Executor::new(cost.clone());
-        let mut trace = Vec::new();
-        for round in 0..3 {
-            tuner.recommend_and_apply(&mut catalog, &stats);
-            let queries = seq.round_queries(&catalog, round).unwrap();
-            let execs: Vec<QueryExecution> = {
-                let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
-                let planner = Planner::new(&ctx);
-                queries
-                    .iter()
-                    .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
-                    .collect()
-            };
-            trace.push(execs.iter().map(|e| e.total.secs()).sum::<f64>());
-            tuner.observe(&queries, &execs);
-        }
+            })
+            .tuner(TunerKind::Mab)
+            .seed(17)
+            .memory_budget_bytes(budget)
+            .build()
+            .unwrap()
+            .run_with(&mut |event| trace.push(event.record.execution.secs()))
+            .unwrap();
         trace
     };
     assert_eq!(run(), run());
 }
 
+/// The observer sees exactly the rounds the result reports, in order,
+/// with consistent accounting.
+#[test]
+fn observer_events_match_run_result() {
+    let mut events = Vec::new();
+    let result = SessionBuilder::new()
+        .benchmark(dba_bandits::workloads::ssb::ssb(0.02))
+        .workload(WorkloadKind::Static { rounds: 4 })
+        .tuner(TunerKind::Mab)
+        .seed(9)
+        .build()
+        .unwrap()
+        .run_with(&mut |event: &RoundEvent| {
+            events.push((event.round, event.rounds_total, event.record.total().secs()))
+        })
+        .unwrap();
+    assert_eq!(events.len(), result.rounds.len());
+    for (i, (round, total_rounds, total_s)) in events.iter().enumerate() {
+        assert_eq!(*round, i + 1);
+        assert_eq!(*total_rounds, 4);
+        assert!((total_s - result.rounds[i].total().secs()).abs() < 1e-12);
+    }
+}
+
 // ---------------------------------------------------------------------
-// Property-based invariants
+// Randomized invariants (deterministic seeded sweeps)
 // ---------------------------------------------------------------------
 
 /// Naive reference evaluation of a single-table conjunctive query.
@@ -217,11 +187,7 @@ fn prop_catalog(rows: usize, seed: u64) -> Catalog {
                 ColumnType::Int,
                 Distribution::Uniform { lo: 0, hi: 50 },
             ),
-            ColumnSpec::new(
-                "c",
-                ColumnType::Int,
-                Distribution::Zipf { n: 40, s: 1.5 },
-            ),
+            ColumnSpec::new("c", ColumnType::Int, Distribution::Zipf { n: 40, s: 1.5 }),
         ],
     );
     Catalog::new(vec![Arc::new(
@@ -229,28 +195,31 @@ fn prop_catalog(rows: usize, seed: u64) -> Catalog {
     )])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Whatever plan the optimiser picks — scan, seek, covering, with any
+/// index set materialised — the executor's result cardinality equals
+/// naive evaluation, and access costs are non-negative.
+#[test]
+fn planner_executor_agree_with_reference() {
+    for case in 0..48u64 {
+        let mut rng = rng_for(0xA11CE, "prop-planner", case);
+        let seed = rng.gen_range(0u64..500);
+        let rows = rng.gen_range(200usize..1500);
+        let b_lo = rng.gen_range(0i64..40);
+        let b_width = rng.gen_range(0i64..15);
+        let c_val = rng.gen_range(0i64..40);
+        let with_index = rng.gen_bool(0.5);
+        let with_covering = rng.gen_bool(0.5);
 
-    /// Whatever plan the optimiser picks — scan, seek, covering, with any
-    /// index set materialised — the executor's result cardinality equals
-    /// naive evaluation, and access costs are non-negative.
-    #[test]
-    fn planner_executor_agree_with_reference(
-        seed in 0u64..500,
-        rows in 200usize..1500,
-        b_lo in 0i64..40,
-        b_width in 0i64..15,
-        c_val in 0i64..40,
-        with_index in proptest::bool::ANY,
-        with_covering in proptest::bool::ANY,
-    ) {
         let mut catalog = prop_catalog(rows, seed);
         if with_index {
-            catalog.create_index(IndexDef::new(TableId(0), vec![1], vec![])).unwrap();
+            catalog
+                .create_index(IndexDef::new(TableId(0), vec![1], vec![]))
+                .unwrap();
         }
         if with_covering {
-            catalog.create_index(IndexDef::new(TableId(0), vec![2], vec![0])).unwrap();
+            catalog
+                .create_index(IndexDef::new(TableId(0), vec![2], vec![0]))
+                .unwrap();
         }
         let stats = StatsCatalog::build(&catalog);
         let cost = CostModel::unit_scale();
@@ -270,25 +239,32 @@ proptest! {
         let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
         let plan = Planner::new(&ctx).plan(&q);
         let exec = Executor::new(cost).execute(&catalog, &q, &plan);
-        prop_assert_eq!(exec.result_rows, reference_count(&catalog, TableId(0), &preds));
-        prop_assert!(exec.total.secs() >= 0.0);
+        assert_eq!(
+            exec.result_rows,
+            reference_count(&catalog, TableId(0), &preds),
+            "case {case}: rows={rows} seed={seed} idx={with_index}/{with_covering}"
+        );
+        assert!(exec.total.secs() >= 0.0, "case {case}");
         for a in &exec.accesses {
-            prop_assert!(a.time.secs() >= 0.0);
+            assert!(a.time.secs() >= 0.0, "case {case}");
         }
     }
+}
 
-    /// Index probes return exactly the rows matching the seek condition,
-    /// for arbitrary composite keys.
-    #[test]
-    fn index_probe_matches_filter(
-        seed in 0u64..500,
-        rows in 100usize..1200,
-        eq in 0i64..50,
-        range_lo in 0i64..40,
-    ) {
+/// Index probes return exactly the rows matching the seek condition,
+/// for arbitrary composite keys.
+#[test]
+fn index_probe_matches_filter() {
+    for case in 0..48u64 {
+        let mut rng = rng_for(0xA11CE, "prop-probe", case);
+        let seed = rng.gen_range(0u64..500);
+        let rows = rng.gen_range(100usize..1200);
+        let eq = rng.gen_range(0i64..50);
+        let range_lo = rng.gen_range(0i64..40);
+
         let catalog = prop_catalog(rows, seed);
         let t = catalog.table(TableId(0));
-        let ix = dba_storage::Index::build(
+        let ix = dba_bandits::storage::Index::build(
             dba_common::IndexId(0),
             IndexDef::new(TableId(0), vec![1, 2], vec![]),
             t,
@@ -300,20 +276,23 @@ proptest! {
                     && (range_lo..=range_lo + 5).contains(&t.column(2).value(r))
             })
             .count();
-        prop_assert_eq!(e - s, expected);
+        assert_eq!(e - s, expected, "case {case}: rows={rows} seed={seed}");
     }
+}
 
-    /// The greedy oracle never exceeds its budget and never selects
-    /// non-positive arms.
-    #[test]
-    fn oracle_respects_budget(
-        scores in proptest::collection::vec(-5.0f64..10.0, 1..60),
-        sizes in proptest::collection::vec(1u64..100, 1..60),
-        budget in 1u64..500,
-    ) {
-        let n = scores.len().min(sizes.len());
-        let inputs: Vec<dba_core::oracle::OracleInput> = (0..n)
-            .map(|i| dba_core::oracle::OracleInput {
+/// The greedy oracle never exceeds its budget and never selects
+/// non-positive arms.
+#[test]
+fn oracle_respects_budget() {
+    for case in 0..48u64 {
+        let mut rng = rng_for(0xA11CE, "prop-oracle", case);
+        let n = rng.gen_range(1usize..60);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0f64..10.0)).collect();
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..100)).collect();
+        let budget = rng.gen_range(1u64..500);
+
+        let inputs: Vec<dba_bandits::bandit::oracle::OracleInput> = (0..n)
+            .map(|i| dba_bandits::bandit::oracle::OracleInput {
                 arm_idx: i,
                 score: scores[i],
                 size_bytes: sizes[i],
@@ -322,11 +301,11 @@ proptest! {
                 covers: vec![],
             })
             .collect();
-        let picked = dba_core::oracle::greedy_select(inputs, budget);
+        let picked = dba_bandits::bandit::oracle::greedy_select(inputs, budget);
         let total: u64 = picked.iter().map(|&i| sizes[i]).sum();
-        prop_assert!(total <= budget);
+        assert!(total <= budget, "case {case}");
         for &i in &picked {
-            prop_assert!(scores[i] > 0.0);
+            assert!(scores[i] > 0.0, "case {case}");
         }
     }
 }

@@ -1,0 +1,153 @@
+//! Offline shim for the subset of `criterion 0.5` used by this workspace's
+//! benches: `bench_function`, `iter`, `iter_batched`, `criterion_group!`,
+//! `criterion_main!`, and `black_box`. Reports wall-clock min/median/mean
+//! per benchmark without outlier analysis or plots. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup between timed runs. The shim times
+/// each routine invocation individually, so the variants behave alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly, recording one sample per batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is not
+    /// included in the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples.capacity() {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Calibrate iterations per sample so quick routines are timed in
+        // batches (measurable) while slow ones run once per sample.
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(2),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        let probe = bencher
+            .samples
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or(Duration::from_millis(1));
+        let iters =
+            (Duration::from_millis(2).as_nanos() / probe.as_nanos().max(1)).clamp(1, 10_000);
+
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: iters as u64,
+        };
+        f(&mut bencher);
+        report(id, &mut bencher.samples);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+fn report(id: &str, samples: &mut [Duration]) {
+    samples.sort_unstable();
+    let min = samples.first().copied().unwrap_or_default();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+    println!(
+        "{id:<40} min {:>12} med {:>12} mean {:>12} ({} samples)",
+        fmt(min),
+        fmt(median),
+        fmt(mean),
+        samples.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// `criterion_group!` — both the simple and the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!` — runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! Offline shim for `serde`: the two trait names plus the derive macros,
+//! so `#[derive(Serialize, Deserialize)]` annotations compile. The derives
+//! emit no impls — see `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,15 @@
+//! No-op derive macros standing in for `serde_derive`. The annotations in
+//! the workspace are kept so the real crate can be swapped back in, but no
+//! impls are generated (nothing in the workspace serializes yet).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
