@@ -402,6 +402,7 @@ impl Advisor for DdqnAdvisor {
             executions,
             &self.current,
             &self.created_this_round,
+            &HashMap::new(), // DDQN ignores maintenance (as in its paper)
             &self.played,
         );
         let by_arm: HashMap<usize, f64> = rewards.into_iter().collect();

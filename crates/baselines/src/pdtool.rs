@@ -353,11 +353,10 @@ impl Advisor for PdToolAdvisor {
             if catalog.find_index(&def).is_some() {
                 continue;
             }
-            let table = catalog.table(def.table);
             let build = self.cost.index_build(
-                table.heap_pages(),
-                table.rows() as u64,
-                def.estimated_bytes(table),
+                catalog.live_heap_pages(def.table),
+                catalog.live_rows(def.table),
+                def.estimated_bytes(catalog.table(def.table)),
             );
             if let Ok(meta) = catalog.create_index(def) {
                 creation += build;

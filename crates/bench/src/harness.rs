@@ -9,7 +9,7 @@ use dba_common::DbResult;
 use dba_optimizer::StatsCatalog;
 use dba_session::SessionBuilder;
 use dba_storage::Catalog;
-use dba_workloads::{Benchmark, WorkloadKind};
+use dba_workloads::{Benchmark, DataDrift, WorkloadKind};
 
 pub use dba_session::{make_advisor, RoundRecord, RunResult, TunerKind};
 
@@ -146,15 +146,32 @@ pub fn run_one(
     tuner: TunerKind,
     seed: u64,
 ) -> DbResult<RunResult> {
-    SessionBuilder::new()
+    run_one_with_drift(benchmark, base, stats, workload, None, tuner, seed)
+}
+
+/// [`run_one`] with an optional data-change scenario applied after each
+/// round (every session drifts its own fork identically — the seed drives
+/// the deltas, so comparisons stay fair).
+pub fn run_one_with_drift(
+    benchmark: &Benchmark,
+    base: &Catalog,
+    stats: &StatsCatalog,
+    workload: WorkloadKind,
+    drift: Option<&DataDrift>,
+    tuner: TunerKind,
+    seed: u64,
+) -> DbResult<RunResult> {
+    let mut builder = SessionBuilder::new()
         .benchmark(benchmark.clone())
         .shared_data(base)
         .shared_stats(stats)
         .workload(workload)
         .tuner(tuner)
-        .seed(seed)
-        .build()?
-        .run()
+        .seed(seed);
+    if let Some(drift) = drift {
+        builder = builder.data_drift(drift.clone());
+    }
+    builder.build()?.run()
 }
 
 /// Run a set of tuners over one benchmark/workload, sharing generated
@@ -165,11 +182,22 @@ pub fn run_benchmark_suite(
     tuners: &[TunerKind],
     seed: u64,
 ) -> DbResult<Vec<RunResult>> {
+    run_benchmark_suite_with_drift(benchmark, workload, None, tuners, seed)
+}
+
+/// [`run_benchmark_suite`] under an optional data-change scenario.
+pub fn run_benchmark_suite_with_drift(
+    benchmark: &Benchmark,
+    workload: WorkloadKind,
+    drift: Option<&DataDrift>,
+    tuners: &[TunerKind],
+    seed: u64,
+) -> DbResult<Vec<RunResult>> {
     let base = benchmark.build_catalog(seed)?;
     let stats = StatsCatalog::build(&base);
     tuners
         .iter()
-        .map(|&t| run_one(benchmark, &base, &stats, workload, t, seed))
+        .map(|&t| run_one_with_drift(benchmark, &base, &stats, workload, drift, t, seed))
         .collect()
 }
 

@@ -2,8 +2,9 @@
 //! on every benchmark and regenerates the paper's tables and figures.
 //!
 //! Each `src/bin/*` binary reproduces one artefact (Figures 2-8, Tables
-//! I-II) by printing the same rows/series the paper reports and writing a
-//! CSV under `results/`. Runs are deterministic given `DBA_SEED`.
+//! I-II, plus the `fig9_htap` dynamic-data extension) by printing the same
+//! rows/series the paper reports and writing a CSV (and, for fig9, a
+//! results JSON) under `results/`. Runs are deterministic given `DBA_SEED`.
 //!
 //! Environment knobs (read by the binaries):
 //! * `DBA_SF` — scale factor (default 10, the paper's main setting);
@@ -20,6 +21,9 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    make_advisor, run_benchmark_suite, run_one, ExperimentEnv, RoundRecord, RunResult, TunerKind,
+    make_advisor, run_benchmark_suite, run_benchmark_suite_with_drift, run_one, run_one_with_drift,
+    ExperimentEnv, RoundRecord, RunResult, TunerKind,
 };
-pub use report::{fmt_minutes, print_series, print_totals_table, write_csv};
+pub use report::{
+    fmt_minutes, print_series, print_totals_table, results_json, write_csv, write_text,
+};

@@ -66,21 +66,23 @@ pub fn series_rows(results: &[RunResult]) -> (String, Vec<String>) {
     (header, rows)
 }
 
-/// Print the end-to-end totals bar chart data (Figures 3, 5, 7): one row
-/// per (benchmark, tuner) with the total workload time.
+/// Print the end-to-end totals bar chart data (Figures 3, 5, 7, 9): one
+/// row per (benchmark, tuner) with the total workload time. The `maint`
+/// column is zero for read-only (non-drift) scenarios.
 pub fn print_totals_table(title: &str, results: &[RunResult]) {
     println!("\n# {title}");
     println!(
-        "{:<12} {:<10} {:>14} {:>14} {:>14} {:>14}",
-        "benchmark", "tuner", "rec (s)", "create (s)", "exec (s)", "total (s)"
+        "{:<12} {:<10} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "benchmark", "tuner", "rec (s)", "create (s)", "maint (s)", "exec (s)", "total (s)"
     );
     for r in results {
         println!(
-            "{:<12} {:<10} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
+            "{:<12} {:<10} {:>14.1} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
             r.benchmark,
             r.tuner,
             r.total_recommendation().secs(),
             r.total_creation().secs(),
+            r.total_maintenance().secs(),
             r.total_execution().secs(),
             r.total().secs()
         );
@@ -89,22 +91,98 @@ pub fn print_totals_table(title: &str, results: &[RunResult]) {
 
 /// Totals as CSV rows.
 pub fn totals_rows(results: &[RunResult]) -> (String, Vec<String>) {
-    let header = "benchmark,tuner,recommendation_s,creation_s,execution_s,total_s".to_string();
+    let header =
+        "benchmark,tuner,recommendation_s,creation_s,maintenance_s,execution_s,total_s".to_string();
     let rows = results
         .iter()
         .map(|r| {
             format!(
-                "{},{},{:.4},{:.4},{:.4},{:.4}",
+                "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
                 r.benchmark,
                 r.tuner,
                 r.total_recommendation().secs(),
                 r.total_creation().secs(),
+                r.total_maintenance().secs(),
                 r.total_execution().secs(),
                 r.total().secs()
             )
         })
         .collect();
     (header, rows)
+}
+
+/// Escape a string for embedding in JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialise run results (with per-round breakdowns) plus experiment
+/// metadata into a results JSON document. Hand-rolled — the offline build
+/// has no `serde_json`; the schema is flat enough that string assembly is
+/// the simpler dependency.
+pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
+    let mut out = String::from("{\n");
+    for (k, v) in meta {
+        out.push_str(&format!("  \"{}\": {},\n", json_escape(k), v));
+    }
+    out.push_str("  \"runs\": [\n");
+    for (ri, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"tuner\": \"{}\",\n      \"benchmark\": \"{}\",\n      \
+             \"workload\": \"{}\",\n",
+            json_escape(&r.tuner),
+            json_escape(&r.benchmark),
+            json_escape(&r.workload)
+        ));
+        out.push_str(&format!(
+            "      \"totals\": {{\"recommendation_s\": {:.4}, \"creation_s\": {:.4}, \
+             \"maintenance_s\": {:.4}, \"execution_s\": {:.4}, \"total_s\": {:.4}}},\n",
+            r.total_recommendation().secs(),
+            r.total_creation().secs(),
+            r.total_maintenance().secs(),
+            r.total_execution().secs(),
+            r.total().secs()
+        ));
+        out.push_str("      \"rounds\": [\n");
+        for (i, round) in r.rounds.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"round\": {}, \"recommendation_s\": {:.4}, \"creation_s\": {:.4}, \
+                 \"maintenance_s\": {:.4}, \"execution_s\": {:.4}, \"total_s\": {:.4}}}{}\n",
+                round.round,
+                round.recommendation.secs(),
+                round.creation.secs(),
+                round.maintenance.secs(),
+                round.execution.secs(),
+                round.total().secs(),
+                if i + 1 < r.rounds.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if ri + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write a text file (JSON reports), creating parent directories.
+pub fn write_text(path: &str, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = Path::new(path).parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, content)
 }
 
 /// Format simulated seconds as the paper's Table I/II minutes.
@@ -140,6 +218,7 @@ mod tests {
                     recommendation: SimSeconds::new(r),
                     creation: SimSeconds::new(c),
                     execution: SimSeconds::new(e),
+                    maintenance: SimSeconds::ZERO,
                 })
                 .collect(),
         }
@@ -159,8 +238,33 @@ mod tests {
     #[test]
     fn totals_rows_sum_components() {
         let a = result("A", &[(1.0, 2.0, 3.0), (0.0, 1.0, 2.0)]);
-        let (_, rows) = totals_rows(&[a]);
-        assert_eq!(rows[0], "T,A,1.0000,3.0000,5.0000,9.0000");
+        let (header, rows) = totals_rows(&[a]);
+        assert!(header.contains("maintenance_s"));
+        assert_eq!(rows[0], "T,A,1.0000,3.0000,0.0000,5.0000,9.0000");
+    }
+
+    #[test]
+    fn results_json_is_structurally_sound() {
+        let a = result("MAB", &[(1.0, 2.0, 3.0), (0.0, 0.0, 2.0)]);
+        let b = result("NoIndex", &[(0.0, 0.0, 9.0)]);
+        let json = results_json(
+            &[("sf", "1".to_string()), ("seed", "42".to_string())],
+            &[a, b],
+        );
+        // Balanced braces/brackets and the expected fields.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"tuner\": \"MAB\""));
+        assert!(json.contains("\"maintenance_s\": 0.0000"));
+        assert!(json.contains("\"sf\": 1"));
+        assert!(json.contains("\"rounds\": ["));
+        // Two runs, three round objects.
+        assert_eq!(json.matches("\"round\":").count(), 3);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! sees two calls per round: `before_round` to adjust the physical design,
 //! `after_round` to observe what actually happened.
 
-use dba_common::SimSeconds;
+use dba_common::{IndexId, SimSeconds, TableId};
 use dba_engine::{Query, QueryExecution};
 use dba_optimizer::StatsCatalog;
 use dba_storage::Catalog;
@@ -18,6 +18,37 @@ use dba_storage::Catalog;
 pub struct AdvisorCost {
     pub recommendation: SimSeconds,
     pub creation: SimSeconds,
+}
+
+/// One table's row deltas in a round of data change.
+#[derive(Debug, Clone, Copy)]
+pub struct TableChange {
+    pub table: TableId,
+    pub inserted: u64,
+    pub updated: u64,
+    pub deleted: u64,
+}
+
+/// A round's data change as applied by the driver: the row deltas plus the
+/// maintenance bill every materialised index paid for them. Delivered to
+/// advisors *before* [`Advisor::after_round`], so maintenance can enter the
+/// round's reward shaping (`r_t(i) = G_t − C_cre − C_maint`).
+#[derive(Debug, Clone, Default)]
+pub struct DataChange {
+    /// `(materialised index, maintenance time charged this round)`.
+    pub index_maintenance: Vec<(IndexId, SimSeconds)>,
+    /// Per-table deltas that caused the maintenance.
+    pub table_changes: Vec<TableChange>,
+}
+
+impl DataChange {
+    pub fn total_maintenance(&self) -> SimSeconds {
+        self.index_maintenance.iter().map(|&(_, s)| s).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index_maintenance.is_empty() && self.table_changes.is_empty()
+    }
 }
 
 /// Uniform tuner interface driven by a tuning session: a recommendation
@@ -32,6 +63,12 @@ pub trait Advisor {
         catalog: &mut Catalog,
         stats: &StatsCatalog,
     ) -> AdvisorCost;
+
+    /// Observe the round's data change (HTAP drift): which indexes paid how
+    /// much maintenance. Called between the round's execution and
+    /// [`after_round`](Self::after_round); only drifted rounds deliver it.
+    /// Baselines that ignore churn keep the default no-op.
+    fn on_data_change(&mut self, _change: &DataChange) {}
 
     /// Observe the executed workload.
     fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]);
@@ -49,6 +86,10 @@ impl<A: Advisor + ?Sized> Advisor for Box<A> {
         stats: &StatsCatalog,
     ) -> AdvisorCost {
         (**self).before_round(round, catalog, stats)
+    }
+
+    fn on_data_change(&mut self, change: &DataChange) {
+        (**self).on_data_change(change)
     }
 
     fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]) {

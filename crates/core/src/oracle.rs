@@ -34,9 +34,11 @@ pub struct OracleInput {
 /// Greedy knapsack selection with the paper's filtering steps. Returns the
 /// selected arm-registry indices in pick order.
 pub fn greedy_select(mut candidates: Vec<OracleInput>, budget_bytes: u64) -> Vec<usize> {
-    // Prune arms with non-positive scores: they cannot improve the
-    // (monotone) objective and would only consume memory.
-    candidates.retain(|c| c.score > 0.0);
+    // Prune arms with non-positive or non-finite scores: non-positive ones
+    // cannot improve the (monotone) objective and would only consume
+    // memory; NaN/infinite ones are numerical accidents (e.g. a degenerate
+    // reward scale) that must never abort the session or starve the budget.
+    candidates.retain(|c| c.score.is_finite() && c.score > 0.0);
 
     let mut remaining = budget_bytes;
     let mut selected: Vec<usize> = Vec::new();
@@ -52,10 +54,9 @@ pub fn greedy_select(mut candidates: Vec<OracleInput>, budget_bytes: u64) -> Vec
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| {
-                a.score
-                    .partial_cmp(&b.score)
-                    .unwrap()
-                    .then(b.arm_idx.cmp(&a.arm_idx))
+                // `total_cmp`: a stray NaN (already pruned above, but never
+                // trust arithmetic) must not panic mid-session.
+                a.score.total_cmp(&b.score).then(b.arm_idx.cmp(&a.arm_idx))
             })
             .map(|(i, _)| i)
             .expect("non-empty candidates");
@@ -185,6 +186,33 @@ mod tests {
         other_query.generated_by = vec![TemplateId(4)];
         let picks = greedy_select(vec![covering, same_query, other_query], 100);
         assert_eq!(picks, vec![0, 2]);
+    }
+
+    #[test]
+    fn non_finite_scores_are_pruned_not_panicking() {
+        // Regression: a NaN score used to abort the whole session through
+        // `partial_cmp().unwrap()`. Non-finite arms must be dropped and the
+        // finite ones selected as usual.
+        let picks = greedy_select(
+            vec![
+                input(0, f64::NAN, 10, vec![0], vec![]),
+                input(1, f64::INFINITY, 10, vec![1], vec![]),
+                input(2, f64::NEG_INFINITY, 10, vec![2], vec![]),
+                input(3, 4.0, 10, vec![3], vec![]),
+                input(4, 6.0, 10, vec![4], vec![]),
+            ],
+            100,
+        );
+        assert_eq!(picks, vec![4, 3], "only finite positive arms survive");
+        // All-non-finite input selects nothing (and does not panic).
+        let picks = greedy_select(
+            vec![
+                input(0, f64::NAN, 10, vec![0], vec![]),
+                input(1, f64::INFINITY, 10, vec![1], vec![]),
+            ],
+            100,
+        );
+        assert!(picks.is_empty());
     }
 
     #[test]

@@ -8,12 +8,16 @@
 //! `G_t(i, {q}, s_t) = [Ctab(τ(i), q, ∅) − Ctab(τ(i), q, {i})] · 1_{U(s,q)}(i)`
 //!
 //! Gains sum over the round's queries; the creation cost of an index enters
-//! as a negative reward in the round it is materialised:
+//! as a negative reward in the round it is materialised, and — under data
+//! drift (the HTAP follow-up's extension) — so does the maintenance the
+//! index paid for the round's inserts/updates/deletes:
 //!
-//! `r_t(i) = G_t(i, w_t, s_t) − C_cre(s_{t−1}, {i})`
+//! `r_t(i) = G_t(i, w_t, s_t) − C_cre(s_{t−1}, {i}) − C_maint(i, Δ_t)`
 //!
 //! Gains can be negative — that is how the bandit detects index-induced
-//! regressions (the paper's IMDb Q18 case) and drops the offending index.
+//! regressions (the paper's IMDb Q18 case) and drops the offending index;
+//! the maintenance term is how it learns to drop indexes on high-churn
+//! tables even when they still speed queries up.
 
 use std::collections::HashMap;
 
@@ -33,8 +37,10 @@ impl RewardShaper {
     ///   the current configuration;
     /// * `created` — (arm index, creation cost) for indexes materialised
     ///   this round;
+    /// * `maintenance` — arm index → maintenance seconds the arm's index
+    ///   paid for this round's data change (empty on read-only rounds);
     /// * `selected` — every arm in the super arm (played arms receive a
-    ///   reward even when unused: gain 0, minus creation cost if any).
+    ///   reward even when unused: gain 0, minus creation and maintenance).
     ///
     /// Returns `(arm index, reward seconds)` pairs, one per selected arm,
     /// and the set of arms whose index was used this round.
@@ -44,6 +50,7 @@ impl RewardShaper {
         executions: &[QueryExecution],
         config: &HashMap<IndexId, usize>,
         created: &[(usize, SimSeconds)],
+        maintenance: &HashMap<usize, f64>,
         selected: &[usize],
     ) -> (Vec<(usize, f64)>, Vec<usize>) {
         debug_assert_eq!(queries.len(), executions.len());
@@ -79,7 +86,8 @@ impl RewardShaper {
             .map(|&arm| {
                 let g = gains.get(&arm).copied().unwrap_or(0.0);
                 let c = creation.get(&arm).copied().unwrap_or(0.0);
-                (arm, g - c)
+                let m = maintenance.get(&arm).copied().unwrap_or(0.0);
+                (arm, g - c - m)
             })
             .collect();
         (rewards, used)
@@ -149,8 +157,15 @@ mod tests {
         let executions = vec![exec(vec![via_index(0, 5, 2.0)])];
         store.ingest_round(&queries, &executions);
         let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
-        let (rewards, used) =
-            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        let (rewards, used) = RewardShaper::shape(
+            &store,
+            &queries,
+            &executions,
+            &config,
+            &[],
+            &HashMap::new(),
+            &[42],
+        );
         assert_eq!(rewards, vec![(42, 8.0)]);
         assert_eq!(used, vec![42]);
     }
@@ -163,8 +178,15 @@ mod tests {
         store.ingest_round(&queries, &executions);
         let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
         let created = vec![(42usize, SimSeconds::new(3.0))];
-        let (rewards, _) =
-            RewardShaper::shape(&store, &queries, &executions, &config, &created, &[42]);
+        let (rewards, _) = RewardShaper::shape(
+            &store,
+            &queries,
+            &executions,
+            &config,
+            &created,
+            &HashMap::new(),
+            &[42],
+        );
         assert_eq!(rewards, vec![(42, 5.0)], "8s gain − 3s creation");
     }
 
@@ -176,8 +198,15 @@ mod tests {
         store.ingest_round(&queries, &executions);
         let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
         let created = vec![(42usize, SimSeconds::new(3.0))];
-        let (rewards, used) =
-            RewardShaper::shape(&store, &queries, &executions, &config, &created, &[42]);
+        let (rewards, used) = RewardShaper::shape(
+            &store,
+            &queries,
+            &executions,
+            &config,
+            &created,
+            &HashMap::new(),
+            &[42],
+        );
         assert_eq!(rewards, vec![(42, -3.0)], "no gain, only creation cost");
         assert!(used.is_empty());
     }
@@ -190,7 +219,15 @@ mod tests {
         let executions = vec![exec(vec![via_index(0, 5, 25.0)])];
         store.ingest_round(&queries, &executions);
         let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
-        let (rewards, _) = RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        let (rewards, _) = RewardShaper::shape(
+            &store,
+            &queries,
+            &executions,
+            &config,
+            &[],
+            &HashMap::new(),
+            &[42],
+        );
         assert_eq!(rewards, vec![(42, -15.0)]);
     }
 
@@ -205,7 +242,15 @@ mod tests {
         ];
         store.ingest_round(&queries, &executions);
         let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
-        let (rewards, _) = RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        let (rewards, _) = RewardShaper::shape(
+            &store,
+            &queries,
+            &executions,
+            &config,
+            &[],
+            &HashMap::new(),
+            &[42],
+        );
         // (10−2) + (6−1) = 13.
         assert_eq!(rewards, vec![(42, 13.0)]);
     }
@@ -218,7 +263,15 @@ mod tests {
         let queries = vec![query(9)];
         let executions = vec![exec(vec![via_index(0, 5, 4.0)])];
         let config: HashMap<IndexId, usize> = [(IndexId(5), 7usize)].into_iter().collect();
-        let (rewards, _) = RewardShaper::shape(&store, &queries, &executions, &config, &[], &[7]);
+        let (rewards, _) = RewardShaper::shape(
+            &store,
+            &queries,
+            &executions,
+            &config,
+            &[],
+            &HashMap::new(),
+            &[7],
+        );
         assert_eq!(rewards, vec![(7, 0.0)]);
     }
 
@@ -229,8 +282,15 @@ mod tests {
         let executions = vec![exec(vec![via_index(0, 99, 2.0)])];
         store.ingest_round(&queries, &executions);
         let config: HashMap<IndexId, usize> = [(IndexId(5), 42usize)].into_iter().collect();
-        let (rewards, used) =
-            RewardShaper::shape(&store, &queries, &executions, &config, &[], &[42]);
+        let (rewards, used) = RewardShaper::shape(
+            &store,
+            &queries,
+            &executions,
+            &config,
+            &[],
+            &HashMap::new(),
+            &[42],
+        );
         assert_eq!(rewards, vec![(42, 0.0)]);
         assert!(used.is_empty());
     }

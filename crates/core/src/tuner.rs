@@ -20,7 +20,7 @@ use dba_optimizer::{CardEstimator, StatsCatalog};
 use dba_storage::Catalog;
 use serde::{Deserialize, Serialize};
 
-use crate::advisor::{Advisor, AdvisorCost};
+use crate::advisor::{Advisor, AdvisorCost, DataChange};
 use crate::arms::{ArmGenConfig, ArmRegistry};
 use crate::c2ucb::{C2Ucb, C2UcbConfig};
 use crate::context::{ContextBuilder, ContextLayout};
@@ -108,6 +108,10 @@ pub struct MabTuner {
     played: Vec<(usize, SparseVec)>,
     /// (arm, creation cost) for indexes materialised this round.
     created_this_round: Vec<(usize, SimSeconds)>,
+    /// Arm → maintenance seconds its index paid for this round's data
+    /// change (delivered via [`Advisor::on_data_change`], consumed by the
+    /// next `observe`).
+    maintenance_this_round: HashMap<usize, f64>,
     /// Reward normalisation: rewards are divided by this scale (set from
     /// the first observed round's per-query execution time) so that the
     /// learned weights and the exploration boost share a common magnitude
@@ -131,6 +135,7 @@ impl MabTuner {
             arm_to_index: HashMap::new(),
             played: Vec::new(),
             created_this_round: Vec::new(),
+            maintenance_this_round: HashMap::new(),
             reward_scale: None,
             rounds: 0,
         }
@@ -232,12 +237,11 @@ impl MabTuner {
             } else {
                 // Amortised creation cost of materialising this candidate.
                 let def = &self.registry.arm(arm).def;
-                let table = catalog.table(def.table);
                 let build = self
                     .cost
                     .index_build(
-                        table.heap_pages(),
-                        table.rows() as u64,
+                        catalog.live_heap_pages(def.table),
+                        catalog.live_rows(def.table),
                         self.registry.arm(arm).size_bytes,
                     )
                     .secs();
@@ -267,7 +271,7 @@ impl MabTuner {
         if std::env::var("DBA_MAB_DEBUG").is_ok() {
             let mut ranked: Vec<(usize, f64)> =
                 active.iter().copied().zip(scores.iter().copied()).collect();
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
             for (arm, score) in ranked.iter().take(12) {
                 let a = self.registry.arm(*arm);
                 eprintln!(
@@ -307,15 +311,18 @@ impl MabTuner {
         let mut created = 0usize;
         self.created_this_round.clear();
         for &arm_idx in &selected {
+            // Every selected arm counts as selected this round — retained
+            // incumbents included, not just newly created indexes (the
+            // statistic is "rounds in the selected configuration").
+            self.registry.arm_mut(arm_idx).times_selected += 1;
             if self.arm_to_index.contains_key(&arm_idx) {
                 continue;
             }
             let def = self.registry.arm(arm_idx).def.clone();
-            let table = catalog.table(def.table);
             let build_cost = self.cost.index_build(
-                table.heap_pages(),
-                table.rows() as u64,
-                def.estimated_bytes(table),
+                catalog.live_heap_pages(def.table),
+                catalog.live_rows(def.table),
+                def.estimated_bytes(catalog.table(def.table)),
             );
             let meta = catalog
                 .create_index(def)
@@ -325,7 +332,6 @@ impl MabTuner {
             self.current.insert(meta.id, arm_idx);
             self.arm_to_index.insert(arm_idx, meta.id);
             self.created_this_round.push((arm_idx, build_cost));
-            self.registry.arm_mut(arm_idx).times_selected += 1;
         }
 
         // Remember the played super arm's contexts for the reward update.
@@ -365,12 +371,14 @@ impl MabTuner {
         let scale = self.reward_scale.unwrap_or(1.0);
 
         let selected: Vec<usize> = self.played.iter().map(|(i, _)| *i).collect();
+        let maintenance = std::mem::take(&mut self.maintenance_this_round);
         let (rewards, used) = RewardShaper::shape(
             &self.store,
             queries,
             executions,
             &self.current,
             &self.created_this_round,
+            &maintenance,
             &selected,
         );
 
@@ -413,6 +421,17 @@ impl MabTuner {
             self.bandit.forget(1.0 - intensity);
         }
     }
+
+    /// Record the maintenance bill of a drifted round against the arms of
+    /// the materialised configuration; the next [`observe`](Self::observe)
+    /// folds it into the rewards (`r_t(i) = G_t − C_cre − C_maint`).
+    pub fn note_data_change(&mut self, change: &DataChange) {
+        for &(index_id, secs) in &change.index_maintenance {
+            if let Some(&arm) = self.current.get(&index_id) {
+                *self.maintenance_this_round.entry(arm).or_insert(0.0) += secs.secs();
+            }
+        }
+    }
 }
 
 impl Advisor for MabTuner {
@@ -431,6 +450,10 @@ impl Advisor for MabTuner {
             recommendation: outcome.recommendation_time,
             creation: outcome.creation_time,
         }
+    }
+
+    fn on_data_change(&mut self, change: &DataChange) {
+        self.note_data_change(change);
     }
 
     fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]) {
@@ -621,6 +644,96 @@ mod tests {
                 "stale v-index should be dropped after the shift"
             );
         }
+    }
+
+    /// Regression: `times_selected` used to count only the round an arm's
+    /// index was *created*; incumbents retained across rounds were missed.
+    #[test]
+    fn times_selected_counts_retained_incumbents() {
+        let mut cat = catalog();
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let mut tuner = MabTuner::new(
+            &cat,
+            cost.clone(),
+            MabConfig {
+                memory_budget_bytes: cat.database_bytes(),
+                ..MabConfig::default()
+            },
+        );
+        for round in 0..8 {
+            tuner.recommend_and_apply(&mut cat, &stats);
+            let q = query(round, (round as i64) * 17 % 50_000);
+            let (_, exec) = plan_and_run(&cat, &stats, &cost, &q);
+            tuner.observe(&[q], &[exec]);
+        }
+        // Some arm must have been kept in the configuration over several
+        // rounds; its selection count must exceed its creation count (1).
+        let retained = tuner
+            .current
+            .values()
+            .map(|&arm| tuner.registry.arm(arm).times_selected)
+            .max()
+            .expect("a stable workload materialises something");
+        assert!(
+            retained > 1,
+            "a retained incumbent must count every selected round, got {retained}"
+        );
+    }
+
+    /// Heavy churn makes the bandit drop an index it would otherwise keep:
+    /// the maintenance term of `r_t(i) = G_t − C_cre − C_maint` at work.
+    #[test]
+    fn sustained_maintenance_drives_index_drop() {
+        let mut cat = catalog();
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let mut tuner = MabTuner::new(
+            &cat,
+            cost.clone(),
+            MabConfig {
+                memory_budget_bytes: cat.database_bytes(),
+                ..MabConfig::default()
+            },
+        );
+        // Warm up until an index is materialised.
+        for round in 0..4 {
+            tuner.recommend_and_apply(&mut cat, &stats);
+            let q = query(round, (round as i64) * 17 % 50_000);
+            let (_, exec) = plan_and_run(&cat, &stats, &cost, &q);
+            tuner.observe(&[q], &[exec]);
+        }
+        assert!(cat.all_indexes().count() > 0, "warm-up materialises");
+
+        // Now every round charges each materialised index a maintenance
+        // bill far beyond any gain it can produce.
+        let mut dropped_all = false;
+        for round in 4..14 {
+            tuner.recommend_and_apply(&mut cat, &stats);
+            let change = DataChange {
+                index_maintenance: cat
+                    .all_indexes()
+                    .map(|ix| (ix.id(), SimSeconds::new(10_000.0)))
+                    .collect(),
+                table_changes: vec![],
+            };
+            tuner.note_data_change(&change);
+            let q = query(round, (round as i64) * 17 % 50_000);
+            let (_, exec) = plan_and_run(&cat, &stats, &cost, &q);
+            tuner.observe(&[q], &[exec]);
+            if cat.all_indexes().count() == 0 {
+                dropped_all = true;
+                break;
+            }
+        }
+        // One more recommendation applies the learned penalty.
+        tuner.recommend_and_apply(&mut cat, &stats);
+        assert!(
+            dropped_all || cat.all_indexes().count() == 0,
+            "punishing maintenance must drive the configuration to empty, \
+             still holding {} indexes",
+            cat.all_indexes().count()
+        );
     }
 
     #[test]

@@ -188,6 +188,33 @@ impl CostModel {
     pub fn full_scan_reference(&self, heap_pages: u64, rows: u64) -> SimSeconds {
         self.scan(heap_pages, rows)
     }
+
+    /// Cost of maintaining one secondary index through a round of data
+    /// change, applied refresh-stream style: the round's deltas are sorted
+    /// and bulk-merged into the leaf level (how TPC-H RF1/RF2 batches are
+    /// applied), so descents amortise to one per *dirtied leaf page*
+    /// (Cardenas over the index's `leaf_pages`) rather than one per row;
+    /// each touched row version still pays CPU merge work. An update is a
+    /// delete+insert, hence ×2.
+    ///
+    /// This is the `C_maint` term of the HTAP follow-up's reward
+    /// `r_t(i) = G_t − C_cre − C_maint`: the per-index price of churn that
+    /// a NoIndex configuration never pays.
+    pub fn index_maintenance(
+        &self,
+        inserted: u64,
+        updated: u64,
+        deleted: u64,
+        leaf_pages: u64,
+    ) -> SimSeconds {
+        let touched = inserted + 2 * updated + deleted;
+        if touched == 0 {
+            return SimSeconds::ZERO;
+        }
+        let dirty_pages = cardenas(touched, leaf_pages.max(1)).max(1.0);
+        self.t(dirty_pages * (self.btree_descent_s + self.write_page_s)
+            + touched as f64 * self.cpu_row_s)
+    }
 }
 
 /// Cardenas' formula for distinct pages touched when fetching `k` random
@@ -271,6 +298,31 @@ mod tests {
                 < 1e-12
         );
         assert!((m.aggregate(100).secs() * 3.0 - m.aggregate(300).secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_maintenance_prices_dirty_pages_and_merge_cpu() {
+        let m = CostModel::unit_scale();
+        assert_eq!(m.index_maintenance(0, 0, 0, 100).secs(), 0.0);
+        let light = m.index_maintenance(10, 0, 0, 1000);
+        let heavy = m.index_maintenance(10_000, 0, 0, 1000);
+        assert!(light.secs() > 0.0);
+        assert!(heavy.secs() > light.secs() * 10.0);
+        // An update is a delete+insert: more page touches than an insert.
+        let ins = m.index_maintenance(100, 0, 0, 10_000);
+        let upd = m.index_maintenance(0, 100, 0, 10_000);
+        assert!(upd.secs() > ins.secs() * 1.5);
+        // Bulk application saturates: touching far more rows than leaf
+        // pages converges to rewriting the leaf level (plus CPU), so the
+        // bill grows sublinearly past that point.
+        let once = m.index_maintenance(100_000, 0, 0, 100);
+        let tenfold = m.index_maintenance(1_000_000, 0, 0, 100);
+        assert!(tenfold.secs() < once.secs() * 10.0);
+        // A larger index dirties more pages for the same batch.
+        assert!(
+            m.index_maintenance(10_000, 0, 0, 10_000).secs()
+                > m.index_maintenance(10_000, 0, 0, 100).secs()
+        );
     }
 
     #[test]

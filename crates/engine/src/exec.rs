@@ -228,7 +228,7 @@ impl Executor {
                         total_matched,
                         leaf_row_bytes,
                         heap_fetches,
-                        inner_table.heap_pages(),
+                        catalog.live_heap_pages(step.access.table),
                     );
                     accesses.push(AccessStats {
                         table: step.access.table,
@@ -274,7 +274,12 @@ impl Executor {
         match method {
             AccessMethod::FullScan => {
                 let rows = filter_all(table, preds);
-                let time = self.cost.scan(table.heap_pages(), table.rows() as u64);
+                // Time is charged over the *live* heap: drift-grown tables
+                // scan slower even though only generated rows materialise.
+                let time = self.cost.scan(
+                    catalog.live_heap_pages(table.id()),
+                    catalog.live_rows(table.id()),
+                );
                 let stats = AccessStats {
                     table: table.id(),
                     index: None,
@@ -304,7 +309,7 @@ impl Executor {
                     matched,
                     leaf_row_bytes(table, ix),
                     heap_fetches,
-                    table.heap_pages(),
+                    catalog.live_heap_pages(table.id()),
                 );
                 let stats = AccessStats {
                     table: table.id(),
@@ -324,9 +329,13 @@ impl Executor {
                     "covering scan over a non-covering index"
                 );
                 let rows = filter_all(table, preds);
+                // Maintained leaves grow with the table (drift): scale the
+                // creation-time leaf level by the catalog's growth factor.
+                let leaf_pages =
+                    (ix.leaf_pages() as f64 * catalog.index_growth(table.id())).ceil() as u64;
                 let time = self
                     .cost
-                    .covering_scan(ix.leaf_pages(), table.rows() as u64);
+                    .covering_scan(leaf_pages, catalog.live_rows(table.id()));
                 let stats = AccessStats {
                     table: table.id(),
                     index: Some(*index),
@@ -689,6 +698,53 @@ mod tests {
         assert_eq!(inner.index, Some(fk_ix.id));
         assert!(!inner.is_full_scan);
         assert!(result.max_index_time(TableId(1)).is_some());
+    }
+
+    #[test]
+    fn drifted_table_scans_slower_but_returns_same_rows() {
+        let mut cat = catalog();
+        let q = single_table_query(vec![Predicate::range(col(1, 2), 0, 99)], vec![col(1, 0)]);
+        let exec = Executor::new(CostModel::unit_scale());
+        let before = exec.execute(&cat, &q, &scan_plan(TableId(1), 0.0));
+        cat.apply_drift(TableId(1), 50_000, 0, 0);
+        let after = exec.execute(&cat, &q, &scan_plan(TableId(1), 0.0));
+        // Results come from the generated rows; cost comes from the live heap.
+        assert_eq!(after.result_rows, before.result_rows);
+        assert!(
+            after.total.secs() > before.total.secs() * 2.0,
+            "10× heap growth must slow the scan: {} vs {}",
+            after.total.secs(),
+            before.total.secs()
+        );
+    }
+
+    #[test]
+    fn covering_scan_slows_as_the_indexed_table_grows() {
+        let mut cat = catalog();
+        let meta = cat
+            .create_index(IndexDef::new(TableId(1), vec![2], vec![0]))
+            .unwrap();
+        let q = single_table_query(vec![Predicate::range(col(1, 2), 10, 300)], vec![col(1, 0)]);
+        let plan = Plan {
+            driver: TableAccess {
+                table: TableId(1),
+                method: AccessMethod::CoveringScan { index: meta.id },
+                est_rows: 0.0,
+            },
+            joins: vec![],
+            aggregated: false,
+            est_cost: SimSeconds::ZERO,
+        };
+        let exec = Executor::new(CostModel::unit_scale());
+        let before = exec.execute(&cat, &q, &plan);
+        cat.apply_drift(TableId(1), 45_000, 0, 0); // 10× growth
+        let after = exec.execute(&cat, &q, &plan);
+        assert!(
+            after.total.secs() > before.total.secs() * 3.0,
+            "maintained leaves grow with the table: {} vs {}",
+            after.total.secs(),
+            before.total.secs()
+        );
     }
 
     #[test]

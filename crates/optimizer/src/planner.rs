@@ -139,14 +139,17 @@ impl<'a> Planner<'a> {
         needed: &[u16],
         est: &CardEstimator<'_>,
     ) -> AccessOption {
-        let t = self.ctx.catalog.table(table);
-        let rows = t.rows() as u64;
+        // Row counts come from the statistics (the optimiser's *belief* —
+        // stale under unrefreshed drift); page counts come from the storage
+        // manager's live accounting, which is always accurate.
+        let rows = self.ctx.stats.table(table).rows;
+        let heap_pages = self.ctx.catalog.live_heap_pages(table);
         let sel_all = est.conjunction_selectivity(preds);
         let rows_out = rows as f64 * sel_all;
 
         let mut best = AccessOption {
             method: AccessMethod::FullScan,
-            cost: self.ctx.cost.scan(t.heap_pages(), rows),
+            cost: self.ctx.cost.scan(heap_pages, rows),
             rows_out,
         };
 
@@ -169,7 +172,7 @@ impl<'a> Planner<'a> {
                     matched as u64,
                     self.ctx.leaf_row_bytes(cand),
                     heap_fetches,
-                    t.heap_pages(),
+                    heap_pages,
                 );
                 if cost < best.cost {
                     best = AccessOption {
@@ -182,7 +185,10 @@ impl<'a> Planner<'a> {
                     };
                 }
             } else if covering {
-                let cost = self.ctx.cost.covering_scan(cand.leaf_pages(), rows);
+                // Maintained leaves grow with the table under drift.
+                let leaf_pages =
+                    (cand.leaf_pages() as f64 * self.ctx.catalog.index_growth(table)).ceil() as u64;
+                let cost = self.ctx.cost.covering_scan(leaf_pages, rows);
                 if cost < best.cost {
                     best = AccessOption {
                         method: AccessMethod::CoveringScan { index: cand.id },
@@ -286,7 +292,7 @@ impl<'a> Planner<'a> {
                         matched_total as u64,
                         self.ctx.leaf_row_bytes(cand),
                         heap_fetches,
-                        self.ctx.catalog.table(t).heap_pages(),
+                        self.ctx.catalog.live_heap_pages(t),
                     ) * INL_RISK_FACTOR;
                     if inl_cost < choice.1 {
                         choice = (

@@ -1,10 +1,19 @@
 //! Optimiser statistics: equi-width histograms, distinct counts, min/max.
 //!
-//! Statistics are computed exactly from the base data once, then frozen —
-//! like a freshly ANALYZE'd commercial system. The *errors* the paper needs
+//! Statistics are computed exactly from the base data once — like a freshly
+//! ANALYZE'd commercial system. On static data the *errors* the paper needs
 //! do not come from stale stats but from the structural assumptions applied
 //! at estimation time (uniformity within buckets, independence across
 //! columns, containment across joins); see [`crate::est`].
+//!
+//! Under data drift a second error source appears: **staleness**. The
+//! catalog's live row counts move while the statistics keep reporting the
+//! counts they were built from. [`StatsCatalog::note_drift`] accumulates
+//! how many row versions changed per table; when the stale fraction
+//! crosses the driver's threshold, [`StatsCatalog::refresh`] re-adopts the
+//! live row counts (histograms stay — the generators are
+//! distribution-preserving, so selectivity *fractions* remain exact; only
+//! the row-count scale drifts).
 
 use dba_common::TableId;
 use dba_storage::{Catalog, Column, Table};
@@ -232,22 +241,82 @@ impl TableStats {
 #[derive(Debug, Clone)]
 pub struct StatsCatalog {
     tables: Vec<TableStats>,
+    /// Row versions changed per table since the last ANALYZE (staleness).
+    changed_since_refresh: Vec<u64>,
 }
 
 impl StatsCatalog {
     /// ANALYZE the whole catalog.
     pub fn build(catalog: &Catalog) -> StatsCatalog {
+        let tables: Vec<TableStats> = catalog
+            .tables()
+            .iter()
+            .map(|t| TableStats::build(t))
+            .collect();
+        let changed_since_refresh = vec![0; tables.len()];
         StatsCatalog {
-            tables: catalog
-                .tables()
-                .iter()
-                .map(|t| TableStats::build(t))
-                .collect(),
+            tables,
+            changed_since_refresh,
         }
     }
 
     pub fn table(&self, id: TableId) -> &TableStats {
         &self.tables[id.raw() as usize]
+    }
+
+    /// Record that `rows_changed` row versions of `table` were inserted,
+    /// updated or deleted. Estimates keep using the stale counts until
+    /// [`refresh`](Self::refresh).
+    pub fn note_drift(&mut self, table: TableId, rows_changed: u64) {
+        self.changed_since_refresh[table.raw() as usize] += rows_changed;
+    }
+
+    /// Stale fraction of `table`: row versions changed since the last
+    /// ANALYZE over the row count the statistics were built from.
+    pub fn staleness(&self, table: TableId) -> f64 {
+        let i = table.raw() as usize;
+        self.changed_since_refresh[i] as f64 / self.tables[i].rows.max(1) as f64
+    }
+
+    /// The worst staleness across all tables (auto-ANALYZE trigger).
+    pub fn max_staleness(&self) -> f64 {
+        (0..self.tables.len())
+            .map(|i| self.staleness(TableId(i as u32)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Re-ANALYZE one table against the catalog's live state: adopt the
+    /// live row count and clear its staleness counter. Histograms are
+    /// kept — selectivity fractions stay exact under the
+    /// distribution-preserving drift model; what refresh fixes is the
+    /// row-count *scale* every cardinality estimate is multiplied by.
+    pub fn refresh_table(&mut self, catalog: &Catalog, table: TableId) {
+        let i = table.raw() as usize;
+        self.tables[i].rows = catalog.live_rows(table);
+        self.changed_since_refresh[i] = 0;
+    }
+
+    /// Re-ANALYZE every table (see [`refresh_table`](Self::refresh_table)).
+    pub fn refresh(&mut self, catalog: &Catalog) {
+        for i in 0..self.tables.len() {
+            self.refresh_table(catalog, TableId(i as u32));
+        }
+    }
+
+    /// Auto-ANALYZE: refresh exactly the tables whose staleness reached
+    /// `threshold` (per-table triggering, as in commercial systems — a
+    /// churning dimension must not reset the fact table's counters).
+    /// Returns how many tables were refreshed.
+    pub fn refresh_stale(&mut self, catalog: &Catalog, threshold: f64) -> usize {
+        let mut refreshed = 0;
+        for i in 0..self.tables.len() {
+            let t = TableId(i as u32);
+            if self.staleness(t) >= threshold {
+                self.refresh_table(catalog, t);
+                refreshed += 1;
+            }
+        }
+        refreshed
     }
 }
 
@@ -399,6 +468,73 @@ mod tests {
         let s = ColumnStats::build(&c);
         assert_eq!(s.ndv, 4);
         assert_eq!(s.rows, 7);
+    }
+
+    #[test]
+    fn staleness_tracks_drift_and_refresh_adopts_live_counts() {
+        use dba_storage::{Catalog, ColumnSpec, TableBuilder, TableSchema};
+        use std::sync::Arc;
+
+        let schema = TableSchema::new(
+            "t",
+            vec![ColumnSpec::new(
+                "a",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 0, hi: 99 },
+            )],
+        );
+        let mut cat = Catalog::new(vec![Arc::new(
+            TableBuilder::new(schema, 1000).build(TableId(0), 3),
+        )]);
+        let mut stats = StatsCatalog::build(&cat);
+        assert_eq!(stats.max_staleness(), 0.0);
+        assert_eq!(stats.table(TableId(0)).rows, 1000);
+
+        // 300 inserts + 100 updates + 100 deletes = 500 changed versions.
+        cat.apply_drift(TableId(0), 300, 100, 100);
+        stats.note_drift(TableId(0), 500);
+        assert!((stats.staleness(TableId(0)) - 0.5).abs() < 1e-12);
+        assert!((stats.max_staleness() - 0.5).abs() < 1e-12);
+        // Estimates still use the stale count until refresh.
+        assert_eq!(stats.table(TableId(0)).rows, 1000);
+
+        stats.refresh(&cat);
+        assert_eq!(stats.table(TableId(0)).rows, 1000 + 300 - 100);
+        assert_eq!(stats.max_staleness(), 0.0);
+    }
+
+    #[test]
+    fn refresh_stale_only_touches_tables_past_threshold() {
+        use dba_storage::{Catalog, ColumnSpec, TableBuilder, TableSchema};
+        use std::sync::Arc;
+
+        let schema = |name: &str| {
+            TableSchema::new(
+                name,
+                vec![ColumnSpec::new(
+                    "a",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 99 },
+                )],
+            )
+        };
+        let mut cat = Catalog::new(vec![
+            Arc::new(TableBuilder::new(schema("hot"), 100).build(TableId(0), 3)),
+            Arc::new(TableBuilder::new(schema("cold"), 100).build(TableId(1), 4)),
+        ]);
+        let mut stats = StatsCatalog::build(&cat);
+        cat.apply_drift(TableId(0), 50, 0, 0);
+        stats.note_drift(TableId(0), 50); // 50% stale
+        cat.apply_drift(TableId(1), 5, 0, 0);
+        stats.note_drift(TableId(1), 5); // 5% stale
+
+        let refreshed = stats.refresh_stale(&cat, 0.2);
+        assert_eq!(refreshed, 1, "only the hot table crosses the threshold");
+        assert_eq!(stats.table(TableId(0)).rows, 150);
+        assert_eq!(stats.staleness(TableId(0)), 0.0);
+        // The cold table keeps both its stale count and its belief.
+        assert_eq!(stats.table(TableId(1)).rows, 100);
+        assert!(stats.staleness(TableId(1)) > 0.0);
     }
 
     #[test]

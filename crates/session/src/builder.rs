@@ -9,7 +9,7 @@ use dba_core::{Advisor, MabConfig, MabTuner};
 use dba_engine::{CostModel, Executor};
 use dba_optimizer::StatsCatalog;
 use dba_storage::Catalog;
-use dba_workloads::{Benchmark, WorkloadKind};
+use dba_workloads::{Benchmark, DataDrift, WorkloadKind};
 
 use crate::session::TuningSession;
 
@@ -89,6 +89,7 @@ pub struct SessionBuilder {
     shared_data: Option<Catalog>,
     shared_stats: Option<StatsCatalog>,
     workload: WorkloadKind,
+    drift: Option<DataDrift>,
     tuner: Option<TunerKind>,
     seed: u64,
     memory_budget_bytes: Option<u64>,
@@ -108,6 +109,7 @@ impl SessionBuilder {
             shared_data: None,
             shared_stats: None,
             workload: WorkloadKind::paper_static(),
+            drift: None,
             tuner: None,
             seed: 42,
             memory_budget_bytes: None,
@@ -143,6 +145,16 @@ impl SessionBuilder {
     /// workload).
     pub fn workload(mut self, kind: WorkloadKind) -> Self {
         self.workload = kind;
+        self
+    }
+
+    /// Apply a data-change scenario: after each round's queries execute,
+    /// the given per-table insert/update/delete rates mutate the live data,
+    /// charging every materialised index its maintenance cost and letting
+    /// statistics go stale. Defaults to no drift (the paper's read-only
+    /// rounds); validated against the benchmark's tables at build time.
+    pub fn data_drift(mut self, drift: DataDrift) -> Self {
+        self.drift = Some(drift);
         self
     }
 
@@ -183,6 +195,17 @@ impl SessionBuilder {
                 "session builder: workload has zero rounds".into(),
             ));
         }
+        if let WorkloadKind::Shifting { groups, .. } = self.workload {
+            // More groups than templates would leave some groups without a
+            // single template — the sequencer would emit empty rounds.
+            let templates = benchmark.templates().len();
+            if groups > templates {
+                return Err(DbError::Invalid(format!(
+                    "session builder: shifting workload with {groups} groups \
+                     but only {templates} templates — some groups would be empty"
+                )));
+            }
+        }
         if self.memory_budget_bytes == Some(0) {
             return Err(DbError::Invalid(
                 "session builder: memory budget of 0 bytes leaves no room for any index".into(),
@@ -192,6 +215,9 @@ impl SessionBuilder {
             Some(base) => base,
             None => benchmark.build_catalog(self.seed)?.fork_empty(),
         };
+        if let Some(drift) = &self.drift {
+            drift.validate(&catalog)?;
+        }
         let stats = self
             .shared_stats
             .unwrap_or_else(|| StatsCatalog::build(&catalog));
@@ -203,6 +229,7 @@ impl SessionBuilder {
             catalog,
             stats,
             workload: self.workload,
+            drift: self.drift,
             tuner: self.tuner,
             seed: self.seed,
             budget,
@@ -249,6 +276,7 @@ struct PreparedSession {
     catalog: Catalog,
     stats: StatsCatalog,
     workload: WorkloadKind,
+    drift: Option<DataDrift>,
     tuner: Option<TunerKind>,
     seed: u64,
     budget: u64,
@@ -267,6 +295,7 @@ impl PreparedSession {
             Executor::new(self.cost.clone()),
             self.cost,
             advisor,
+            self.drift,
         )
     }
 }
@@ -316,6 +345,49 @@ mod tests {
     fn missing_tuner_is_rejected() {
         let result = SessionBuilder::new().benchmark(ssb(0.01)).build();
         assert!(invalid_msg(result).contains("no tuner"));
+    }
+
+    #[test]
+    fn shifting_with_more_groups_than_templates_is_rejected() {
+        // SSB has 13 templates; 14 groups would leave one empty.
+        let result = SessionBuilder::new()
+            .benchmark(ssb(0.01))
+            .tuner(TunerKind::Mab)
+            .workload(WorkloadKind::Shifting {
+                groups: 14,
+                rounds_per_group: 2,
+            })
+            .build();
+        assert!(invalid_msg(result).contains("groups"));
+        // The boundary case (groups == templates) is fine.
+        assert!(SessionBuilder::new()
+            .benchmark(ssb(0.01))
+            .tuner(TunerKind::NoIndex)
+            .workload(WorkloadKind::Shifting {
+                groups: 13,
+                rounds_per_group: 1,
+            })
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn invalid_drift_is_rejected() {
+        use dba_workloads::{DataDrift, DriftRates};
+        let result = SessionBuilder::new()
+            .benchmark(ssb(0.01))
+            .tuner(TunerKind::NoIndex)
+            .workload(WorkloadKind::Static { rounds: 1 })
+            .data_drift(DataDrift::uniform(DriftRates::new(f64::NAN, 0.0, 0.0)))
+            .build();
+        assert!(invalid_msg(result).contains("drift"));
+        let unknown_table = SessionBuilder::new()
+            .benchmark(ssb(0.01))
+            .tuner(TunerKind::NoIndex)
+            .workload(WorkloadKind::Static { rounds: 1 })
+            .data_drift(DataDrift::none().with_table("nope", DriftRates::new(0.1, 0.0, 0.0)))
+            .build();
+        assert!(unknown_table.is_err());
     }
 
     #[test]

@@ -41,9 +41,10 @@ pub mod record;
 pub mod session;
 
 pub use builder::{make_advisor, SessionBuilder, TunerKind};
-pub use dba_core::{Advisor, AdvisorCost};
+pub use dba_core::{Advisor, AdvisorCost, DataChange};
+pub use dba_workloads::{DataDrift, DriftRates};
 pub use record::{RoundRecord, RunResult};
-pub use session::{RoundEvent, TuningSession};
+pub use session::{RoundEvent, TuningSession, STATS_REFRESH_STALENESS};
 
 /// A session over a type-erased advisor, as produced by
 /// [`SessionBuilder::build`].

@@ -11,11 +11,14 @@ pub struct RoundRecord {
     pub recommendation: SimSeconds,
     pub creation: SimSeconds,
     pub execution: SimSeconds,
+    /// Index maintenance paid for the round's data change (zero on
+    /// read-only rounds — the paper's original setting).
+    pub maintenance: SimSeconds,
 }
 
 impl RoundRecord {
     pub fn total(&self) -> SimSeconds {
-        self.recommendation + self.creation + self.execution
+        self.recommendation + self.creation + self.execution + self.maintenance
     }
 }
 
@@ -41,8 +44,15 @@ impl RunResult {
         self.rounds.iter().map(|r| r.execution).sum()
     }
 
+    pub fn total_maintenance(&self) -> SimSeconds {
+        self.rounds.iter().map(|r| r.maintenance).sum()
+    }
+
     pub fn total(&self) -> SimSeconds {
-        self.total_recommendation() + self.total_creation() + self.total_execution()
+        self.total_recommendation()
+            + self.total_creation()
+            + self.total_execution()
+            + self.total_maintenance()
     }
 
     /// Execution time of the final round (the paper's converged-quality

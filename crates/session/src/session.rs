@@ -5,11 +5,16 @@ use dba_common::{DbResult, SimSeconds};
 use dba_engine::{Executor, Plan, Query, QueryExecution};
 use dba_optimizer::{Planner, PlannerContext, StatsCatalog};
 use dba_storage::Catalog;
-use dba_workloads::{Benchmark, WorkloadKind, WorkloadSequencer};
+use dba_workloads::{Benchmark, DataDrift, WorkloadKind, WorkloadSequencer};
 
-use dba_core::Advisor;
+use dba_core::{Advisor, DataChange, TableChange};
 
 use crate::record::{RoundRecord, RunResult};
+
+/// Statistics are auto-refreshed (re-ANALYZEd) once this fraction of a
+/// table's rows has changed since the last refresh — the same order as
+/// commercial auto-stats thresholds (SQL Server: 20% + 500 rows).
+pub const STATS_REFRESH_STALENESS: f64 = 0.2;
 
 /// Snapshot emitted to observers after every completed round.
 #[derive(Debug, Clone, Copy)]
@@ -18,7 +23,8 @@ pub struct RoundEvent {
     pub round: usize,
     /// Total rounds in the session's workload.
     pub rounds_total: usize,
-    /// The round's time accounting.
+    /// The round's time accounting (`record.maintenance` carries the
+    /// index-maintenance bill of drifted rounds).
     pub record: RoundRecord,
     /// Number of queries executed this round.
     pub queries: usize,
@@ -26,6 +32,8 @@ pub struct RoundEvent {
     pub index_count: usize,
     /// Bytes held by materialised secondary indexes after the round.
     pub index_bytes: u64,
+    /// Worst-table statistics staleness after the round (0 when fresh).
+    pub stats_staleness: f64,
 }
 
 /// A tuner driving session: one advisor × one benchmark × one workload.
@@ -44,6 +52,9 @@ pub struct TuningSession<A: Advisor> {
     executor: Executor,
     cost: dba_engine::CostModel,
     advisor: A,
+    /// Data-change scenario applied after every round's execution; `None`
+    /// (or an all-zero spec) keeps the paper's read-only rounds.
+    drift: Option<DataDrift>,
     /// Seeded template order, computed once so per-round sequencer
     /// reconstruction does no re-shuffling.
     template_order: Vec<usize>,
@@ -63,10 +74,12 @@ impl<A: Advisor> TuningSession<A> {
         executor: Executor,
         cost: dba_engine::CostModel,
         advisor: A,
+        drift: Option<DataDrift>,
     ) -> Self {
         let template_order = WorkloadSequencer::new(&benchmark, workload, seed)
             .order()
             .to_vec();
+        let drift = drift.filter(|d| !d.is_none());
         TuningSession {
             benchmark,
             catalog,
@@ -77,6 +90,7 @@ impl<A: Advisor> TuningSession<A> {
             executor,
             cost,
             advisor,
+            drift,
             template_order,
             records: Vec::new(),
             next_round: 0,
@@ -115,6 +129,20 @@ impl<A: Advisor> TuningSession<A> {
 
     pub fn workload(&self) -> WorkloadKind {
         self.workload
+    }
+
+    /// The data-change scenario, if this session drifts.
+    pub fn drift(&self) -> Option<&DataDrift> {
+        self.drift.as_ref()
+    }
+
+    /// Scenario label: the workload kind, suffixed with `+drift` when data
+    /// changes between rounds.
+    pub fn scenario_label(&self) -> String {
+        match self.drift {
+            Some(_) => format!("{}+drift", self.workload.label()),
+            None => self.workload.label().to_string(),
+        }
     }
 
     pub fn seed(&self) -> u64 {
@@ -186,7 +214,12 @@ impl<A: Advisor> TuningSession<A> {
         };
         let execution: SimSeconds = executions.iter().map(|e| e.total).sum();
 
-        // 3. Observation: feed actual run-time statistics back.
+        // 3. Data change: apply the round's drift deltas, charge every
+        //    materialised index its maintenance bill, and let statistics go
+        //    stale (auto-refreshing past the threshold).
+        let maintenance = self.apply_drift(round);
+
+        // 4. Observation: feed actual run-time statistics back.
         self.advisor.after_round(&queries, &executions);
 
         let record = RoundRecord {
@@ -194,6 +227,7 @@ impl<A: Advisor> TuningSession<A> {
             recommendation: advisor_cost.recommendation,
             creation: advisor_cost.creation,
             execution,
+            maintenance,
         };
         self.records.push(record);
         self.next_round += 1;
@@ -205,9 +239,64 @@ impl<A: Advisor> TuningSession<A> {
             queries: queries.len(),
             index_count: self.catalog.all_indexes().count(),
             index_bytes: self.catalog.index_bytes(),
+            stats_staleness: self.stats.max_staleness(),
         };
         observer(&event);
         Ok(Some(record))
+    }
+
+    /// Apply round `round`'s data change (if any): mutate the catalog's
+    /// live sizes, price per-index maintenance through the cost model,
+    /// track statistics staleness, and report the change to the advisor
+    /// (before `after_round`, so maintenance enters this round's rewards).
+    /// Returns the total maintenance time charged.
+    fn apply_drift(&mut self, round: usize) -> SimSeconds {
+        let Some(drift) = &self.drift else {
+            return SimSeconds::ZERO;
+        };
+        let deltas = drift.deltas_for_round(&self.catalog, self.seed, round);
+        if deltas.is_empty() {
+            return SimSeconds::ZERO;
+        }
+        let mut change = DataChange::default();
+        let mut total = SimSeconds::ZERO;
+        for d in &deltas {
+            // The catalog caps deletes/updates at the rows that exist;
+            // maintenance and staleness are billed on the *applied* delta
+            // only — nobody pays for rows that were never touched.
+            let applied = self
+                .catalog
+                .apply_drift(d.table, d.inserted, d.updated, d.deleted);
+            if applied.rows_changed() == 0 {
+                continue;
+            }
+            self.stats.note_drift(d.table, applied.rows_changed());
+            change.table_changes.push(TableChange {
+                table: d.table,
+                inserted: applied.inserted,
+                updated: applied.updated,
+                deleted: applied.deleted,
+            });
+            let growth = self.catalog.index_growth(d.table);
+            for ix in self.catalog.indexes_on(d.table) {
+                let leaf_pages = (ix.leaf_pages() as f64 * growth).ceil() as u64;
+                let cost = self.cost.index_maintenance(
+                    applied.inserted,
+                    applied.updated,
+                    applied.deleted,
+                    leaf_pages,
+                );
+                change.index_maintenance.push((ix.id(), cost));
+                total += cost;
+            }
+        }
+        if change.is_empty() {
+            return SimSeconds::ZERO;
+        }
+        self.stats
+            .refresh_stale(&self.catalog, STATS_REFRESH_STALENESS);
+        self.advisor.on_data_change(&change);
+        total
     }
 
     /// Run every remaining round and return the complete [`RunResult`].
@@ -226,7 +315,7 @@ impl<A: Advisor> TuningSession<A> {
         RunResult {
             tuner: self.advisor.name().to_string(),
             benchmark: self.benchmark.name.to_string(),
-            workload: self.workload.label().to_string(),
+            workload: self.scenario_label(),
             rounds: self.records.clone(),
         }
     }
@@ -252,7 +341,7 @@ impl<A: Advisor> TuningSession<A> {
 #[cfg(test)]
 mod tests {
     use crate::builder::{SessionBuilder, TunerKind};
-    use dba_workloads::{ssb::ssb, WorkloadKind};
+    use dba_workloads::{ssb::ssb, DataDrift, DriftRates, WorkloadKind};
 
     #[test]
     fn step_accounting_sums_to_run_result_totals() {
@@ -322,6 +411,89 @@ mod tests {
         session.step().unwrap();
         let result = session.run().unwrap();
         assert_eq!(result.rounds.len(), 4, "run() completes remaining rounds");
+    }
+
+    #[test]
+    fn drifted_rounds_charge_maintenance_to_materialised_indexes() {
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 8 })
+            .tuner(TunerKind::Mab)
+            .data_drift(DataDrift::uniform(DriftRates::new(0.02, 0.01, 0.01)))
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(session.scenario_label(), "static+drift");
+
+        let mut saw_maintenance = false;
+        session
+            .run_with(&mut |event| {
+                if event.index_count > 0 {
+                    assert!(
+                        event.record.maintenance.secs() > 0.0,
+                        "round {}: materialised config under drift must pay \
+                         maintenance",
+                        event.round
+                    );
+                    saw_maintenance = true;
+                }
+                assert!(event.record.maintenance.secs().is_finite());
+            })
+            .unwrap();
+        assert!(saw_maintenance, "MAB materialises within 8 rounds");
+        let result = session.result();
+        assert!(result.total_maintenance().secs() > 0.0);
+        assert_eq!(result.workload, "static+drift");
+        // Data actually grew.
+        assert!(session.catalog().has_drift());
+    }
+
+    #[test]
+    fn read_only_sessions_never_charge_maintenance() {
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 4 })
+            .tuner(TunerKind::Mab)
+            .seed(7)
+            .build()
+            .unwrap();
+        let result = session.run().unwrap();
+        assert_eq!(result.total_maintenance().secs(), 0.0);
+        assert_eq!(result.workload, "static");
+        assert!(!session.catalog().has_drift());
+    }
+
+    #[test]
+    fn stats_staleness_surfaces_and_auto_refreshes() {
+        // Churn fast enough to cross the refresh threshold mid-session.
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 10 })
+            .tuner(TunerKind::NoIndex)
+            .data_drift(DataDrift::uniform(DriftRates::new(0.10, 0.0, 0.02)))
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut staleness_went_up = false;
+        let mut refreshed = false;
+        let mut prev = 0.0;
+        session
+            .run_with(&mut |event| {
+                assert!(
+                    event.stats_staleness < crate::session::STATS_REFRESH_STALENESS,
+                    "staleness must be capped by auto-refresh"
+                );
+                if event.stats_staleness > prev {
+                    staleness_went_up = true;
+                }
+                if event.stats_staleness < prev {
+                    refreshed = true;
+                }
+                prev = event.stats_staleness;
+            })
+            .unwrap();
+        assert!(staleness_went_up, "drift must accumulate staleness");
+        assert!(refreshed, "threshold crossing must trigger a refresh");
     }
 
     #[test]

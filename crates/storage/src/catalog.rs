@@ -4,6 +4,14 @@
 //! Generated table data is immutable and shared (`Arc`) so that multiple
 //! tuner runs over the same benchmark reuse one copy; each run owns its own
 //! index set, which it creates and drops as tuning proceeds.
+//!
+//! Data change (HTAP-style drift) is modelled as a per-table **logical
+//! overlay** ([`TableDriftState`]): inserts grow the live row count and the
+//! heap, deletes shrink the live row count but leave dead space in the heap
+//! (no vacuum), updates rewrite rows in place. The physical column data
+//! never changes — drift moves the *size accounting* every cost formula
+//! reads (`live_rows`, `live_heap_pages`), which is what makes scans slow
+//! down and index maintenance chargeable under churn.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -11,7 +19,7 @@ use std::sync::Arc;
 use dba_common::{DbError, DbResult, IndexId, TableId};
 
 use crate::index::{Index, IndexDef};
-use crate::table::Table;
+use crate::table::{Table, PAGE_BYTES};
 
 /// Metadata snapshot for one materialised index.
 #[derive(Debug, Clone)]
@@ -21,11 +29,36 @@ pub struct IndexMeta {
     pub size_bytes: u64,
 }
 
+/// Logical data-change overlay for one table: rows inserted, updated and
+/// deleted since generation. See the module docs for the semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableDriftState {
+    /// Rows logically appended since generation.
+    pub inserted: u64,
+    /// Rows logically rewritten in place.
+    pub updated: u64,
+    /// Rows logically deleted (dead tuples keep occupying heap pages).
+    pub deleted: u64,
+}
+
+impl TableDriftState {
+    /// Total row versions touched — the unit index maintenance is priced in.
+    pub fn rows_changed(&self) -> u64 {
+        self.inserted + self.updated + self.deleted
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.rows_changed() == 0
+    }
+}
+
 /// Tables + secondary indexes.
 #[derive(Debug, Clone)]
 pub struct Catalog {
     tables: Vec<Arc<Table>>,
     indexes: BTreeMap<IndexId, Arc<Index>>,
+    /// Per-table drift overlay, parallel to `tables`.
+    drift: Vec<TableDriftState>,
     next_index: u64,
 }
 
@@ -38,9 +71,11 @@ impl Catalog {
                 "table ids must be dense and ordered"
             );
         }
+        let drift = vec![TableDriftState::default(); tables.len()];
         Catalog {
             tables,
             indexes: BTreeMap::new(),
+            drift,
             next_index: 0,
         }
     }
@@ -63,9 +98,80 @@ impl Catalog {
     }
 
     /// Total logical size of all base tables (the paper's “database size”,
-    /// used for memory budgets and context features).
+    /// used for memory budgets and context features). Tracks drift: the
+    /// database grows as rows are inserted.
     pub fn database_bytes(&self) -> u64 {
-        self.tables.iter().map(|t| t.heap_bytes()).sum()
+        self.tables
+            .iter()
+            .map(|t| self.live_heap_bytes(t.id()))
+            .sum()
+    }
+
+    /// Record a round of data change against `table`. Deletes and updates
+    /// are capped at the rows that actually exist (live rows plus this
+    /// round's inserts). Returns the *applied* delta — callers pricing
+    /// maintenance or tracking staleness must use it, not the requested
+    /// counts, so nobody is billed for rows that were never touched.
+    pub fn apply_drift(
+        &mut self,
+        table: TableId,
+        inserted: u64,
+        updated: u64,
+        deleted: u64,
+    ) -> TableDriftState {
+        let live = self.live_rows(table);
+        let applied = TableDriftState {
+            inserted,
+            deleted: deleted.min(live + inserted),
+            updated: updated.min(live + inserted),
+        };
+        let state = &mut self.drift[table.raw() as usize];
+        state.inserted += applied.inserted;
+        state.deleted += applied.deleted;
+        state.updated += applied.updated;
+        applied
+    }
+
+    /// Accumulated drift of `table` since generation.
+    pub fn drift_state(&self, table: TableId) -> TableDriftState {
+        self.drift[table.raw() as usize]
+    }
+
+    /// Whether any table has drifted since generation.
+    pub fn has_drift(&self) -> bool {
+        self.drift.iter().any(|d| !d.is_clean())
+    }
+
+    /// Live (visible) row count of `table`: generated + inserted − deleted.
+    pub fn live_rows(&self, table: TableId) -> u64 {
+        let base = self.table(table).rows() as u64;
+        let d = self.drift[table.raw() as usize];
+        (base + d.inserted).saturating_sub(d.deleted)
+    }
+
+    /// Heap size of `table` in bytes, including dead space: inserts extend
+    /// the heap, deletes never shrink it (no vacuum in the model).
+    pub fn live_heap_bytes(&self, table: TableId) -> u64 {
+        let t = self.table(table);
+        let d = self.drift[table.raw() as usize];
+        t.row_bytes() * (t.rows() as u64 + d.inserted)
+    }
+
+    /// Heap pages a full scan of `table` must read, drift included.
+    pub fn live_heap_pages(&self, table: TableId) -> u64 {
+        self.live_heap_bytes(table).div_ceil(PAGE_BYTES).max(1)
+    }
+
+    /// Growth factor (≥ 1) of `table`'s indexed row population since
+    /// generation. Maintained indexes absorb every insert, so their leaf
+    /// levels scale with the heap's row count — deleted entries linger like
+    /// dead heap tuples (no vacuum). Costing of covering scans and of
+    /// maintenance itself multiplies creation-time leaf pages by this
+    /// factor, so an index on a churning table pays for its own growth.
+    pub fn index_growth(&self, table: TableId) -> f64 {
+        let base = self.table(table).rows().max(1) as f64;
+        let d = self.drift[table.raw() as usize];
+        (base + d.inserted as f64) / base
     }
 
     /// Total size of materialised secondary indexes.
@@ -133,12 +239,13 @@ impl Catalog {
         self.indexes.values().find(|ix| ix.def() == def)
     }
 
-    /// Fresh catalog over the same shared tables, with no indexes — used to
-    /// give each tuner an identical starting state.
+    /// Fresh catalog over the same shared tables, with no indexes and no
+    /// drift — used to give each tuner an identical starting state.
     pub fn fork_empty(&self) -> Catalog {
         Catalog {
             tables: self.tables.clone(),
             indexes: BTreeMap::new(),
+            drift: vec![TableDriftState::default(); self.tables.len()],
             next_index: 0,
         }
     }
@@ -233,6 +340,60 @@ mod tests {
     fn database_bytes_sums_heaps() {
         let cat = catalog();
         assert_eq!(cat.database_bytes(), 16 * 500);
+    }
+
+    #[test]
+    fn drift_moves_live_rows_and_heap_pages() {
+        let mut cat = catalog();
+        assert!(!cat.has_drift());
+        assert_eq!(cat.live_rows(TableId(0)), 500);
+        let pages_before = cat.live_heap_pages(TableId(0));
+        let db_before = cat.database_bytes();
+
+        cat.apply_drift(TableId(0), 100_000, 50, 20);
+        assert!(cat.has_drift());
+        assert_eq!(cat.live_rows(TableId(0)), 500 + 100_000 - 20);
+        assert!(cat.live_heap_pages(TableId(0)) > pages_before);
+        assert!(cat.database_bytes() > db_before);
+        let d = cat.drift_state(TableId(0));
+        assert_eq!(d.rows_changed(), 100_000 + 50 + 20);
+    }
+
+    #[test]
+    fn deletes_cap_at_live_rows_and_keep_heap_pages() {
+        let mut cat = catalog();
+        // Deleting more rows than exist (500) caps at the live count.
+        let applied = cat.apply_drift(TableId(0), 0, 0, 9_999);
+        assert_eq!(applied.deleted, 500, "applied delta reports the cap");
+        assert_eq!(cat.live_rows(TableId(0)), 0);
+        // Dead rows still occupy the heap (no vacuum).
+        let t_pages = cat.table(TableId(0)).heap_pages();
+        assert_eq!(cat.live_heap_pages(TableId(0)), t_pages);
+        // Further deletes and updates on the drained table are no-ops.
+        let applied = cat.apply_drift(TableId(0), 0, 7, 10);
+        assert_eq!(applied.deleted, 0);
+        assert_eq!(applied.updated, 0);
+        assert_eq!(applied.rows_changed(), 0);
+        assert_eq!(cat.live_rows(TableId(0)), 0);
+    }
+
+    #[test]
+    fn index_growth_tracks_inserts_only() {
+        let mut cat = catalog();
+        assert_eq!(cat.index_growth(TableId(0)), 1.0);
+        cat.apply_drift(TableId(0), 500, 100, 100);
+        // 500 base rows + 500 inserted = 2× leaves; updates/deletes don't
+        // grow the leaf level (dead entries replace live ones).
+        assert!((cat.index_growth(TableId(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_empty_resets_drift() {
+        let mut cat = catalog();
+        cat.apply_drift(TableId(0), 10, 10, 10);
+        let fork = cat.fork_empty();
+        assert!(!fork.has_drift());
+        assert_eq!(fork.live_rows(TableId(0)), 500);
     }
 
     #[test]

@@ -100,15 +100,18 @@ impl Table {
             .map(|(i, c)| (i as u16, c))
     }
 
-    /// Logical heap size in bytes (row width × rows, padding included).
-    pub fn heap_bytes(&self) -> u64 {
-        let row: u64 = self
-            .columns
+    /// Logical width of one heap row in bytes (column widths plus padding).
+    pub fn row_bytes(&self) -> u64 {
+        self.columns
             .iter()
             .map(|c| c.ctype().logical_width() as u64)
             .sum::<u64>()
-            + self.pad_bytes as u64;
-        row * self.rows as u64
+            + self.pad_bytes as u64
+    }
+
+    /// Logical heap size in bytes (row width × rows, padding included).
+    pub fn heap_bytes(&self) -> u64 {
+        self.row_bytes() * self.rows as u64
     }
 
     /// Number of heap pages a full table scan must read.

@@ -12,7 +12,13 @@
 //! **static** (every template, every round), **dynamic shifting** (4
 //! disjoint template groups × 20 rounds), and **dynamic random** (uniform
 //! template draws per round with ~50% round-to-round repeats).
+//!
+//! [`drift`] adds the dynamic-*data* axis on top of any workload type:
+//! per-round insert/update/delete rates per table (TPC-H refresh-stream
+//! style), which sessions turn into heap growth, stats staleness and
+//! per-index maintenance charges.
 
+pub mod drift;
 pub mod imdb;
 pub mod sequence;
 pub mod spec;
@@ -20,6 +26,7 @@ pub mod ssb;
 pub mod tpcds;
 pub mod tpch;
 
+pub use drift::{DataDrift, DriftRates, TableDelta};
 pub use sequence::{WorkloadKind, WorkloadSequencer};
 pub use spec::{Benchmark, ParamGen, RowCount, TemplateSpec};
 

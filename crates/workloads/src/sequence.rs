@@ -140,10 +140,20 @@ impl<'a> WorkloadSequencer<'a> {
                 groups,
                 rounds_per_group,
             } => {
-                let group = (round / rounds_per_group).min(groups - 1);
-                let per_group = n.div_ceil(groups);
-                let start = group * per_group;
-                let end = (start + per_group).min(n);
+                // Clamp the group count to the template count: with more
+                // groups than templates no partition can give every group a
+                // template — extra groups replay the last real group
+                // instead. (`SessionBuilder` rejects such configurations up
+                // front; this keeps direct sequencer users safe.)
+                let groups = groups.clamp(1, n.max(1));
+                let group = (round / rounds_per_group.max(1)).min(groups - 1);
+                // Balanced partition: group `g` takes [g·n/groups,
+                // (g+1)·n/groups). Unlike the old ceil-sized slicing — which
+                // exhausted the range early and left trailing groups empty
+                // (e.g. 22 templates ÷ 12 groups of ceil = 2 starved group
+                // 11) — every group is non-empty whenever groups ≤ n.
+                let start = group * n / groups;
+                let end = (group + 1) * n / groups;
                 self.shuffled[start..end].to_vec()
             }
             WorkloadKind::Random {
@@ -233,6 +243,51 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 22, "groups cover all templates exactly once");
+    }
+
+    #[test]
+    fn shifting_with_more_groups_than_templates_never_emits_empty_rounds() {
+        // Regression: groups > templates used to slice past the shuffled
+        // range, producing empty rounds (and panics for later groups).
+        let b = tpch(0.05); // 22 templates
+        let kind = WorkloadKind::Shifting {
+            groups: 30,
+            rounds_per_group: 2,
+        };
+        let seq = WorkloadSequencer::new(&b, kind, 5);
+        let cat = b.build_catalog(5).unwrap();
+        for round in 0..kind.rounds() {
+            let ids = seq.round_template_ids(round);
+            assert!(!ids.is_empty(), "round {round} must not be empty");
+            let qs = seq.round_queries(&cat, round).unwrap();
+            assert_eq!(qs.len(), ids.len());
+        }
+    }
+
+    #[test]
+    fn shifting_partition_fills_every_group() {
+        // Regression: ceil-sized groups exhausted the templates early, so
+        // configurations like 22 templates ÷ 12 groups (valid — fewer
+        // groups than templates!) starved the last group and emitted empty
+        // rounds. The balanced partition must give every group ≥1 template
+        // and still cover all templates exactly once.
+        let b = tpch(0.05); // 22 templates
+        for groups in [3usize, 5, 7, 11, 12, 21, 22] {
+            let kind = WorkloadKind::Shifting {
+                groups,
+                rounds_per_group: 2,
+            };
+            let seq = WorkloadSequencer::new(&b, kind, 5);
+            let mut all = Vec::new();
+            for g in 0..groups {
+                let ids = seq.round_template_ids(g * 2);
+                assert!(!ids.is_empty(), "{groups} groups: group {g} empty");
+                all.extend(ids);
+            }
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), 22, "{groups} groups must cover everything");
+        }
     }
 
     #[test]

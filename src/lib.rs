@@ -77,5 +77,5 @@ pub mod prelude {
         RoundEvent, RoundRecord, RunResult, SessionBuilder, TunerKind, TuningSession,
     };
     pub use dba_storage::{Catalog, IndexDef};
-    pub use dba_workloads::{Benchmark, WorkloadKind, WorkloadSequencer};
+    pub use dba_workloads::{Benchmark, DataDrift, DriftRates, WorkloadKind, WorkloadSequencer};
 }

@@ -161,6 +161,94 @@ fn observer_events_match_run_result() {
     }
 }
 
+/// Scenario sweep: every workload axis — static, shifting, random, and
+/// dynamic-data drift — under both a tight and an unbounded memory budget
+/// completes without panicking, and every round record is finite.
+#[test]
+fn scenario_sweep_never_panics_and_stays_finite() {
+    let bench = dba_bandits::workloads::ssb::ssb(0.02);
+    let base = bench.build_catalog(13).unwrap();
+
+    let scenarios: Vec<(&str, WorkloadKind, Option<DataDrift>)> = vec![
+        ("static", WorkloadKind::Static { rounds: 4 }, None),
+        (
+            "shifting",
+            WorkloadKind::Shifting {
+                groups: 2,
+                rounds_per_group: 2,
+            },
+            None,
+        ),
+        (
+            "random",
+            WorkloadKind::Random {
+                rounds: 4,
+                queries_per_round: 5,
+            },
+            None,
+        ),
+        (
+            "drift",
+            WorkloadKind::Static { rounds: 4 },
+            Some(DataDrift::uniform(DriftRates::new(0.05, 0.02, 0.02))),
+        ),
+    ];
+    let budgets = [
+        ("tight", base.database_bytes() / 8),
+        ("unbounded", u64::MAX),
+    ];
+
+    for (wname, workload, drift) in &scenarios {
+        for &(bname, budget) in &budgets {
+            for seed in [3u64, 17] {
+                let mut builder = SessionBuilder::new()
+                    .benchmark(bench.clone())
+                    .shared_data(&base)
+                    .workload(*workload)
+                    .tuner(TunerKind::Mab)
+                    .seed(seed)
+                    .memory_budget_bytes(budget);
+                if let Some(drift) = drift {
+                    builder = builder.data_drift(drift.clone());
+                }
+                let mut session = builder
+                    .build()
+                    .unwrap_or_else(|e| panic!("{wname}/{bname}/{seed}: {e}"));
+                let result = session
+                    .run()
+                    .unwrap_or_else(|e| panic!("{wname}/{bname}/{seed}: {e}"));
+                assert_eq!(result.rounds.len(), workload.rounds());
+                for r in &result.rounds {
+                    for (part, v) in [
+                        ("recommendation", r.recommendation.secs()),
+                        ("creation", r.creation.secs()),
+                        ("execution", r.execution.secs()),
+                        ("maintenance", r.maintenance.secs()),
+                        ("total", r.total().secs()),
+                    ] {
+                        assert!(
+                            v.is_finite() && v >= 0.0,
+                            "{wname}/{bname}/{seed} round {}: {part} = {v}",
+                            r.round
+                        );
+                    }
+                }
+                if budget != u64::MAX {
+                    assert!(
+                        session.catalog().index_bytes() <= budget,
+                        "{wname}/{bname}/{seed}: budget exceeded"
+                    );
+                }
+                if drift.is_some() {
+                    assert!(session.catalog().has_drift(), "{wname}: drift must apply");
+                } else {
+                    assert_eq!(result.total_maintenance().secs(), 0.0);
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Randomized invariants (deterministic seeded sweeps)
 // ---------------------------------------------------------------------
