@@ -359,9 +359,11 @@ impl Advisor for DdqnAdvisor {
             }
             let def = self.registry.arm(arm_idx).def.clone();
             let table = catalog.table(def.table);
+            // Bill creation off the live (drift-grown) sizes, as MAB and
+            // PDTool do — building over a doubled heap costs double.
             let build = self.cost.index_build(
-                table.heap_pages(),
-                table.rows() as u64,
+                catalog.live_heap_pages(def.table),
+                catalog.live_rows(def.table),
                 def.estimated_bytes(table),
             );
             if let Ok(meta) = catalog.create_index(def) {
@@ -421,7 +423,6 @@ mod tests {
     use dba_engine::{Executor, Predicate};
     use dba_optimizer::{Planner, PlannerContext};
     use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     fn catalog() -> Catalog {
         let t = TableSchema::new(
@@ -440,9 +441,7 @@ mod tests {
                 ),
             ],
         );
-        Catalog::new(vec![Arc::new(
-            TableBuilder::new(t, 20_000).build(TableId(0), 55),
-        )])
+        Catalog::new(vec![TableBuilder::new(t, 20_000).build(TableId(0), 55)])
     }
 
     fn query(id: u64, value: i64) -> Query {

@@ -33,7 +33,6 @@ mod tests {
     use super::*;
     use dba_common::TableId;
     use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     #[test]
     fn noindex_never_touches_the_catalog() {
@@ -45,9 +44,7 @@ mod tests {
                 Distribution::Sequential,
             )],
         );
-        let mut cat = Catalog::new(vec![Arc::new(
-            TableBuilder::new(schema, 100).build(TableId(0), 1),
-        )]);
+        let mut cat = Catalog::new(vec![TableBuilder::new(schema, 100).build(TableId(0), 1)]);
         let stats = StatsCatalog::build(&cat);
         let mut advisor = NoIndexAdvisor;
         for round in 0..5 {

@@ -396,7 +396,6 @@ mod tests {
     use dba_engine::{Executor, Predicate};
     use dba_optimizer::{Planner, PlannerContext};
     use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     fn catalog() -> Catalog {
         let t = TableSchema::new(
@@ -420,9 +419,7 @@ mod tests {
                 ),
             ],
         );
-        Catalog::new(vec![Arc::new(
-            TableBuilder::new(t, 50_000).build(TableId(0), 99),
-        )])
+        Catalog::new(vec![TableBuilder::new(t, 50_000).build(TableId(0), 99)])
     }
 
     fn query(id: u64, template: u32, value: i64) -> Query {

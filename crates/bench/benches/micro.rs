@@ -18,7 +18,6 @@ use dba_storage::{
     Catalog, ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema,
 };
 use rand::Rng;
-use std::sync::Arc;
 
 fn bench_catalog() -> Catalog {
     let t = TableSchema::new(
@@ -42,9 +41,7 @@ fn bench_catalog() -> Catalog {
             ),
         ],
     );
-    Catalog::new(vec![Arc::new(
-        TableBuilder::new(t, 200_000).build(TableId(0), 5),
-    )])
+    Catalog::new(vec![TableBuilder::new(t, 200_000).build(TableId(0), 5)])
 }
 
 fn point_query(v: i64) -> Query {

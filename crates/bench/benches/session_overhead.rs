@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use dba_core::{Advisor, MabConfig, MabTuner};
 use dba_engine::{CostModel, Executor, QueryExecution};
-use dba_optimizer::{Planner, PlannerContext, StatsCatalog};
+use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog};
 use dba_session::{SessionBuilder, TunerKind, TuningSession};
 use dba_storage::Catalog;
 use dba_workloads::{ssb::ssb, Benchmark, WorkloadKind, WorkloadSequencer};
@@ -23,7 +23,8 @@ fn workload() -> WorkloadKind {
 }
 
 /// The pre-session way: every caller wires catalog, stats, planner,
-/// executor and sequencer by hand.
+/// executor, sequencer — and now the plan cache the session drives on its
+/// hot path — by hand.
 fn run_hand_wired(benchmark: &Benchmark, base: &Catalog) -> f64 {
     let cost = CostModel::paper_scale();
     let mut catalog = base.fork_empty();
@@ -38,6 +39,7 @@ fn run_hand_wired(benchmark: &Benchmark, base: &Catalog) -> f64 {
     );
     let sequencer = WorkloadSequencer::new(benchmark, workload(), SEED);
     let executor = Executor::new(cost.clone());
+    let mut plan_cache = PlanCache::new();
 
     let mut total = 0.0;
     for round in 0..sequencer.rounds() {
@@ -48,7 +50,10 @@ fn run_hand_wired(benchmark: &Benchmark, base: &Catalog) -> f64 {
             let planner = Planner::new(&ctx);
             queries
                 .iter()
-                .map(|q| executor.execute(&catalog, q, &planner.plan(q)))
+                .map(|q| {
+                    let plan = plan_cache.get_or_plan(&catalog, &stats, &planner, q);
+                    executor.execute(&catalog, q, plan)
+                })
                 .collect()
         };
         total += advisor_cost.recommendation.secs()

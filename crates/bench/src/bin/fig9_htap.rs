@@ -14,12 +14,13 @@
 
 use dba_bench::report::{series_rows, totals_rows};
 use dba_bench::{
-    print_series, print_totals_table, results_json, write_csv, write_text, ExperimentEnv,
-    RunResult, TunerKind,
+    harness::parallel_map_ordered, print_series, print_totals_table, results_json, suite_threads,
+    write_csv, write_text, ExperimentEnv, RunResult, TunerKind,
 };
 use dba_optimizer::StatsCatalog;
 use dba_session::SessionBuilder;
-use dba_workloads::{tpch::tpch, DataDrift, WorkloadKind};
+use dba_storage::Catalog;
+use dba_workloads::{tpch::tpch, Benchmark, DataDrift, WorkloadKind};
 
 /// Default round count: longer than the paper's 25 static rounds because
 /// the HTAP story is about amortisation — index creation must pay for
@@ -33,6 +34,48 @@ use dba_workloads::{tpch::tpch, DataDrift, WorkloadKind};
 /// scenario's self-checks meaningless. Quick mode still shrinks the scale
 /// factor, keeping the 50 rounds to a few seconds of wall time.
 const DEFAULT_ROUNDS: usize = 50;
+
+/// One tuner's session, stepped to completion. Returns the run plus the
+/// rounds in which it held an index on a drifting table without paying
+/// maintenance (the scenario's self-check — must come back empty).
+#[allow(clippy::too_many_arguments)]
+fn run_one_checked(
+    bench: &Benchmark,
+    base: &Catalog,
+    stats: &StatsCatalog,
+    kind: WorkloadKind,
+    drift: &DataDrift,
+    drifting: &[dba_common::TableId],
+    tuner: TunerKind,
+    seed: u64,
+) -> (RunResult, Vec<usize>) {
+    let mut session = SessionBuilder::new()
+        .benchmark(bench.clone())
+        .shared_data(base)
+        .shared_stats(stats)
+        .workload(kind)
+        .data_drift(drift.clone())
+        .tuner(tuner)
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| panic!("{}: {e}", tuner.label()));
+    let mut uncharged = Vec::new();
+    loop {
+        let record = match session.step() {
+            Ok(Some(record)) => record,
+            Ok(None) => break,
+            Err(e) => panic!("{}: {e}", tuner.label()),
+        };
+        let holds_drifting_index = session
+            .catalog()
+            .all_indexes()
+            .any(|ix| drifting.contains(&ix.def().table));
+        if holds_drifting_index && record.maintenance.secs() <= 0.0 {
+            uncharged.push(record.round);
+        }
+    }
+    (session.into_result(), uncharged)
+}
 
 fn main() {
     let env = ExperimentEnv::from_env();
@@ -61,39 +104,27 @@ fn main() {
         .map(|t| t.id())
         .collect();
 
-    let mut results: Vec<RunResult> = Vec::new();
+    // Fan the tuners out over suite worker threads (`DBA_THREADS`): each
+    // session forks the shared catalog/stats by `Arc` and steps its own
+    // deterministic loop, so results are bit-identical to a sequential
+    // run. The per-round scenario checks ride inside each worker.
+    let threads = suite_threads().min(tuners.len()).max(1);
+    let runs: Vec<(RunResult, Vec<usize>)> = parallel_map_ordered(&tuners, threads, |&tuner| {
+        run_one_checked(
+            &bench, &base, &stats, kind, &drift, &drifting, tuner, env.seed,
+        )
+    });
     // Rounds in which a tuner held ≥1 index on a *drifting* table but paid
     // zero maintenance — must stay empty. (Recommendation happens before
     // the round's drift, so every index present at end-of-round was
     // materialised when the deltas were applied.)
     let mut uncharged: Vec<(String, usize)> = Vec::new();
-    for tuner in tuners {
-        let mut session = SessionBuilder::new()
-            .benchmark(bench.clone())
-            .shared_data(&base)
-            .shared_stats(&stats)
-            .workload(kind)
-            .data_drift(drift.clone())
-            .tuner(tuner)
-            .seed(env.seed)
-            .build()
-            .unwrap_or_else(|e| panic!("{}: {e}", tuner.label()));
-        let label = tuner.label().to_string();
-        loop {
-            let record = match session.step() {
-                Ok(Some(record)) => record,
-                Ok(None) => break,
-                Err(e) => panic!("{label}: {e}"),
-            };
-            let holds_drifting_index = session
-                .catalog()
-                .all_indexes()
-                .any(|ix| drifting.contains(&ix.def().table));
-            if holds_drifting_index && record.maintenance.secs() <= 0.0 {
-                uncharged.push((label.clone(), record.round));
-            }
+    let mut results: Vec<RunResult> = Vec::new();
+    for (result, rounds) in runs {
+        for round in rounds {
+            uncharged.push((result.tuner.clone(), round));
         }
-        results.push(session.result());
+        results.push(result);
     }
 
     print_series("Fig 9: per-round total time under drift", &results);
@@ -119,6 +150,16 @@ fn main() {
         mab.rounds.len(),
         noindex.total_maintenance().secs()
     );
+    for r in &results {
+        println!(
+            "{} plan cache: {} hits / {} misses ({:.0}% hit rate — replans skipped on \
+             unchanged-config rounds)",
+            r.tuner,
+            r.total_plan_cache_hits(),
+            r.total_plan_cache_misses(),
+            r.plan_cache_hit_rate() * 100.0
+        );
+    }
     for (tuner, round) in &uncharged {
         println!("WARNING: {tuner} held indexes in round {round} but paid no maintenance");
     }
@@ -140,6 +181,17 @@ fn main() {
             "rounds_with_uncharged_indexes",
             format!("{}", uncharged.len()),
         ),
+        ("threads", format!("{threads}")),
+        (
+            "plan_cache_hits_total",
+            format!(
+                "{}",
+                results
+                    .iter()
+                    .map(|r| r.total_plan_cache_hits())
+                    .sum::<u64>()
+            ),
+        ),
     ];
     write_text("results/fig9_htap.json", &results_json(&meta, &results)).expect("write json");
     eprintln!("wrote results/fig9_htap.csv, results/fig9_htap_totals.csv, results/fig9_htap.json");
@@ -156,4 +208,12 @@ fn main() {
         mab_beats_noindex,
         "MAB must beat NoIndex end-to-end even while paying maintenance"
     );
+    for r in &results {
+        assert!(
+            r.total_plan_cache_hits() > 0,
+            "{}: drift churns only orders/lineitem — templates over stable \
+             tables must be served from the plan cache",
+            r.tuner
+        );
+    }
 }

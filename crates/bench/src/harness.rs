@@ -4,6 +4,16 @@
 //! The driving loop itself lives in `dba-session`; this module only maps
 //! environment knobs to workload configurations and fans sessions out
 //! over tuner sets, sharing generated data so comparisons are fair.
+//!
+//! Suites fan out across **threads**: sessions fork the generated data and
+//! ANALYZE output by `Arc` (zero-copy), every session is `Send`, and each
+//! run is fully deterministic in its own seed, so the parallel path is
+//! bit-identical to the sequential one — asserted by tests below. The
+//! `DBA_THREADS` knob caps the worker count (default: all cores; `1`
+//! forces the sequential path).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use dba_common::DbResult;
 use dba_optimizer::StatsCatalog;
@@ -174,8 +184,30 @@ pub fn run_one_with_drift(
     builder.build()?.run()
 }
 
+/// Suite worker count: `DBA_THREADS` if set (≥1; `1` forces the
+/// sequential path), otherwise every available core. The effective fan-out
+/// is additionally capped by the number of tuners in the suite.
+pub fn suite_threads() -> usize {
+    match std::env::var("DBA_THREADS") {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("warning: ignoring DBA_THREADS={raw:?}; expected a thread count >= 1");
+                default_threads()
+            }
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Run a set of tuners over one benchmark/workload, sharing generated
-/// data and statistics.
+/// data and statistics, fanned out over [`suite_threads`] workers.
 pub fn run_benchmark_suite(
     benchmark: &Benchmark,
     workload: WorkloadKind,
@@ -193,11 +225,79 @@ pub fn run_benchmark_suite_with_drift(
     tuners: &[TunerKind],
     seed: u64,
 ) -> DbResult<Vec<RunResult>> {
+    run_suite_threaded(benchmark, workload, drift, tuners, seed, suite_threads())
+}
+
+/// The suite runner with an explicit worker count. `threads == 1` runs the
+/// plain sequential loop; more workers fan the tuners out over
+/// `std::thread::scope`, sharing one generated catalog and one ANALYZE
+/// output by reference (sessions fork them by `Arc`). Results come back in
+/// tuner order and are **bit-identical** to the sequential path: every
+/// session is seeded, self-contained and side-effect free, so scheduling
+/// cannot leak into the numbers.
+pub fn run_suite_threaded(
+    benchmark: &Benchmark,
+    workload: WorkloadKind,
+    drift: Option<&DataDrift>,
+    tuners: &[TunerKind],
+    seed: u64,
+    threads: usize,
+) -> DbResult<Vec<RunResult>> {
     let base = benchmark.build_catalog(seed)?;
     let stats = StatsCatalog::build(&base);
-    tuners
-        .iter()
-        .map(|&t| run_one_with_drift(benchmark, &base, &stats, workload, drift, t, seed))
+    parallel_map_ordered(tuners, threads, |&tuner| {
+        run_one_with_drift(benchmark, &base, &stats, workload, drift, tuner, seed)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Order-preserving parallel map over `items` with at most `threads`
+/// scoped workers: workers pull the next index from a shared counter
+/// (work-stealing) and report `(index, output)` over a channel, so output
+/// order matches input order regardless of scheduling. With one worker
+/// (or one item) this is a plain sequential map. A panicking `f`
+/// propagates when the scope joins.
+///
+/// This is the one place suite fan-out threading lives — the suite
+/// runners and the fig/table binaries that need per-run introspection
+/// (e.g. `fig9_htap`) all map through it.
+pub fn parallel_map_ordered<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = threads.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, output) in rx {
+            slots[i] = Some(output);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item index is claimed exactly once"))
         .collect()
 }
 
@@ -243,6 +343,84 @@ mod tests {
         for (ra, rb) in a[0].rounds.iter().zip(&b[0].rounds) {
             assert_eq!(ra.execution.secs(), rb.execution.secs());
             assert_eq!(ra.creation.secs(), rb.creation.secs());
+        }
+    }
+
+    /// Bit-exact equality of two suite result sets: every simulated time
+    /// compared by its `f64` bit pattern, every counter exactly.
+    fn assert_bit_identical(scenario: &str, seq: &[RunResult], par: &[RunResult]) {
+        assert_eq!(seq.len(), par.len(), "{scenario}: run count");
+        for (a, b) in seq.iter().zip(par) {
+            assert_eq!(a.tuner, b.tuner, "{scenario}: tuner order");
+            assert_eq!(a.benchmark, b.benchmark);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(
+                a.rounds.len(),
+                b.rounds.len(),
+                "{scenario}: {} rounds",
+                a.tuner
+            );
+            for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+                assert_eq!(ra.round, rb.round);
+                for (part, x, y) in [
+                    ("recommendation", ra.recommendation, rb.recommendation),
+                    ("creation", ra.creation, rb.creation),
+                    ("execution", ra.execution, rb.execution),
+                    ("maintenance", ra.maintenance, rb.maintenance),
+                ] {
+                    assert_eq!(
+                        x.secs().to_bits(),
+                        y.secs().to_bits(),
+                        "{scenario}: {} round {} {part} differs: {} vs {}",
+                        a.tuner,
+                        ra.round,
+                        x.secs(),
+                        y.secs()
+                    );
+                }
+                assert_eq!(ra.plan_cache_hits, rb.plan_cache_hits);
+                assert_eq!(ra.plan_cache_misses, rb.plan_cache_misses);
+            }
+        }
+    }
+
+    /// The tentpole determinism contract: a parallel suite is bit-identical
+    /// to the sequential path across every scenario axis — static,
+    /// shifting, random, and dynamic-data drift.
+    #[test]
+    fn parallel_suite_is_bit_identical_to_sequential() {
+        let bench = ssb(0.02);
+        let tuners = [TunerKind::NoIndex, TunerKind::PdTool, TunerKind::Mab];
+        let scenarios: Vec<(&str, WorkloadKind, Option<DataDrift>)> = vec![
+            ("static", WorkloadKind::Static { rounds: 4 }, None),
+            (
+                "shifting",
+                WorkloadKind::Shifting {
+                    groups: 2,
+                    rounds_per_group: 2,
+                },
+                None,
+            ),
+            (
+                "random",
+                WorkloadKind::Random {
+                    rounds: 4,
+                    queries_per_round: 5,
+                },
+                None,
+            ),
+            (
+                "drift",
+                WorkloadKind::Static { rounds: 4 },
+                Some(DataDrift::uniform(dba_session::DriftRates::new(
+                    0.05, 0.02, 0.02,
+                ))),
+            ),
+        ];
+        for (name, workload, drift) in &scenarios {
+            let seq = run_suite_threaded(&bench, *workload, drift.as_ref(), &tuners, 7, 1).unwrap();
+            let par = run_suite_threaded(&bench, *workload, drift.as_ref(), &tuners, 7, 3).unwrap();
+            assert_bit_identical(name, &seq, &par);
         }
     }
 

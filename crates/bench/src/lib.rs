@@ -12,7 +12,11 @@
 //! * `DBA_QUICK` — set to `1` for a reduced-size smoke configuration
 //!   (SF 1, fewer rounds) that preserves the qualitative shapes;
 //! * `DBA_ROUNDS` — override the per-workload round count (rounds per
-//!   group for shifting workloads).
+//!   group for shifting workloads);
+//! * `DBA_THREADS` — suite fan-out worker count (default: all cores;
+//!   `1` forces the sequential path). Parallel suites are bit-identical
+//!   to sequential ones — sessions fork shared data by `Arc` and every
+//!   run is deterministic in its seed.
 //!
 //! All driving goes through [`dba_session::TuningSession`]; this crate
 //! only configures sessions and formats their results.
@@ -22,7 +26,7 @@ pub mod report;
 
 pub use harness::{
     make_advisor, run_benchmark_suite, run_benchmark_suite_with_drift, run_one, run_one_with_drift,
-    ExperimentEnv, RoundRecord, RunResult, TunerKind,
+    run_suite_threaded, suite_threads, ExperimentEnv, RoundRecord, RunResult, TunerKind,
 };
 pub use report::{
     fmt_minutes, print_series, print_totals_table, results_json, write_csv, write_text,

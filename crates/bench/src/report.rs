@@ -153,17 +153,26 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
             r.total_execution().secs(),
             r.total().secs()
         ));
+        out.push_str(&format!(
+            "      \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+            r.total_plan_cache_hits(),
+            r.total_plan_cache_misses(),
+            r.plan_cache_hit_rate()
+        ));
         out.push_str("      \"rounds\": [\n");
         for (i, round) in r.rounds.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"round\": {}, \"recommendation_s\": {:.4}, \"creation_s\": {:.4}, \
-                 \"maintenance_s\": {:.4}, \"execution_s\": {:.4}, \"total_s\": {:.4}}}{}\n",
+                 \"maintenance_s\": {:.4}, \"execution_s\": {:.4}, \"total_s\": {:.4}, \
+                 \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}{}\n",
                 round.round,
                 round.recommendation.secs(),
                 round.creation.secs(),
                 round.maintenance.secs(),
                 round.execution.secs(),
                 round.total().secs(),
+                round.plan_cache_hits,
+                round.plan_cache_misses,
                 if i + 1 < r.rounds.len() { "," } else { "" }
             ));
         }
@@ -219,6 +228,8 @@ mod tests {
                     creation: SimSeconds::new(c),
                     execution: SimSeconds::new(e),
                     maintenance: SimSeconds::ZERO,
+                    plan_cache_hits: if i == 0 { 0 } else { 2 },
+                    plan_cache_misses: if i == 0 { 2 } else { 0 },
                 })
                 .collect(),
         }
@@ -258,6 +269,9 @@ mod tests {
         assert!(json.contains("\"maintenance_s\": 0.0000"));
         assert!(json.contains("\"sf\": 1"));
         assert!(json.contains("\"rounds\": ["));
+        // Plan-cache counters: run totals and per-round deltas.
+        assert!(json.contains("\"plan_cache\": {\"hits\": 2, \"misses\": 2, \"hit_rate\": 0.5000}"));
+        assert!(json.contains("\"plan_cache_hits\": 2"));
         // Two runs, three round objects.
         assert_eq!(json.matches("\"round\":").count(), 3);
     }

@@ -53,7 +53,11 @@ impl DataChange {
 
 /// Uniform tuner interface driven by a tuning session: a recommendation
 /// step before each round's workload, an observation step after.
-pub trait Advisor {
+///
+/// `Send` is a supertrait so sessions (and the boxed advisors inside them)
+/// can be fanned out across suite worker threads; advisors own plain data
+/// and never share mutable state, so this costs implementations nothing.
+pub trait Advisor: Send {
     fn name(&self) -> &str;
 
     /// Adjust the physical design before round `round` (0-based) executes.

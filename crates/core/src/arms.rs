@@ -315,7 +315,6 @@ mod tests {
     use dba_engine::{JoinPred, Predicate};
     use dba_optimizer::StatsCatalog;
     use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     fn catalog() -> Catalog {
         let a = TableSchema::new(
@@ -355,8 +354,8 @@ mod tests {
             ],
         );
         Catalog::new(vec![
-            Arc::new(TableBuilder::new(a, 5000).build(TableId(0), 41)),
-            Arc::new(TableBuilder::new(b, 20_000).build(TableId(1), 41)),
+            TableBuilder::new(a, 5000).build(TableId(0), 41),
+            TableBuilder::new(b, 20_000).build(TableId(1), 41),
         ])
     }
 

@@ -136,7 +136,6 @@ mod tests {
     use super::*;
     use dba_common::{TableId, TemplateId};
     use dba_storage::{ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     fn catalog() -> Catalog {
         let a = TableSchema::new(
@@ -164,8 +163,8 @@ mod tests {
             )],
         );
         Catalog::new(vec![
-            Arc::new(TableBuilder::new(a, 100).build(TableId(0), 1)),
-            Arc::new(TableBuilder::new(b, 100).build(TableId(1), 1)),
+            TableBuilder::new(a, 100).build(TableId(0), 1),
+            TableBuilder::new(b, 100).build(TableId(1), 1),
         ])
     }
 

@@ -118,6 +118,10 @@ pub struct MabTuner {
     /// regardless of database size.
     reward_scale: Option<f64>,
     rounds: usize,
+    /// `DBA_MAB_DEBUG` flag, read once at construction: per-round env
+    /// lookups are wasted work on the hot path and process-global state
+    /// under parallel suites.
+    debug: bool,
 }
 
 impl MabTuner {
@@ -138,6 +142,7 @@ impl MabTuner {
             maintenance_this_round: HashMap::new(),
             reward_scale: None,
             rounds: 0,
+            debug: std::env::var("DBA_MAB_DEBUG").is_ok(),
         }
     }
 
@@ -268,7 +273,7 @@ impl MabTuner {
         let selected = greedy_select(inputs, self.config.memory_budget_bytes);
         let selected_set: HashSet<usize> = selected.iter().copied().collect();
 
-        if std::env::var("DBA_MAB_DEBUG").is_ok() {
+        if self.debug {
             let mut ranked: Vec<(usize, f64)> =
                 active.iter().copied().zip(scores.iter().copied()).collect();
             ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -334,7 +339,10 @@ impl MabTuner {
             self.created_this_round.push((arm_idx, build_cost));
         }
 
-        // Remember the played super arm's contexts for the reward update.
+        // Remember the played super arm's contexts for the reward update,
+        // moving the already-built vectors out of the scoring batch rather
+        // than re-cloning one per selected arm.
+        let mut context_slots: Vec<Option<SparseVec>> = contexts.into_iter().map(Some).collect();
         self.played = selected
             .iter()
             .map(|&i| {
@@ -342,7 +350,10 @@ impl MabTuner {
                     .iter()
                     .position(|&a| a == i)
                     .expect("selected ⊆ active");
-                (i, contexts[pos].clone())
+                let ctx = context_slots[pos]
+                    .take()
+                    .expect("each arm is selected at most once");
+                (i, ctx)
             })
             .collect();
 
@@ -370,7 +381,10 @@ impl MabTuner {
         }
         let scale = self.reward_scale.unwrap_or(1.0);
 
-        let selected: Vec<usize> = self.played.iter().map(|(i, _)| *i).collect();
+        // Consume the played snapshot: the contexts move straight into the
+        // bandit update below instead of being cloned again.
+        let played = std::mem::take(&mut self.played);
+        let selected: Vec<usize> = played.iter().map(|(i, _)| *i).collect();
         let maintenance = std::mem::take(&mut self.maintenance_this_round);
         let (rewards, used) = RewardShaper::shape(
             &self.store,
@@ -389,7 +403,7 @@ impl MabTuner {
             a.last_used_round = Some(round);
         }
 
-        if std::env::var("DBA_MAB_DEBUG").is_ok() {
+        if self.debug {
             for (arm, r) in &rewards {
                 let a = self.registry.arm(*arm);
                 eprintln!(
@@ -404,13 +418,15 @@ impl MabTuner {
             }
         }
 
-        if !self.played.is_empty() {
+        if !played.is_empty() {
             let reward_by_arm: HashMap<usize, f64> = rewards.into_iter().collect();
             let clip = self.config.reward_clip;
-            let plays: Vec<(SparseVec, f64)> = self
-                .played
-                .iter()
-                .map(|(arm, ctx)| (ctx.clone(), (reward_by_arm[arm] / scale).clamp(-clip, clip)))
+            let plays: Vec<(SparseVec, f64)> = played
+                .into_iter()
+                .map(|(arm, ctx)| {
+                    let reward = (reward_by_arm[&arm] / scale).clamp(-clip, clip);
+                    (ctx, reward)
+                })
                 .collect();
             self.bandit.update_sparse(&plays);
         }
@@ -468,7 +484,6 @@ mod tests {
     use dba_engine::{Executor, Plan, Predicate};
     use dba_optimizer::{Planner, PlannerContext};
     use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     fn catalog() -> Catalog {
         let t = TableSchema::new(
@@ -492,9 +507,7 @@ mod tests {
                 ),
             ],
         );
-        Catalog::new(vec![Arc::new(
-            TableBuilder::new(t, 50_000).build(TableId(0), 77),
-        )])
+        Catalog::new(vec![TableBuilder::new(t, 50_000).build(TableId(0), 77)])
     }
 
     fn query(round: u64, value: i64) -> Query {

@@ -388,7 +388,6 @@ mod tests {
     use crate::query::JoinPred;
     use dba_common::{ColumnId, TemplateId};
     use dba_storage::{ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     /// Two-table catalog: `dim` (200 rows) and `fact` (5000 rows) with
     /// fact.f_dim a uniform FK into dim.
@@ -421,8 +420,8 @@ mod tests {
             ],
         );
         Catalog::new(vec![
-            Arc::new(TableBuilder::new(dim, 200).build(TableId(0), 5)),
-            Arc::new(TableBuilder::new(fact, 5000).build(TableId(1), 5)),
+            TableBuilder::new(dim, 200).build(TableId(0), 5),
+            TableBuilder::new(fact, 5000).build(TableId(1), 5),
         ])
     }
 
@@ -519,9 +518,7 @@ mod tests {
                 ColumnSpec::new("w", ColumnType::Int, Distribution::Uniform { lo: 0, hi: 9 }),
             ],
         );
-        let mut cat = Catalog::new(vec![Arc::new(
-            TableBuilder::new(schema, 60_000).build(TableId(0), 13),
-        )]);
+        let mut cat = Catalog::new(vec![TableBuilder::new(schema, 60_000).build(TableId(0), 13)]);
         let meta = cat
             .create_index(IndexDef::new(TableId(0), vec![1], vec![]))
             .unwrap();

@@ -46,7 +46,7 @@ impl<'a> CardEstimator<'a> {
 
     /// Estimated output rows of `table` after applying `preds`.
     pub fn table_output(&self, table: TableId, preds: &[Predicate]) -> f64 {
-        let rows = self.stats.table(table).rows as f64;
+        let rows = self.stats.rows(table) as f64;
         rows * self.conjunction_selectivity(preds)
     }
 
@@ -71,8 +71,8 @@ impl<'a> CardEstimator<'a> {
     /// Expected rows matched in `table` per single-value probe on `col`
     /// (uniform fan-out assumption — the INL misestimate under skew).
     pub fn rows_per_value(&self, col: ColumnId) -> f64 {
-        let t = self.stats.table(col.table);
-        t.rows as f64 / t.column(col.ordinal).ndv.max(1) as f64
+        let rows = self.stats.rows(col.table) as f64;
+        rows / self.ndv(col).max(1) as f64
     }
 }
 
@@ -80,7 +80,6 @@ impl<'a> CardEstimator<'a> {
 mod tests {
     use super::*;
     use dba_storage::{Catalog, ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     /// `left` has a correlated pair (c1 determines c2); `right` is a
     /// zipf-skewed fact referencing `left`.
@@ -126,8 +125,8 @@ mod tests {
             ],
         );
         let cat = Catalog::new(vec![
-            Arc::new(TableBuilder::new(left, 2000).build(TableId(0), 31)),
-            Arc::new(TableBuilder::new(right, 40_000).build(TableId(1), 31)),
+            TableBuilder::new(left, 2000).build(TableId(0), 31),
+            TableBuilder::new(right, 40_000).build(TableId(1), 31),
         ]);
         let stats = StatsCatalog::build(&cat);
         (cat, stats)

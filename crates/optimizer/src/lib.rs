@@ -13,12 +13,20 @@
 //! of the behaviour that makes optimiser-trusting advisors fail under skew
 //! and correlation, which is the premise of the paper's bandit approach.
 
+//!
+//! Replanning volume is the dominant tuning cost at scale, so the crate
+//! also provides a [`PlanCache`]: template-level plan reuse validated
+//! against per-table catalog/statistics versions, so rounds that change
+//! nothing skip the planner entirely.
+
 pub mod est;
+pub mod plan_cache;
 pub mod planner;
 pub mod stats;
 pub mod whatif;
 
 pub use est::CardEstimator;
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use planner::{IndexCandidate, Planner, PlannerContext};
 pub use stats::{ColumnStats, Histogram, StatsCatalog, TableStats, HISTOGRAM_BUCKETS};
 pub use whatif::{WhatIf, WhatIfOutcome};

@@ -130,6 +130,117 @@ impl<'a> Planner<'a> {
         self.plan_joins(query, &est)
     }
 
+    /// Estimated cost of executing a **fixed** plan for `query` under the
+    /// context's current statistics and parameter bindings — no access-path
+    /// or join-order search. This is the cheap revalidation step the plan
+    /// cache runs on every hit: walking one plan is a fraction of full
+    /// planning (which costs every index candidate on every table and
+    /// greedily orders the joins).
+    ///
+    /// Returns `None` if the plan references an index the context no
+    /// longer exposes (callers must treat that as "replan").
+    pub fn cost_plan(&self, query: &Query, plan: &Plan) -> Option<SimSeconds> {
+        let est = CardEstimator::new(self.ctx.stats);
+
+        let driver_preds = query.predicates_on(plan.driver.table);
+        let (driver_cost, mut current_rows) =
+            self.fixed_access_cost(plan.driver.table, &plan.driver.method, &driver_preds, &est)?;
+        let mut total = driver_cost;
+
+        for step in &plan.joins {
+            let t = step.access.table;
+            let preds = query.predicates_on(t);
+            let inner_col = step.join.side_on(t)?;
+            let outer_col = step.join.other_side(t)?;
+            let inner_rows_est = est.table_output(t, &preds);
+            let rows_out = est
+                .join_output(current_rows, inner_rows_est, outer_col, inner_col)
+                .max(0.0);
+            match step.algo {
+                JoinAlgo::Hash => {
+                    let (access_cost, inner_out) =
+                        self.fixed_access_cost(t, &step.access.method, &preds, &est)?;
+                    total += access_cost
+                        + self.ctx.cost.hash_join(
+                            inner_out.max(0.0) as u64,
+                            current_rows.max(0.0) as u64,
+                            rows_out.max(0.0) as u64,
+                        );
+                }
+                JoinAlgo::IndexNestedLoop => {
+                    let index = step.access.method.index_id()?;
+                    let cand = self.ctx.indexes.iter().find(|c| c.id == index)?;
+                    let covering = matches!(
+                        step.access.method,
+                        AccessMethod::IndexSeek { covering: true, .. }
+                    );
+                    let probes = current_rows.max(0.0);
+                    let matched_total = probes * est.rows_per_value(inner_col);
+                    let heap_fetches = if covering { 0 } else { matched_total as u64 };
+                    total += self.ctx.cost.inl_probes(
+                        probes as u64,
+                        matched_total as u64,
+                        self.ctx.leaf_row_bytes(cand),
+                        heap_fetches,
+                        self.ctx.catalog.live_heap_pages(t),
+                    ) * INL_RISK_FACTOR;
+                }
+            }
+            current_rows = rows_out;
+        }
+
+        if query.aggregated {
+            total += self.ctx.cost.aggregate(current_rows.max(0.0) as u64);
+        }
+        Some(total)
+    }
+
+    /// Estimated (cost, rows out) of one fixed access method — the same
+    /// arithmetic [`best_access`](Self::best_access) applies while
+    /// searching, restricted to a single already-chosen method.
+    fn fixed_access_cost(
+        &self,
+        table: TableId,
+        method: &AccessMethod,
+        preds: &[Predicate],
+        est: &CardEstimator<'_>,
+    ) -> Option<(SimSeconds, f64)> {
+        let rows = self.ctx.stats.rows(table);
+        let heap_pages = self.ctx.catalog.live_heap_pages(table);
+        let sel_all = est.conjunction_selectivity(preds);
+        let rows_out = rows as f64 * sel_all;
+        let cost = match method {
+            AccessMethod::FullScan => self.ctx.cost.scan(heap_pages, rows),
+            AccessMethod::IndexSeek { index, covering } => {
+                let cand = self.ctx.indexes.iter().find(|c| c.id == *index)?;
+                let shape = seek_shape(&cand.def, preds);
+                let consumed_sel = {
+                    let residual_sel = est.conjunction_selectivity(&shape.residual);
+                    if residual_sel > 0.0 {
+                        sel_all / residual_sel
+                    } else {
+                        sel_all
+                    }
+                };
+                let matched = (rows as f64 * consumed_sel).max(0.0);
+                let heap_fetches = if *covering { 0 } else { matched as u64 };
+                self.ctx.cost.index_seek(
+                    matched as u64,
+                    self.ctx.leaf_row_bytes(cand),
+                    heap_fetches,
+                    heap_pages,
+                )
+            }
+            AccessMethod::CoveringScan { index } => {
+                let cand = self.ctx.indexes.iter().find(|c| c.id == *index)?;
+                let leaf_pages =
+                    (cand.leaf_pages() as f64 * self.ctx.catalog.index_growth(table)).ceil() as u64;
+                self.ctx.cost.covering_scan(leaf_pages, rows)
+            }
+        };
+        Some((cost, rows_out))
+    }
+
     /// Cheapest access among full scan, every usable index seek, and every
     /// usable covering (index-only) scan.
     fn best_access(
@@ -142,7 +253,7 @@ impl<'a> Planner<'a> {
         // Row counts come from the statistics (the optimiser's *belief* —
         // stale under unrefreshed drift); page counts come from the storage
         // manager's live accounting, which is always accurate.
-        let rows = self.ctx.stats.table(table).rows;
+        let rows = self.ctx.stats.rows(table);
         let heap_pages = self.ctx.catalog.live_heap_pages(table);
         let sel_all = est.conjunction_selectivity(preds);
         let rows_out = rows as f64 * sel_all;
@@ -357,7 +468,6 @@ mod tests {
     use dba_common::{ColumnId, QueryId, TemplateId};
     use dba_engine::JoinPred;
     use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     fn catalog() -> Catalog {
         let dim = TableSchema::new(
@@ -399,8 +509,8 @@ mod tests {
             ],
         );
         Catalog::new(vec![
-            Arc::new(TableBuilder::new(dim, 1000).build(TableId(0), 17)),
-            Arc::new(TableBuilder::new(fact, 100_000).build(TableId(1), 17)),
+            TableBuilder::new(dim, 1000).build(TableId(0), 17),
+            TableBuilder::new(fact, 100_000).build(TableId(1), 17),
         ])
     }
 
@@ -540,6 +650,64 @@ mod tests {
         // should beat scanning 100k rows.
         assert_eq!(plan.joins[0].algo, JoinAlgo::IndexNestedLoop);
         assert_eq!(plan.joins[0].access.method.index_id(), Some(meta.id));
+    }
+
+    /// Revalidation arithmetic must mirror planning arithmetic: costing a
+    /// freshly produced plan under the same bindings reproduces its
+    /// `est_cost` exactly, for every plan shape the planner emits.
+    #[test]
+    fn cost_plan_reproduces_fresh_estimates() {
+        let mut cat = catalog();
+        cat.create_index(IndexDef::new(TableId(1), vec![1], vec![]))
+            .unwrap();
+        cat.create_index(IndexDef::new(TableId(1), vec![2], vec![1]))
+            .unwrap();
+        cat.create_index(IndexDef::new(TableId(1), vec![0], vec![1]))
+            .unwrap();
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let ctx = PlannerContext::from_catalog(&cat, &stats, &cost);
+        let planner = Planner::new(&ctx);
+
+        let queries = [
+            fact_query(vec![Predicate::eq(col(1, 1), 5)]),
+            fact_query(vec![Predicate::range(col(1, 2), 0, 9)]),
+            join_query(),
+        ];
+        for q in &queries {
+            let plan = planner.plan(q);
+            let recost = planner
+                .cost_plan(q, &plan)
+                .expect("fresh plan references only live indexes");
+            assert!(
+                (recost.secs() - plan.est_cost.secs()).abs() < 1e-9,
+                "recost {} must equal est_cost {}",
+                recost.secs(),
+                plan.est_cost.secs()
+            );
+        }
+    }
+
+    /// A plan referencing an index the context does not expose cannot be
+    /// revalidated.
+    #[test]
+    fn cost_plan_rejects_unknown_indexes() {
+        let mut cat = catalog();
+        let meta = cat
+            .create_index(IndexDef::new(TableId(1), vec![1], vec![]))
+            .unwrap();
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let q = fact_query(vec![Predicate::eq(col(1, 1), 5)]);
+        let plan = {
+            let ctx = PlannerContext::from_catalog(&cat, &stats, &cost);
+            Planner::new(&ctx).plan(&q)
+        };
+        assert_eq!(plan.driver.method.index_id(), Some(meta.id));
+
+        cat.drop_index(meta.id).unwrap();
+        let ctx = PlannerContext::from_catalog(&cat, &stats, &cost);
+        assert!(Planner::new(&ctx).cost_plan(&q, &plan).is_none());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use dba_common::TableId;
 use dba_storage::{Catalog, Column, Table};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Number of equi-width buckets per histogram (commercial systems commonly
 /// use 100-200 steps).
@@ -237,31 +238,84 @@ impl TableStats {
     }
 }
 
-/// Statistics for every table in a catalog.
+/// Statistics for every table in a catalog: an immutable ANALYZE output
+/// shared across session forks (`Arc`), plus a cheap per-session overlay.
+///
+/// The expensive part — histograms, top-K steps, distinct counts — is
+/// computed once per generated dataset and never mutated; suites sharing
+/// data hand each session a [`fork`](Self::fork), which is two small `Vec`
+/// allocations and an `Arc` bump, not a re-ANALYZE or a deep clone. What
+/// *does* move per session is the overlay: the adopted row-count beliefs
+/// (refresh re-reads the live counts) and the per-table staleness
+/// counters. Each refresh bumps the table's statistics version
+/// ([`table_version`](Self::table_version)), which plan caches validate
+/// against.
 #[derive(Debug, Clone)]
 pub struct StatsCatalog {
-    tables: Vec<TableStats>,
+    /// Immutable ANALYZE output, shared by every fork.
+    base: Arc<Vec<TableStats>>,
+    /// Per-table row-count belief (adopted at the last refresh). This is
+    /// the count every cardinality estimate scales by — stale under
+    /// unrefreshed drift, which is the point.
+    rows: Vec<u64>,
     /// Row versions changed per table since the last ANALYZE (staleness).
     changed_since_refresh: Vec<u64>,
+    /// Per-table statistics version, bumped on refresh.
+    versions: Vec<u64>,
 }
 
 impl StatsCatalog {
     /// ANALYZE the whole catalog.
     pub fn build(catalog: &Catalog) -> StatsCatalog {
-        let tables: Vec<TableStats> = catalog
-            .tables()
-            .iter()
-            .map(|t| TableStats::build(t))
-            .collect();
-        let changed_since_refresh = vec![0; tables.len()];
+        let tables: Vec<TableStats> = catalog.tables().iter().map(TableStats::build).collect();
+        let rows = tables.iter().map(|t| t.rows).collect();
+        let n = tables.len();
         StatsCatalog {
-            tables,
-            changed_since_refresh,
+            base: Arc::new(tables),
+            rows,
+            changed_since_refresh: vec![0; n],
+            versions: vec![0; n],
         }
     }
 
+    /// A fresh overlay over the same shared ANALYZE output: row beliefs
+    /// reset to the built-time counts, no staleness. This is how sessions
+    /// fork statistics — zero-copy for the histogram data.
+    pub fn fork(&self) -> StatsCatalog {
+        let rows = self.base.iter().map(|t| t.rows).collect();
+        let n = self.base.len();
+        StatsCatalog {
+            base: Arc::clone(&self.base),
+            rows,
+            changed_since_refresh: vec![0; n],
+            versions: vec![0; n],
+        }
+    }
+
+    /// The shared ANALYZE output backing this overlay.
+    pub fn base(&self) -> &Arc<Vec<TableStats>> {
+        &self.base
+    }
+
+    /// Column-level statistics of `table` (histograms, NDV, top-K). Note
+    /// that `TableStats::rows` is the *built-time* count; the optimiser's
+    /// current belief is [`rows`](Self::rows).
     pub fn table(&self, id: TableId) -> &TableStats {
-        &self.tables[id.raw() as usize]
+        &self.base[id.raw() as usize]
+    }
+
+    /// The optimiser's current row-count belief for `table` (built-time
+    /// count until a refresh adopts the live count).
+    #[inline]
+    pub fn rows(&self, table: TableId) -> u64 {
+        self.rows[table.raw() as usize]
+    }
+
+    /// Statistics version of `table`: moves on every refresh. Plan caches
+    /// validate against it.
+    #[inline]
+    pub fn table_version(&self, table: TableId) -> u64 {
+        self.versions[table.raw() as usize]
     }
 
     /// Record that `rows_changed` row versions of `table` were inserted,
@@ -272,15 +326,15 @@ impl StatsCatalog {
     }
 
     /// Stale fraction of `table`: row versions changed since the last
-    /// ANALYZE over the row count the statistics were built from.
+    /// ANALYZE over the row count the statistics currently believe.
     pub fn staleness(&self, table: TableId) -> f64 {
         let i = table.raw() as usize;
-        self.changed_since_refresh[i] as f64 / self.tables[i].rows.max(1) as f64
+        self.changed_since_refresh[i] as f64 / self.rows[i].max(1) as f64
     }
 
     /// The worst staleness across all tables (auto-ANALYZE trigger).
     pub fn max_staleness(&self) -> f64 {
-        (0..self.tables.len())
+        (0..self.base.len())
             .map(|i| self.staleness(TableId(i as u32)))
             .fold(0.0, f64::max)
     }
@@ -292,13 +346,14 @@ impl StatsCatalog {
     /// row-count *scale* every cardinality estimate is multiplied by.
     pub fn refresh_table(&mut self, catalog: &Catalog, table: TableId) {
         let i = table.raw() as usize;
-        self.tables[i].rows = catalog.live_rows(table);
+        self.rows[i] = catalog.live_rows(table);
         self.changed_since_refresh[i] = 0;
+        self.versions[i] += 1;
     }
 
     /// Re-ANALYZE every table (see [`refresh_table`](Self::refresh_table)).
     pub fn refresh(&mut self, catalog: &Catalog) {
-        for i in 0..self.tables.len() {
+        for i in 0..self.base.len() {
             self.refresh_table(catalog, TableId(i as u32));
         }
     }
@@ -309,7 +364,7 @@ impl StatsCatalog {
     /// Returns how many tables were refreshed.
     pub fn refresh_stale(&mut self, catalog: &Catalog, threshold: f64) -> usize {
         let mut refreshed = 0;
-        for i in 0..self.tables.len() {
+        for i in 0..self.base.len() {
             let t = TableId(i as u32);
             if self.staleness(t) >= threshold {
                 self.refresh_table(catalog, t);
@@ -473,7 +528,6 @@ mod tests {
     #[test]
     fn staleness_tracks_drift_and_refresh_adopts_live_counts() {
         use dba_storage::{Catalog, ColumnSpec, TableBuilder, TableSchema};
-        use std::sync::Arc;
 
         let schema = TableSchema::new(
             "t",
@@ -483,12 +537,11 @@ mod tests {
                 Distribution::Uniform { lo: 0, hi: 99 },
             )],
         );
-        let mut cat = Catalog::new(vec![Arc::new(
-            TableBuilder::new(schema, 1000).build(TableId(0), 3),
-        )]);
+        let mut cat = Catalog::new(vec![TableBuilder::new(schema, 1000).build(TableId(0), 3)]);
         let mut stats = StatsCatalog::build(&cat);
         assert_eq!(stats.max_staleness(), 0.0);
-        assert_eq!(stats.table(TableId(0)).rows, 1000);
+        assert_eq!(stats.rows(TableId(0)), 1000);
+        assert_eq!(stats.table_version(TableId(0)), 0);
 
         // 300 inserts + 100 updates + 100 deletes = 500 changed versions.
         cat.apply_drift(TableId(0), 300, 100, 100);
@@ -496,17 +549,20 @@ mod tests {
         assert!((stats.staleness(TableId(0)) - 0.5).abs() < 1e-12);
         assert!((stats.max_staleness() - 0.5).abs() < 1e-12);
         // Estimates still use the stale count until refresh.
-        assert_eq!(stats.table(TableId(0)).rows, 1000);
+        assert_eq!(stats.rows(TableId(0)), 1000);
+        assert_eq!(stats.table_version(TableId(0)), 0);
 
         stats.refresh(&cat);
-        assert_eq!(stats.table(TableId(0)).rows, 1000 + 300 - 100);
+        assert_eq!(stats.rows(TableId(0)), 1000 + 300 - 100);
         assert_eq!(stats.max_staleness(), 0.0);
+        assert_eq!(stats.table_version(TableId(0)), 1, "refresh bumps");
+        // The shared ANALYZE output itself never moves.
+        assert_eq!(stats.table(TableId(0)).rows, 1000);
     }
 
     #[test]
     fn refresh_stale_only_touches_tables_past_threshold() {
         use dba_storage::{Catalog, ColumnSpec, TableBuilder, TableSchema};
-        use std::sync::Arc;
 
         let schema = |name: &str| {
             TableSchema::new(
@@ -519,8 +575,8 @@ mod tests {
             )
         };
         let mut cat = Catalog::new(vec![
-            Arc::new(TableBuilder::new(schema("hot"), 100).build(TableId(0), 3)),
-            Arc::new(TableBuilder::new(schema("cold"), 100).build(TableId(1), 4)),
+            TableBuilder::new(schema("hot"), 100).build(TableId(0), 3),
+            TableBuilder::new(schema("cold"), 100).build(TableId(1), 4),
         ]);
         let mut stats = StatsCatalog::build(&cat);
         cat.apply_drift(TableId(0), 50, 0, 0);
@@ -530,11 +586,41 @@ mod tests {
 
         let refreshed = stats.refresh_stale(&cat, 0.2);
         assert_eq!(refreshed, 1, "only the hot table crosses the threshold");
-        assert_eq!(stats.table(TableId(0)).rows, 150);
+        assert_eq!(stats.rows(TableId(0)), 150);
         assert_eq!(stats.staleness(TableId(0)), 0.0);
-        // The cold table keeps both its stale count and its belief.
-        assert_eq!(stats.table(TableId(1)).rows, 100);
+        assert_eq!(stats.table_version(TableId(0)), 1);
+        // The cold table keeps its stale count, belief and version.
+        assert_eq!(stats.rows(TableId(1)), 100);
         assert!(stats.staleness(TableId(1)) > 0.0);
+        assert_eq!(stats.table_version(TableId(1)), 0);
+    }
+
+    #[test]
+    fn fork_shares_analyze_output_but_resets_the_overlay() {
+        use dba_storage::{Catalog, ColumnSpec, TableBuilder, TableSchema};
+
+        let schema = TableSchema::new(
+            "t",
+            vec![ColumnSpec::new(
+                "a",
+                ColumnType::Int,
+                Distribution::Uniform { lo: 0, hi: 99 },
+            )],
+        );
+        let mut cat = Catalog::new(vec![TableBuilder::new(schema, 1000).build(TableId(0), 3)]);
+        let mut stats = StatsCatalog::build(&cat);
+        cat.apply_drift(TableId(0), 500, 0, 0);
+        stats.note_drift(TableId(0), 500);
+        stats.refresh(&cat);
+        assert_eq!(stats.rows(TableId(0)), 1500);
+
+        let fork = stats.fork();
+        // Shared histograms: same allocation, one more ref.
+        assert!(Arc::ptr_eq(fork.base(), stats.base()));
+        // Fresh overlay: built-time beliefs, no staleness, version 0.
+        assert_eq!(fork.rows(TableId(0)), 1000);
+        assert_eq!(fork.max_staleness(), 0.0);
+        assert_eq!(fork.table_version(TableId(0)), 0);
     }
 
     #[test]

@@ -132,7 +132,6 @@ mod tests {
     use dba_common::{ColumnId, QueryId, TableId, TemplateId};
     use dba_engine::Predicate;
     use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
-    use std::sync::Arc;
 
     fn catalog() -> Catalog {
         let t = TableSchema::new(
@@ -147,9 +146,7 @@ mod tests {
                 ColumnSpec::new("c", ColumnType::Int, Distribution::Uniform { lo: 0, hi: 9 }),
             ],
         );
-        Catalog::new(vec![Arc::new(
-            TableBuilder::new(t, 100_000).build(TableId(0), 23),
-        )])
+        Catalog::new(vec![TableBuilder::new(t, 100_000).build(TableId(0), 23)])
     }
 
     fn query() -> Query {

@@ -1,6 +1,8 @@
 //! Session construction: tuner selection and validated assembly of the
 //! substrate a tuning loop needs.
 
+use std::sync::Arc;
+
 use dba_baselines::{
     DdqnAdvisor, DdqnConfig, InvokeSchedule, NoIndexAdvisor, PdToolAdvisor, PdToolConfig,
 };
@@ -8,7 +10,7 @@ use dba_common::{DbError, DbResult, SimSeconds};
 use dba_core::{Advisor, MabConfig, MabTuner};
 use dba_engine::{CostModel, Executor};
 use dba_optimizer::StatsCatalog;
-use dba_storage::Catalog;
+use dba_storage::{BaseData, Catalog};
 use dba_workloads::{Benchmark, DataDrift, WorkloadKind};
 
 use crate::session::TuningSession;
@@ -86,7 +88,7 @@ pub fn make_advisor(
 /// model, and a memory budget of 1× the generated data size.
 pub struct SessionBuilder {
     benchmark: Option<Benchmark>,
-    shared_data: Option<Catalog>,
+    shared_data: Option<Arc<BaseData>>,
     shared_stats: Option<StatsCatalog>,
     workload: WorkloadKind,
     drift: Option<DataDrift>,
@@ -125,19 +127,22 @@ impl SessionBuilder {
     }
 
     /// Reuse already-generated benchmark data instead of regenerating it.
-    /// The session forks an index-free catalog from `base` (tables are
-    /// shared by reference), so several sessions can run over identical
-    /// data — how suites compare tuners fairly.
+    /// The session forks an index-free catalog over `base`'s shared
+    /// [`BaseData`] — an `Arc` bump, never a data copy — so any number of
+    /// sessions (including on other threads) run over identical data: how
+    /// suites compare tuners fairly at zero marginal memory.
     pub fn shared_data(mut self, base: &Catalog) -> Self {
-        self.shared_data = Some(base.fork_empty());
+        self.shared_data = Some(Arc::clone(base.base()));
         self
     }
 
     /// Reuse already-built statistics instead of re-ANALYZE-ing the data.
     /// Statistics depend only on table contents, so a suite sharing data
-    /// across sessions can build them once and hand a clone to each.
+    /// across sessions builds them once; each session forks a fresh
+    /// overlay over the shared `Arc`'d ANALYZE output (histograms are
+    /// never copied).
     pub fn shared_stats(mut self, stats: &StatsCatalog) -> Self {
-        self.shared_stats = Some(stats.clone());
+        self.shared_stats = Some(stats.fork());
         self
     }
 
@@ -212,8 +217,8 @@ impl SessionBuilder {
             ));
         }
         let catalog = match self.shared_data {
-            Some(base) => base,
-            None => benchmark.build_catalog(self.seed)?.fork_empty(),
+            Some(base) => Catalog::from_base(base),
+            None => benchmark.build_catalog(self.seed)?,
         };
         if let Some(drift) = &self.drift {
             drift.validate(&catalog)?;
@@ -402,6 +407,47 @@ mod tests {
             session.memory_budget_bytes(),
             session.catalog().database_bytes()
         );
+    }
+
+    /// Zero-copy forking: sessions built over shared data hold the same
+    /// `BaseData` and ANALYZE allocations as the suite's originals — the
+    /// strong count moves, the data never does.
+    #[test]
+    fn shared_sessions_fork_without_deep_cloning() {
+        use dba_optimizer::StatsCatalog;
+        use std::sync::Arc;
+
+        let bench = ssb(0.01);
+        let base = bench.build_catalog(42).unwrap();
+        let stats = StatsCatalog::build(&base);
+        let data_refs = Arc::strong_count(base.base());
+        let stats_refs = Arc::strong_count(stats.base());
+
+        let build = || {
+            SessionBuilder::new()
+                .benchmark(bench.clone())
+                .shared_data(&base)
+                .shared_stats(&stats)
+                .tuner(TunerKind::NoIndex)
+                .workload(WorkloadKind::Static { rounds: 1 })
+                .build()
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+
+        for s in [&a, &b] {
+            assert!(
+                Arc::ptr_eq(s.catalog().base(), base.base()),
+                "session must share the generated data allocation"
+            );
+            assert!(
+                Arc::ptr_eq(s.stats().base(), stats.base()),
+                "session must share the ANALYZE output allocation"
+            );
+        }
+        assert_eq!(Arc::strong_count(base.base()), data_refs + 2);
+        assert_eq!(Arc::strong_count(stats.base()), stats_refs + 2);
     }
 
     #[test]

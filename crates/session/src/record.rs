@@ -14,6 +14,12 @@ pub struct RoundRecord {
     /// Index maintenance paid for the round's data change (zero on
     /// read-only rounds — the paper's original setting).
     pub maintenance: SimSeconds,
+    /// Queries this round whose plan came from the session's plan cache
+    /// (replans skipped because nothing their tables depend on moved).
+    pub plan_cache_hits: u64,
+    /// Queries this round that had to be planned (cold template, or an
+    /// index/stats/drift change invalidated the cached plan).
+    pub plan_cache_misses: u64,
 }
 
 impl RoundRecord {
@@ -62,5 +68,25 @@ impl RunResult {
             .last()
             .map(|r| r.execution)
             .unwrap_or(SimSeconds::ZERO)
+    }
+
+    /// Plans served from the session plan cache over the whole run.
+    pub fn total_plan_cache_hits(&self) -> u64 {
+        self.rounds.iter().map(|r| r.plan_cache_hits).sum()
+    }
+
+    /// Plans that had to be produced by the planner over the whole run.
+    pub fn total_plan_cache_misses(&self) -> u64 {
+        self.rounds.iter().map(|r| r.plan_cache_misses).sum()
+    }
+
+    /// Fraction of plan lookups answered from the cache (0 when the run
+    /// planned nothing).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.total_plan_cache_hits() + self.total_plan_cache_misses();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_plan_cache_hits() as f64 / total as f64
     }
 }

@@ -3,7 +3,7 @@
 
 use dba_common::{DbResult, SimSeconds};
 use dba_engine::{Executor, Plan, Query, QueryExecution};
-use dba_optimizer::{Planner, PlannerContext, StatsCatalog};
+use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog};
 use dba_storage::Catalog;
 use dba_workloads::{Benchmark, DataDrift, WorkloadKind, WorkloadSequencer};
 
@@ -58,6 +58,9 @@ pub struct TuningSession<A: Advisor> {
     /// Seeded template order, computed once so per-round sequencer
     /// reconstruction does no re-shuffling.
     template_order: Vec<usize>,
+    /// Template-level plan reuse, validated against per-table catalog and
+    /// statistics versions — rounds that change nothing skip the planner.
+    plan_cache: PlanCache,
     records: Vec<RoundRecord>,
     next_round: usize,
 }
@@ -92,6 +95,7 @@ impl<A: Advisor> TuningSession<A> {
             advisor,
             drift,
             template_order,
+            plan_cache: PlanCache::new(),
             records: Vec::new(),
             next_round: 0,
         }
@@ -202,16 +206,29 @@ impl<A: Advisor> TuningSession<A> {
             .advisor
             .before_round(round, &mut self.catalog, &self.stats);
 
-        // 2. Execution: plan against the current design, run, observe.
+        // 2. Execution: plan against the current design — through the plan
+        //    cache, so templates whose tables saw no index/stats/drift
+        //    change since their last plan skip the planner — then run.
         let queries = sequencer.round_queries(&self.catalog, round)?;
+        let cache_before = self.plan_cache.stats();
         let executions: Vec<QueryExecution> = {
-            let ctx = PlannerContext::from_catalog(&self.catalog, &self.stats, &self.cost);
+            // Field-precise borrows: the cache is mutated while the
+            // planner context holds the catalog and statistics.
+            let catalog = &self.catalog;
+            let stats = &self.stats;
+            let executor = &self.executor;
+            let plan_cache = &mut self.plan_cache;
+            let ctx = PlannerContext::from_catalog(catalog, stats, &self.cost);
             let planner = Planner::new(&ctx);
             queries
                 .iter()
-                .map(|q| self.executor.execute(&self.catalog, q, &planner.plan(q)))
+                .map(|q| {
+                    let plan = plan_cache.get_or_plan(catalog, stats, &planner, q);
+                    executor.execute(catalog, q, plan)
+                })
                 .collect()
         };
+        let cache_after = self.plan_cache.stats();
         let execution: SimSeconds = executions.iter().map(|e| e.total).sum();
 
         // 3. Data change: apply the round's drift deltas, charge every
@@ -228,6 +245,8 @@ impl<A: Advisor> TuningSession<A> {
             creation: advisor_cost.creation,
             execution,
             maintenance,
+            plan_cache_hits: cache_after.hits - cache_before.hits,
+            plan_cache_misses: cache_after.misses - cache_before.misses,
         };
         self.records.push(record);
         self.next_round += 1;
@@ -299,25 +318,51 @@ impl<A: Advisor> TuningSession<A> {
         total
     }
 
-    /// Run every remaining round and return the complete [`RunResult`].
+    /// Run every remaining round and return the complete [`RunResult`]
+    /// (the accumulated records move into the result — no clone).
     pub fn run(&mut self) -> DbResult<RunResult> {
         self.run_with(&mut |_| {})
     }
 
     /// [`run`](Self::run), emitting a [`RoundEvent`] per round.
+    ///
+    /// Finishing hands the round history over by value: after this returns,
+    /// [`records`](Self::records) is empty and the returned [`RunResult`]
+    /// owns the rounds. Catalog/stats accessors remain usable.
     pub fn run_with(&mut self, observer: &mut dyn FnMut(&RoundEvent)) -> DbResult<RunResult> {
         while self.step_with(observer)?.is_some() {}
-        Ok(self.result())
+        let rounds = std::mem::take(&mut self.records);
+        Ok(self.make_result(rounds))
     }
 
-    /// The run's accounting so far (complete after [`run`](Self::run)).
+    /// Finish a step-driven session: consume it and hand the accumulated
+    /// records over by value (no clone). The counterpart of
+    /// [`run`](Self::run) for callers driving rounds via
+    /// [`step`](Self::step).
+    pub fn into_result(mut self) -> RunResult {
+        let rounds = std::mem::take(&mut self.records);
+        self.make_result(rounds)
+    }
+
+    /// Snapshot of the run's accounting so far (clones the records —
+    /// mid-run introspection; finished runs should use the value returned
+    /// by [`run`](Self::run) or [`into_result`](Self::into_result)).
     pub fn result(&self) -> RunResult {
+        self.make_result(self.records.clone())
+    }
+
+    fn make_result(&self, rounds: Vec<RoundRecord>) -> RunResult {
         RunResult {
             tuner: self.advisor.name().to_string(),
             benchmark: self.benchmark.name.to_string(),
             workload: self.scenario_label(),
-            rounds: self.records.clone(),
+            rounds,
         }
+    }
+
+    /// Running plan-cache totals (hits/misses/invalidations).
+    pub fn plan_cache_stats(&self) -> dba_optimizer::PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     /// Plan (without executing) the queries of `round` against the current
@@ -342,6 +387,103 @@ impl<A: Advisor> TuningSession<A> {
 mod tests {
     use crate::builder::{SessionBuilder, TunerKind};
     use dba_workloads::{ssb::ssb, DataDrift, DriftRates, WorkloadKind};
+
+    /// The whole substrate crosses threads: shared bases are `Sync`, built
+    /// sessions (boxed advisors included) are `Send` — what the parallel
+    /// suite runner in `dba-bench` relies on.
+    #[test]
+    fn substrate_is_send_and_sessions_are_sendable() {
+        fn send_sync<T: Send + Sync>() {}
+        fn send<T: Send>() {}
+        send_sync::<dba_storage::BaseData>();
+        send_sync::<dba_storage::Catalog>();
+        send_sync::<dba_optimizer::StatsCatalog>();
+        send_sync::<dba_workloads::Benchmark>();
+        send::<crate::DynTuningSession>();
+        send::<crate::RunResult>();
+    }
+
+    /// Static workload, no tuner activity: round 1 plans every template,
+    /// every later round is pure cache hits — replans are skipped.
+    #[test]
+    fn unchanged_rounds_hit_the_plan_cache() {
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 5 })
+            .tuner(TunerKind::NoIndex)
+            .seed(7)
+            .build()
+            .unwrap();
+        let result = session.run().unwrap();
+        let templates = 13; // SSB template count; static rounds run all.
+        assert_eq!(result.rounds[0].plan_cache_misses, templates);
+        assert_eq!(result.rounds[0].plan_cache_hits, 0);
+        for r in &result.rounds[1..] {
+            assert_eq!(
+                r.plan_cache_hits, templates,
+                "round {}: unchanged config must be served from cache",
+                r.round
+            );
+            assert_eq!(r.plan_cache_misses, 0);
+        }
+        assert_eq!(session.plan_cache_stats().invalidations, 0);
+        assert!(result.plan_cache_hit_rate() > 0.7);
+    }
+
+    /// Index creates/drops force replans: whenever MAB changes the
+    /// configuration, the touched tables' templates miss; once the
+    /// configuration stabilises, rounds hit again.
+    #[test]
+    fn index_changes_invalidate_cached_plans() {
+        let mut events = Vec::new();
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 8 })
+            .tuner(TunerKind::Mab)
+            .seed(7)
+            .build()
+            .unwrap();
+        let result = session
+            .run_with(&mut |e| events.push((e.record, e.index_count)))
+            .unwrap();
+        // MAB materialises something within the run, so at least one round
+        // after the first must replan (invalidation), and converged rounds
+        // must hit.
+        assert!(session.plan_cache_stats().invalidations > 0);
+        assert!(result.total_plan_cache_hits() > 0);
+        // A round that changed the configuration (index count moved vs the
+        // previous round) must carry misses on the affected templates.
+        let changed_round = events.windows(2).find(|w| w[1].1 != w[0].1).map(|w| w[1].0);
+        if let Some(record) = changed_round {
+            assert!(
+                record.plan_cache_misses > 0,
+                "round {} changed the config but replanned nothing",
+                record.round
+            );
+        }
+    }
+
+    /// Applied drift forces replans on templates over drifted tables, and
+    /// stats auto-refreshes (version bumps) do the same.
+    #[test]
+    fn drift_invalidates_cached_plans() {
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 6 })
+            .tuner(TunerKind::NoIndex)
+            .data_drift(DataDrift::uniform(DriftRates::new(0.05, 0.0, 0.0)))
+            .seed(7)
+            .build()
+            .unwrap();
+        let result = session.run().unwrap();
+        // Every table drifts every round, so every round replans every
+        // template: zero hits, and invalidations counted from round 2 on.
+        assert_eq!(result.total_plan_cache_hits(), 0);
+        assert!(session.plan_cache_stats().invalidations > 0);
+        for r in &result.rounds {
+            assert!(r.plan_cache_misses > 0);
+        }
+    }
 
     #[test]
     fn step_accounting_sums_to_run_result_totals() {
@@ -368,7 +510,8 @@ mod tests {
         // Stepping past the end is a no-op.
         assert!(session.step().unwrap().is_none());
 
-        let result = session.result();
+        // Step-driven finish: the records move into the result, no clone.
+        let result = session.into_result();
         assert_eq!(result.rounds.len(), 5);
         assert!((result.total_recommendation().secs() - rec).abs() < 1e-9);
         assert!((result.total_creation().secs() - cre).abs() < 1e-9);
@@ -390,7 +533,7 @@ mod tests {
         let run_result = build().run().unwrap();
         let mut stepped = build();
         while stepped.step().unwrap().is_some() {}
-        let step_result = stepped.result();
+        let step_result = stepped.into_result();
         assert_eq!(run_result.rounds.len(), step_result.rounds.len());
         for (a, b) in run_result.rounds.iter().zip(&step_result.rounds) {
             assert_eq!(a.execution.secs(), b.execution.secs());
@@ -426,7 +569,7 @@ mod tests {
         assert_eq!(session.scenario_label(), "static+drift");
 
         let mut saw_maintenance = false;
-        session
+        let result = session
             .run_with(&mut |event| {
                 if event.index_count > 0 {
                     assert!(
@@ -441,7 +584,6 @@ mod tests {
             })
             .unwrap();
         assert!(saw_maintenance, "MAB materialises within 8 rounds");
-        let result = session.result();
         assert!(result.total_maintenance().secs() > 0.0);
         assert_eq!(result.workload, "static+drift");
         // Data actually grew.

@@ -1,9 +1,11 @@
-//! The catalog: tables plus the mutable set of materialised secondary
-//! indexes.
+//! The catalog: an immutable, shareable data base plus the mutable
+//! per-session overlay of secondary indexes and drift state.
 //!
-//! Generated table data is immutable and shared (`Arc`) so that multiple
-//! tuner runs over the same benchmark reuse one copy; each run owns its own
-//! index set, which it creates and drops as tuning proceeds.
+//! Generated table data lives in a single [`BaseData`] behind an `Arc`:
+//! forking a catalog for another tuner session ([`Catalog::fork_empty`])
+//! is one reference-count bump, never a data copy, and the shared base is
+//! `Sync` so forks can run on different threads. Each fork owns the cheap
+//! per-session parts — its index set and its drift overlay.
 //!
 //! Data change (HTAP-style drift) is modelled as a per-table **logical
 //! overlay** ([`TableDriftState`]): inserts grow the live row count and the
@@ -12,6 +14,10 @@
 //! never changes — drift moves the *size accounting* every cost formula
 //! reads (`live_rows`, `live_heap_pages`), which is what makes scans slow
 //! down and index maintenance chargeable under churn.
+//!
+//! Every physical change is versioned per table ([`Catalog::table_version`]
+//! moves on index create/drop and on applied drift), giving plan caches a
+//! cheap configuration signature to validate against.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -52,18 +58,19 @@ impl TableDriftState {
     }
 }
 
-/// Tables + secondary indexes.
-#[derive(Debug, Clone)]
-pub struct Catalog {
-    tables: Vec<Arc<Table>>,
-    indexes: BTreeMap<IndexId, Arc<Index>>,
-    /// Per-table drift overlay, parallel to `tables`.
-    drift: Vec<TableDriftState>,
-    next_index: u64,
+/// The immutable half of the storage layer: every generated table of a
+/// benchmark, built once and shared (`Arc`) by all sessions over it.
+///
+/// `BaseData` is never mutated after construction — indexes and drift live
+/// in each session's [`Catalog`] overlay — so sharing it across threads is
+/// safe and forking a session is free.
+#[derive(Debug)]
+pub struct BaseData {
+    tables: Vec<Table>,
 }
 
-impl Catalog {
-    pub fn new(tables: Vec<Arc<Table>>) -> Self {
+impl BaseData {
+    pub fn new(tables: Vec<Table>) -> Self {
         for (i, t) in tables.iter().enumerate() {
             assert_eq!(
                 t.id().raw() as usize,
@@ -71,17 +78,11 @@ impl Catalog {
                 "table ids must be dense and ordered"
             );
         }
-        let drift = vec![TableDriftState::default(); tables.len()];
-        Catalog {
-            tables,
-            indexes: BTreeMap::new(),
-            drift,
-            next_index: 0,
-        }
+        BaseData { tables }
     }
 
     #[inline]
-    pub fn tables(&self) -> &[Arc<Table>] {
+    pub fn tables(&self) -> &[Table] {
         &self.tables
     }
 
@@ -90,18 +91,86 @@ impl Catalog {
         &self.tables[id.raw() as usize]
     }
 
-    pub fn table_by_name(&self, name: &str) -> DbResult<&Arc<Table>> {
-        self.tables
+    /// Total bytes of generated (pre-drift) heap data.
+    pub fn generated_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.heap_bytes()).sum()
+    }
+}
+
+/// Shared base data + per-session overlay (secondary indexes, drift).
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    base: Arc<BaseData>,
+    indexes: BTreeMap<IndexId, Arc<Index>>,
+    /// Per-table drift overlay, parallel to `base.tables()`.
+    drift: Vec<TableDriftState>,
+    /// Per-table physical version, parallel to `base.tables()`: bumped when
+    /// an index on the table is created or dropped and when drift touches
+    /// its live data. Plan caches validate against it.
+    versions: Vec<u64>,
+    next_index: u64,
+}
+
+impl Catalog {
+    pub fn new(tables: Vec<Table>) -> Self {
+        Catalog::from_base(Arc::new(BaseData::new(tables)))
+    }
+
+    /// A fresh overlay (no indexes, no drift) over already-generated data.
+    /// This is how sessions fork: the `Arc` is bumped, nothing is copied.
+    pub fn from_base(base: Arc<BaseData>) -> Self {
+        let n = base.tables().len();
+        Catalog {
+            base,
+            indexes: BTreeMap::new(),
+            drift: vec![TableDriftState::default(); n],
+            versions: vec![0; n],
+            next_index: 0,
+        }
+    }
+
+    /// The shared immutable base this catalog overlays.
+    #[inline]
+    pub fn base(&self) -> &Arc<BaseData> {
+        &self.base
+    }
+
+    #[inline]
+    pub fn tables(&self) -> &[Table] {
+        self.base.tables()
+    }
+
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Table {
+        self.base.table(id)
+    }
+
+    pub fn table_by_name(&self, name: &str) -> DbResult<&Table> {
+        self.tables()
             .iter()
             .find(|t| t.name() == name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Physical version of `table`: moves on every index create/drop on it
+    /// and on every applied drift round. Equal versions guarantee a cached
+    /// plan over the table is still valid (stats staleness is versioned
+    /// separately by the optimiser).
+    #[inline]
+    pub fn table_version(&self, table: TableId) -> u64 {
+        self.versions[table.raw() as usize]
+    }
+
+    #[inline]
+    fn bump_version(&mut self, table: TableId) {
+        self.versions[table.raw() as usize] += 1;
     }
 
     /// Total logical size of all base tables (the paper's “database size”,
     /// used for memory budgets and context features). Tracks drift: the
     /// database grows as rows are inserted.
     pub fn database_bytes(&self) -> u64 {
-        self.tables
+        self.tables()
             .iter()
             .map(|t| self.live_heap_bytes(t.id()))
             .sum()
@@ -129,6 +198,9 @@ impl Catalog {
         state.inserted += applied.inserted;
         state.deleted += applied.deleted;
         state.updated += applied.updated;
+        if applied.rows_changed() > 0 {
+            self.bump_version(table);
+        }
         applied
     }
 
@@ -188,10 +260,9 @@ impl Catalog {
             return Err(DbError::Invalid("index with no key columns".into()));
         }
         let table = self
-            .tables
+            .tables()
             .get(def.table.raw() as usize)
-            .ok_or_else(|| DbError::UnknownTable(format!("{}", def.table)))?
-            .clone();
+            .ok_or_else(|| DbError::UnknownTable(format!("{}", def.table)))?;
         for &c in def.key_cols.iter().chain(&def.include_cols) {
             if c as usize >= table.columns().len() {
                 return Err(DbError::UnknownColumn {
@@ -202,21 +273,24 @@ impl Catalog {
         }
         let id = IndexId(self.next_index);
         self.next_index += 1;
-        let ix = Index::build(id, def.clone(), &table);
+        let ix = Index::build(id, def.clone(), self.base.table(def.table));
         let meta = IndexMeta {
             id,
             def,
             size_bytes: ix.size_bytes(),
         };
         self.indexes.insert(id, Arc::new(ix));
+        self.bump_version(meta.def.table);
         Ok(meta)
     }
 
     pub fn drop_index(&mut self, id: IndexId) -> DbResult<()> {
-        self.indexes
+        let ix = self
+            .indexes
             .remove(&id)
-            .map(|_| ())
-            .ok_or(DbError::UnknownIndex(id.raw()))
+            .ok_or(DbError::UnknownIndex(id.raw()))?;
+        self.bump_version(ix.def().table);
+        Ok(())
     }
 
     pub fn index(&self, id: IndexId) -> DbResult<&Arc<Index>> {
@@ -239,15 +313,11 @@ impl Catalog {
         self.indexes.values().find(|ix| ix.def() == def)
     }
 
-    /// Fresh catalog over the same shared tables, with no indexes and no
-    /// drift — used to give each tuner an identical starting state.
+    /// Fresh catalog over the same shared base data, with no indexes and no
+    /// drift — used to give each tuner an identical starting state. Costs
+    /// one `Arc` bump; the generated data is never copied.
     pub fn fork_empty(&self) -> Catalog {
-        Catalog {
-            tables: self.tables.clone(),
-            indexes: BTreeMap::new(),
-            drift: vec![TableDriftState::default(); self.tables.len()],
-            next_index: 0,
-        }
+        Catalog::from_base(Arc::clone(&self.base))
     }
 }
 
@@ -267,7 +337,7 @@ mod tests {
             ],
         );
         let t = TableBuilder::new(schema, 500).build(TableId(0), 3);
-        Catalog::new(vec![Arc::new(t)])
+        Catalog::new(vec![t])
     }
 
     #[test]
@@ -316,14 +386,17 @@ mod tests {
     }
 
     #[test]
-    fn fork_empty_shares_tables_but_not_indexes() {
+    fn fork_empty_shares_base_but_not_indexes() {
         let mut cat = catalog();
         cat.create_index(IndexDef::new(TableId(0), vec![0], vec![]))
             .unwrap();
+        let before = Arc::strong_count(cat.base());
         let fork = cat.fork_empty();
         assert_eq!(fork.all_indexes().count(), 0);
         assert_eq!(fork.tables().len(), 1);
-        assert!(Arc::ptr_eq(&fork.tables()[0], &cat.tables()[0]));
+        // Zero-copy: the fork holds the same allocation, one more ref.
+        assert!(Arc::ptr_eq(fork.base(), cat.base()));
+        assert_eq!(Arc::strong_count(cat.base()), before + 1);
     }
 
     #[test]
@@ -394,6 +467,36 @@ mod tests {
         let fork = cat.fork_empty();
         assert!(!fork.has_drift());
         assert_eq!(fork.live_rows(TableId(0)), 500);
+    }
+
+    #[test]
+    fn table_versions_move_on_index_changes_and_drift_only() {
+        let mut cat = catalog();
+        assert_eq!(cat.table_version(TableId(0)), 0);
+
+        let meta = cat
+            .create_index(IndexDef::new(TableId(0), vec![0], vec![]))
+            .unwrap();
+        assert_eq!(cat.table_version(TableId(0)), 1, "create bumps");
+        cat.drop_index(meta.id).unwrap();
+        assert_eq!(cat.table_version(TableId(0)), 2, "drop bumps");
+
+        cat.apply_drift(TableId(0), 10, 0, 0);
+        assert_eq!(cat.table_version(TableId(0)), 3, "applied drift bumps");
+        // A drift round that touches no rows leaves the version alone.
+        let applied = cat.apply_drift(TableId(0), 0, 0, 0);
+        assert_eq!(applied.rows_changed(), 0);
+        assert_eq!(cat.table_version(TableId(0)), 3);
+
+        // Forks start from version 0 again.
+        assert_eq!(cat.fork_empty().table_version(TableId(0)), 0);
+    }
+
+    #[test]
+    fn base_data_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaseData>();
+        assert_send_sync::<Catalog>();
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod gen;
 pub mod index;
 pub mod table;
 
-pub use catalog::{Catalog, IndexMeta, TableDriftState};
+pub use catalog::{BaseData, Catalog, IndexMeta, TableDriftState};
 pub use column::{Column, ColumnType};
 pub use gen::{ColumnSpec, Distribution};
 pub use index::{Index, IndexDef};

@@ -13,7 +13,6 @@ use dba_storage::{Catalog, TableBuilder, TableSchema};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// Row-count compensation: benchmarks generate 1/100th of the paper's rows
 /// per scale factor (the cost model's `PAPER_TIME_SCALE` compensates).
@@ -204,7 +203,7 @@ impl Benchmark {
             .iter()
             .enumerate()
             .map(|(i, (schema, rows))| {
-                Arc::new(TableBuilder::new(schema.clone(), *rows).build(TableId(i as u32), seed))
+                TableBuilder::new(schema.clone(), *rows).build(TableId(i as u32), seed)
             })
             .collect();
         Ok(Catalog::new(tables))

@@ -16,7 +16,6 @@ use dba_bandits::prelude::*;
 use dba_common::{ColumnId, QueryId, TableId, TemplateId};
 use dba_engine::Predicate;
 use dba_storage::{ColumnSpec, ColumnType, Distribution, TableSchema};
-use std::sync::Arc;
 
 fn main() {
     // A fact table whose foreign key is zipf-skewed (hot parents).
@@ -41,7 +40,7 @@ fn main() {
     )
     .with_pad(70);
     let table = dba_storage::TableBuilder::new(schema, 200_000).build(TableId(0), 1);
-    let mut catalog = Catalog::new(vec![Arc::new(table)]);
+    let mut catalog = Catalog::new(vec![table]);
     let stats = StatsCatalog::build(&catalog);
     let cost = CostModel::paper_scale();
 

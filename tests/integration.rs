@@ -10,7 +10,6 @@ use dba_common::{ColumnId, QueryId, TableId, TemplateId};
 use dba_engine::Predicate;
 use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
 use rand::Rng;
-use std::sync::Arc;
 
 /// Drive the full loop (benchmark → tuner → planner → executor → rewards)
 /// on a small SSB and check the bandit ends up faster than it started.
@@ -278,9 +277,7 @@ fn prop_catalog(rows: usize, seed: u64) -> Catalog {
             ColumnSpec::new("c", ColumnType::Int, Distribution::Zipf { n: 40, s: 1.5 }),
         ],
     );
-    Catalog::new(vec![Arc::new(
-        TableBuilder::new(schema, rows).build(TableId(0), seed),
-    )])
+    Catalog::new(vec![TableBuilder::new(schema, rows).build(TableId(0), seed)])
 }
 
 /// Whatever plan the optimiser picks — scan, seek, covering, with any
