@@ -266,6 +266,9 @@ impl Advisor for DdqnAdvisor {
         stats: &StatsCatalog,
     ) -> AdvisorCost {
         self.round += 1;
+        // Forget indexes externally dropped by a guardrail rollback so
+        // their arms become candidates again instead of phantom incumbents.
+        dba_core::reconcile_external_drops(catalog, &mut self.current, &mut self.arm_to_index);
         let mut rec_time = SimSeconds::ZERO;
         if self.round == 1 {
             rec_time += SimSeconds::new(self.config.first_round_setup_s);
@@ -358,13 +361,13 @@ impl Advisor for DdqnAdvisor {
                 continue;
             }
             let def = self.registry.arm(arm_idx).def.clone();
-            let table = catalog.table(def.table);
             // Bill creation off the live (drift-grown) sizes, as MAB and
-            // PDTool do — building over a doubled heap costs double.
+            // PDTool do — building over a doubled heap costs double, and
+            // the leaves written are the live-estimate's.
             let build = self.cost.index_build(
                 catalog.live_heap_pages(def.table),
                 catalog.live_rows(def.table),
-                def.estimated_bytes(table),
+                catalog.estimated_live_bytes(&def),
             );
             if let Ok(meta) = catalog.create_index(def) {
                 creation += build;

@@ -275,7 +275,7 @@ impl PdToolAdvisor {
                 } else {
                     0.0
                 };
-                let size = def.estimated_bytes(catalog.table(def.table));
+                let size = catalog.estimated_live_bytes(&def);
                 (def, benefit, size)
             })
             .filter(|(_, benefit, _)| *benefit > 0.0)
@@ -356,7 +356,7 @@ impl Advisor for PdToolAdvisor {
             let build = self.cost.index_build(
                 catalog.live_heap_pages(def.table),
                 catalog.live_rows(def.table),
-                def.estimated_bytes(catalog.table(def.table)),
+                catalog.estimated_live_bytes(&def),
             );
             if let Ok(meta) = catalog.create_index(def) {
                 creation += build;

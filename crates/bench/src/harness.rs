@@ -21,7 +21,9 @@ use dba_session::SessionBuilder;
 use dba_storage::Catalog;
 use dba_workloads::{Benchmark, DataDrift, WorkloadKind};
 
-pub use dba_session::{make_advisor, RoundRecord, RunResult, TunerKind};
+pub use dba_session::{
+    make_advisor, RoundRecord, RoundSafety, RunResult, SafetyConfig, SafetyReport, TunerKind,
+};
 
 /// Experiment-wide configuration from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +34,11 @@ pub struct ExperimentEnv {
     /// `DBA_ROUNDS` override: rounds for static/random workloads,
     /// rounds-per-group for shifting.
     pub rounds: Option<usize>,
+    /// `DBA_SAFETY_BOUND` override: the guardrail's cumulative regret
+    /// bound as a fraction of the shadow NoIndex price
+    /// (`SafetyConfig::regret_bound_factor`). Must be a finite positive
+    /// number; bad values are warned about and ignored.
+    pub safety_bound: Option<f64>,
 }
 
 /// Parse an environment variable, warning (rather than silently
@@ -77,12 +84,41 @@ impl ExperimentEnv {
             },
             Err(_) => None,
         };
+        let safety_bound = match std::env::var("DBA_SAFETY_BOUND") {
+            Ok(raw) => match raw.parse::<f64>() {
+                Ok(v) if v.is_finite() && v > 0.0 => Some(v),
+                Ok(v) => {
+                    eprintln!(
+                        "warning: ignoring DBA_SAFETY_BOUND={v}; the regret bound factor must \
+                         be a finite positive number"
+                    );
+                    None
+                }
+                Err(_) => {
+                    eprintln!("warning: ignoring unparsable DBA_SAFETY_BOUND={raw:?}");
+                    None
+                }
+            },
+            Err(_) => None,
+        };
         ExperimentEnv {
             sf,
             seed,
             quick,
             rounds,
+            safety_bound,
         }
+    }
+
+    /// The guardrail configuration the bench binaries run with:
+    /// [`SafetyConfig`] defaults (session-budget inheritance included),
+    /// with `DBA_SAFETY_BOUND` overriding the regret bound factor.
+    pub fn safety_config(&self) -> SafetyConfig {
+        let mut config = SafetyConfig::default();
+        if let Some(bound) = self.safety_bound {
+            config.regret_bound_factor = bound;
+        }
+        config
     }
 
     /// Workload-type configurations: the paper's settings (the
@@ -448,6 +484,7 @@ mod tests {
             seed: 42,
             quick: false,
             rounds: Some(3),
+            safety_bound: None,
         };
         assert_eq!(env.static_kind().rounds(), 3);
         assert_eq!(env.shifting_kind().rounds(), 12); // 4 groups × 3

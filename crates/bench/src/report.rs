@@ -159,12 +159,44 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
             r.total_plan_cache_misses(),
             r.plan_cache_hit_rate()
         ));
+        if let Some(safety) = &r.safety {
+            out.push_str(&format!(
+                "      \"safety\": {{\"vetoes\": {}, \"rollbacks\": {}, \"throttled_rounds\": {}, \
+                 \"cum_regret_s\": {:.4}, \"cum_shadow_noindex_s\": {:.4}, \"regret_factor\": \
+                 {:.4}, \"rounds\": [\n",
+                safety.vetoes,
+                safety.rollbacks,
+                safety.throttled_rounds,
+                safety.cum_regret_s,
+                safety.cum_shadow_noindex_s,
+                safety.regret_factor()
+            ));
+            for (i, s) in safety.rounds.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"round\": {}, \"shadow_noindex_s\": {:.4}, \"shadow_prev_s\": \
+                     {:.4}, \"actual_s\": {:.4}, \"regret_s\": {:.4}, \"cum_regret_s\": {:.4}, \
+                     \"vetoes\": {}, \"rollbacks\": {}, \"throttled\": {}}}{}\n",
+                    s.round,
+                    s.shadow_noindex_s,
+                    s.shadow_prev_s,
+                    s.actual_s,
+                    s.regret_s,
+                    s.cum_regret_s,
+                    s.vetoes,
+                    s.rollbacks,
+                    s.throttled,
+                    if i + 1 < safety.rounds.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]},\n");
+        }
         out.push_str("      \"rounds\": [\n");
         for (i, round) in r.rounds.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"round\": {}, \"recommendation_s\": {:.4}, \"creation_s\": {:.4}, \
                  \"maintenance_s\": {:.4}, \"execution_s\": {:.4}, \"total_s\": {:.4}, \
-                 \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}{}\n",
+                 \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"shift_intensity\": \
+                 {:.4}}}{}\n",
                 round.round,
                 round.recommendation.secs(),
                 round.creation.secs(),
@@ -173,6 +205,7 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
                 round.total().secs(),
                 round.plan_cache_hits,
                 round.plan_cache_misses,
+                round.shift_intensity,
                 if i + 1 < r.rounds.len() { "," } else { "" }
             ));
         }
@@ -230,8 +263,10 @@ mod tests {
                     maintenance: SimSeconds::ZERO,
                     plan_cache_hits: if i == 0 { 0 } else { 2 },
                     plan_cache_misses: if i == 0 { 2 } else { 0 },
+                    shift_intensity: if i == 0 { 1.0 } else { 0.0 },
                 })
                 .collect(),
+            safety: None,
         }
     }
 
@@ -272,8 +307,59 @@ mod tests {
         // Plan-cache counters: run totals and per-round deltas.
         assert!(json.contains("\"plan_cache\": {\"hits\": 2, \"misses\": 2, \"hit_rate\": 0.5000}"));
         assert!(json.contains("\"plan_cache_hits\": 2"));
+        // Shift intensity rides in every round object; unguarded runs
+        // carry no safety block.
+        assert!(json.contains("\"shift_intensity\": 1.0000"));
+        assert!(!json.contains("\"safety\""));
         // Two runs, three round objects.
         assert_eq!(json.matches("\"round\":").count(), 3);
+    }
+
+    #[test]
+    fn results_json_emits_safety_blocks() {
+        use crate::harness::{RoundSafety, SafetyReport};
+        let mut guarded = result("DDQN+guard", &[(1.0, 2.0, 3.0), (0.0, 0.0, 2.0)]);
+        guarded.safety = Some(SafetyReport {
+            rounds: vec![
+                RoundSafety {
+                    round: 1,
+                    shadow_noindex_s: 3.5,
+                    shadow_prev_s: 3.5,
+                    actual_s: 6.0,
+                    regret_s: 2.5,
+                    cum_regret_s: 2.5,
+                    vetoes: 1,
+                    rollbacks: 0,
+                    throttled: false,
+                },
+                RoundSafety {
+                    round: 2,
+                    shadow_noindex_s: 3.5,
+                    shadow_prev_s: 2.0,
+                    actual_s: 2.0,
+                    regret_s: -1.5,
+                    cum_regret_s: 1.0,
+                    vetoes: 0,
+                    rollbacks: 1,
+                    throttled: true,
+                },
+            ],
+            vetoes: 1,
+            rollbacks: 1,
+            throttled_rounds: 1,
+            cum_regret_s: 1.0,
+            cum_shadow_noindex_s: 7.0,
+        });
+        let json = results_json(&[], &[guarded]);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains(
+            "\"safety\": {\"vetoes\": 1, \"rollbacks\": 1, \"throttled_rounds\": 1, \
+             \"cum_regret_s\": 1.0000, \"cum_shadow_noindex_s\": 7.0000, \"regret_factor\": 0.1429"
+        ));
+        assert!(json.contains("\"shadow_noindex_s\": 3.5000"));
+        assert!(json.contains("\"throttled\": true"));
+        assert!(json.contains("\"regret_s\": -1.5000"));
     }
 
     #[test]

@@ -78,6 +78,28 @@ pub trait Advisor: Send {
     fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]);
 }
 
+/// Drop bookkeeping for indexes that no longer exist in `catalog` — the
+/// reconcile step every arm-tracking tuner runs at the top of its
+/// recommendation step so external configuration changes (a guardrail
+/// rollback, an operator intervention) return the affected arms to
+/// candidate status instead of leaving phantom incumbents. `current` maps
+/// materialised index ids to arm indices, `arm_to_index` is its inverse.
+pub fn reconcile_external_drops(
+    catalog: &Catalog,
+    current: &mut std::collections::HashMap<IndexId, usize>,
+    arm_to_index: &mut std::collections::HashMap<usize, IndexId>,
+) {
+    let dropped: Vec<(IndexId, usize)> = current
+        .iter()
+        .filter(|(&id, _)| catalog.index(id).is_err())
+        .map(|(&id, &arm)| (id, arm))
+        .collect();
+    for (id, arm) in dropped {
+        current.remove(&id);
+        arm_to_index.remove(&arm);
+    }
+}
+
 impl<A: Advisor + ?Sized> Advisor for Box<A> {
     fn name(&self) -> &str {
         (**self).name()

@@ -221,10 +221,13 @@ impl ArmRegistry {
             if !arm.generated_by.contains(&template) {
                 arm.generated_by.push(template);
             }
+            // Keep the size live: on drift-grown tables a fresh build of
+            // this arm is bigger than its first-seen estimate, and the
+            // memory-budget knapsack must see the current price.
+            arm.size_bytes = catalog.estimated_live_bytes(&def);
             return idx;
         }
-        let table = catalog.table(def.table);
-        let size_bytes = def.estimated_bytes(table);
+        let size_bytes = catalog.estimated_live_bytes(&def);
         let arm = Arm {
             key_columns: ordering.to_vec(),
             size_bytes,

@@ -161,12 +161,12 @@ impl MabTuner {
         &self.store
     }
 
-    /// Current configuration size in bytes (materialised indexes).
+    /// Current configuration size in bytes (materialised indexes, live
+    /// drift-grown sizes; externally-dropped ids contribute zero).
     pub fn config_bytes(&self, catalog: &Catalog) -> u64 {
         self.current
             .keys()
-            .filter_map(|id| catalog.index(*id).ok())
-            .map(|ix| ix.size_bytes())
+            .map(|&id| catalog.index_live_bytes(id))
             .sum()
     }
 
@@ -178,6 +178,14 @@ impl MabTuner {
         stats: &StatsCatalog,
     ) -> RoundOutcome {
         self.rounds += 1;
+        // A guardrail layer (or an operator) may have force-dropped indexes
+        // this tuner materialised; forget them so their arms become
+        // candidates again.
+        crate::advisor::reconcile_external_drops(
+            catalog,
+            &mut self.current,
+            &mut self.arm_to_index,
+        );
         let mut rec_time = SimSeconds::ZERO;
         if self.rounds == 1 {
             rec_time += SimSeconds::new(self.config.first_round_setup_s);
@@ -240,7 +248,9 @@ impl MabTuner {
             if self.arm_to_index.contains_key(&arm) {
                 scores[pos] += self.config.incumbent_bonus;
             } else {
-                // Amortised creation cost of materialising this candidate.
+                // Amortised creation cost of materialising this candidate
+                // (arm sizes are live — refreshed against drift-grown
+                // tables at generation time).
                 let def = &self.registry.arm(arm).def;
                 let build = self
                     .cost
@@ -327,7 +337,7 @@ impl MabTuner {
             let build_cost = self.cost.index_build(
                 catalog.live_heap_pages(def.table),
                 catalog.live_rows(def.table),
-                def.estimated_bytes(catalog.table(def.table)),
+                catalog.estimated_live_bytes(&def),
             );
             let meta = catalog
                 .create_index(def)

@@ -329,10 +329,10 @@ impl Executor {
                     "covering scan over a non-covering index"
                 );
                 let rows = filter_all(table, preds);
-                // Maintained leaves grow with the table (drift): scale the
-                // creation-time leaf level by the catalog's growth factor.
-                let leaf_pages =
-                    (ix.leaf_pages() as f64 * catalog.index_growth(table.id())).ceil() as u64;
+                // Maintained leaves grow with the table (drift): the
+                // catalog's live accounting scales each index by the growth
+                // it actually absorbed since creation.
+                let leaf_pages = catalog.index_live_leaf_pages(ix.id());
                 let time = self
                     .cost
                     .covering_scan(leaf_pages, catalog.live_rows(table.id()));

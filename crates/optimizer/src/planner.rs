@@ -61,7 +61,9 @@ impl<'a> PlannerContext<'a> {
             .map(|ix| IndexCandidate {
                 id: ix.id(),
                 def: ix.def().clone(),
-                size_bytes: ix.size_bytes(),
+                // Creation-time (drift-included) size: multiplying its leaf
+                // pages by growth-since-creation yields the live leaf level.
+                size_bytes: catalog.index_creation_bytes(ix.id()),
             })
             .collect();
         PlannerContext {
@@ -233,8 +235,9 @@ impl<'a> Planner<'a> {
             }
             AccessMethod::CoveringScan { index } => {
                 let cand = self.ctx.indexes.iter().find(|c| c.id == *index)?;
-                let leaf_pages =
-                    (cand.leaf_pages() as f64 * self.ctx.catalog.index_growth(table)).ceil() as u64;
+                let leaf_pages = (cand.leaf_pages() as f64
+                    * self.ctx.catalog.index_growth_of(cand.id))
+                .ceil() as u64;
                 self.ctx.cost.covering_scan(leaf_pages, rows)
             }
         };
@@ -296,9 +299,12 @@ impl<'a> Planner<'a> {
                     };
                 }
             } else if covering {
-                // Maintained leaves grow with the table under drift.
-                let leaf_pages =
-                    (cand.leaf_pages() as f64 * self.ctx.catalog.index_growth(table)).ceil() as u64;
+                // Maintained leaves grow with the table under drift —
+                // each index by the growth it absorbed since creation
+                // (its creation-time size already prices earlier growth).
+                let leaf_pages = (cand.leaf_pages() as f64
+                    * self.ctx.catalog.index_growth_of(cand.id))
+                .ceil() as u64;
                 let cost = self.ctx.cost.covering_scan(leaf_pages, rows);
                 if cost < best.cost {
                     best = AccessOption {

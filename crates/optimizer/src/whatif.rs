@@ -58,11 +58,12 @@ impl<'a> WhatIf<'a> {
         let mut out: Vec<IndexCandidate> =
             Vec::with_capacity(hypothetical.len() + if include_materialised { 8 } else { 0 });
         for (i, def) in hypothetical.iter().enumerate() {
-            let table = self.catalog.table(def.table);
             out.push(IndexCandidate {
                 id: IndexId(HYPOTHETICAL_BASE + i as u64),
                 def: def.clone(),
-                size_bytes: def.estimated_bytes(table),
+                // A hypothetical index is "created now": its size is the
+                // live (drift-grown) estimate, and it has absorbed no growth.
+                size_bytes: self.catalog.estimated_live_bytes(def),
             });
         }
         if include_materialised {
@@ -70,7 +71,7 @@ impl<'a> WhatIf<'a> {
                 out.push(IndexCandidate {
                     id: ix.id(),
                     def: ix.def().clone(),
-                    size_bytes: ix.size_bytes(),
+                    size_bytes: self.catalog.index_creation_bytes(ix.id()),
                 });
             }
         }

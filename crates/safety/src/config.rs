@@ -1,0 +1,183 @@
+//! Guardrail configuration: the knobs that define "safe".
+
+use dba_common::{DbError, DbResult};
+
+/// Configuration of the guardrail layer wrapped around an advisor.
+///
+/// The guardrail enforces three mechanisms, all priced through the shadow
+/// baseline (see the crate docs):
+///
+/// * **Veto** — a round's new index creations are undone (and their build
+///   time refunded) when they would push the live index footprint past
+///   `memory_headroom × memory_budget_bytes`, or when the round's total
+///   creation bill exceeds `creation_budget_factor ×` the previous round's
+///   shadow NoIndex price.
+/// * **Rollback** — a materialised index whose realized net benefit
+///   (what-if marginal gain minus its maintenance bill) stays negative
+///   over `rollback_window` consecutive rounds is force-dropped.
+/// * **Throttle** — while cumulative observed regret exceeds
+///   [`SafetyConfig::regret_bound_s`], the configuration is frozen (the
+///   inner advisor is not consulted); tuning resumes automatically once
+///   regret falls back under `recovery_fraction ×` the bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafetyConfig {
+    /// Memory budget the guardrail defends, in bytes. `0` means "inherit
+    /// the session's budget" (filled in by the session builder).
+    pub memory_budget_bytes: u64,
+    /// Fraction of the memory budget the *live* (drift-grown) index
+    /// footprint may occupy before creations are vetoed.
+    pub memory_headroom: f64,
+    /// A round may spend at most this multiple of the previous round's
+    /// shadow NoIndex price on index creation; the overflow is vetoed.
+    /// (The first observed round has no shadow yet and is not capped.)
+    pub creation_budget_factor: f64,
+    /// Consecutive rounds an index's realized net benefit must stay
+    /// negative before it is rolled back. Must be ≥ 1.
+    pub rollback_window: usize,
+    /// Rounds a rolled-back index definition stays quarantined: while
+    /// quarantined, re-creations of the same definition are vetoed on
+    /// sight (and refunded). Without this, a tuner that cannot know why
+    /// its index vanished re-builds it every round and the rollback
+    /// degenerates into a create/drop thrash loop that pays creation
+    /// costs forever. `0` disables quarantining.
+    pub quarantine_rounds: usize,
+    /// Cumulative regret bound, as a fraction of the cumulative shadow
+    /// NoIndex price: the guarded run promises
+    /// `total ≤ (1 + factor) × shadow-NoIndex total` (plus the slack).
+    pub regret_bound_factor: f64,
+    /// Fraction of the regret bound below which a throttled session
+    /// resumes tuning. Must be in `[0, 1)`.
+    pub recovery_fraction: f64,
+    /// Absolute slack added to the regret bound (simulated seconds), so
+    /// unavoidable cold-start spending (first-round setup, first builds)
+    /// does not throttle a healthy session.
+    pub regret_slack_s: f64,
+    /// Rounds before the throttle latch may engage. Index creation is an
+    /// investment: it reads as pure regret until its execution gains
+    /// arrive, so throttling during the first exploration burst freezes
+    /// healthy tuners mid-investment. Vetoes and rollbacks stay active
+    /// from round one — the warm-up only delays *freezing*.
+    pub warmup_rounds: usize,
+}
+
+impl Default for SafetyConfig {
+    fn default() -> Self {
+        SafetyConfig {
+            memory_budget_bytes: 0,
+            memory_headroom: 1.0,
+            creation_budget_factor: 2.0,
+            rollback_window: 4,
+            quarantine_rounds: 8,
+            regret_bound_factor: 0.25,
+            recovery_fraction: 0.5,
+            regret_slack_s: 30.0,
+            warmup_rounds: 8,
+        }
+    }
+}
+
+impl SafetyConfig {
+    /// The cumulative regret bound given the cumulative shadow NoIndex
+    /// price observed so far.
+    pub fn regret_bound_s(&self, cum_shadow_noindex_s: f64) -> f64 {
+        self.regret_bound_factor * cum_shadow_noindex_s + self.regret_slack_s
+    }
+
+    /// Reject non-finite or degenerate knob values.
+    pub fn validate(&self) -> DbResult<()> {
+        let checks = [
+            (
+                "memory_headroom",
+                self.memory_headroom,
+                self.memory_headroom.is_finite() && self.memory_headroom > 0.0,
+            ),
+            (
+                "creation_budget_factor",
+                self.creation_budget_factor,
+                self.creation_budget_factor.is_finite() && self.creation_budget_factor > 0.0,
+            ),
+            (
+                "regret_bound_factor",
+                self.regret_bound_factor,
+                self.regret_bound_factor.is_finite() && self.regret_bound_factor > 0.0,
+            ),
+            (
+                "recovery_fraction",
+                self.recovery_fraction,
+                self.recovery_fraction.is_finite() && (0.0..1.0).contains(&self.recovery_fraction),
+            ),
+            (
+                "regret_slack_s",
+                self.regret_slack_s,
+                self.regret_slack_s.is_finite() && self.regret_slack_s >= 0.0,
+            ),
+        ];
+        for (name, value, ok) in checks {
+            if !ok {
+                return Err(DbError::Invalid(format!(
+                    "safety config: {name} = {value} is out of range"
+                )));
+            }
+        }
+        if self.rollback_window == 0 {
+            return Err(DbError::Invalid(
+                "safety config: rollback_window must be at least 1 round".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SafetyConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected() {
+        let bad = [
+            SafetyConfig {
+                memory_headroom: 0.0,
+                ..SafetyConfig::default()
+            },
+            SafetyConfig {
+                creation_budget_factor: f64::NAN,
+                ..SafetyConfig::default()
+            },
+            SafetyConfig {
+                regret_bound_factor: -1.0,
+                ..SafetyConfig::default()
+            },
+            SafetyConfig {
+                recovery_fraction: 1.0,
+                ..SafetyConfig::default()
+            },
+            SafetyConfig {
+                regret_slack_s: f64::INFINITY,
+                ..SafetyConfig::default()
+            },
+            SafetyConfig {
+                rollback_window: 0,
+                ..SafetyConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn regret_bound_combines_factor_and_slack() {
+        let cfg = SafetyConfig {
+            regret_bound_factor: 0.2,
+            regret_slack_s: 10.0,
+            ..SafetyConfig::default()
+        };
+        assert!((cfg.regret_bound_s(100.0) - 30.0).abs() < 1e-12);
+        assert!((cfg.regret_bound_s(0.0) - 10.0).abs() < 1e-12);
+    }
+}

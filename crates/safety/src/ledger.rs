@@ -1,0 +1,393 @@
+//! The safety ledger: shadow prices, regret accounting, and the record of
+//! every guardrail decision (veto, rollback, throttle).
+//!
+//! The ledger is shared state between the [`SafeguardedAdvisor`] driving
+//! the guardrail inside the tuning loop and the session that owns the loop
+//! (which reads per-round snapshots for its events and attaches the final
+//! [`SafetyReport`] to its run result). It is behind an `Arc<Mutex<…>>`
+//! because the advisor is handed to the session by value (type-erased) and
+//! the session still needs to observe it; sessions are single-threaded, so
+//! the lock is never contended.
+//!
+//! [`SafeguardedAdvisor`]: crate::SafeguardedAdvisor
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use dba_common::IndexId;
+use dba_core::DataChange;
+use dba_engine::{CostModel, Query, QueryExecution};
+use dba_optimizer::{StatsCatalog, WhatIf};
+use dba_storage::{Catalog, IndexDef};
+
+use crate::config::SafetyConfig;
+
+/// One completed round's safety accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundSafety {
+    /// 1-based round number (matches the session's `RoundRecord::round`).
+    pub round: usize,
+    /// Shadow price of the round's workload under the **empty** config
+    /// (the do-nothing baseline), via the what-if path.
+    pub shadow_noindex_s: f64,
+    /// Shadow price of the round's workload under the config as it stood
+    /// **before** this round's recommendation (the freeze-this-round
+    /// counterfactual).
+    pub shadow_prev_s: f64,
+    /// What the round actually billed: recommendation + creation +
+    /// execution + maintenance, vetoed creations refunded.
+    pub actual_s: f64,
+    /// Observed regret vs the do-nothing baseline:
+    /// `actual_s − shadow_noindex_s`.
+    pub regret_s: f64,
+    /// Running total of `regret_s` through this round.
+    pub cum_regret_s: f64,
+    /// Creations vetoed at the start of this round.
+    pub vetoes: usize,
+    /// Indexes rolled back at the start of this round.
+    pub rollbacks: usize,
+    /// Whether the guardrail froze the configuration this round.
+    pub throttled: bool,
+}
+
+/// Aggregated guardrail outcome of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SafetyReport {
+    /// Per-round trajectory, in round order.
+    pub rounds: Vec<RoundSafety>,
+    /// Total creations vetoed.
+    pub vetoes: usize,
+    /// Total indexes rolled back.
+    pub rollbacks: usize,
+    /// Rounds spent with the configuration frozen.
+    pub throttled_rounds: usize,
+    /// Final cumulative observed regret vs the do-nothing baseline.
+    pub cum_regret_s: f64,
+    /// Final cumulative shadow NoIndex price (the regret denominator).
+    pub cum_shadow_noindex_s: f64,
+}
+
+impl SafetyReport {
+    /// Cumulative regret as a fraction of the shadow NoIndex price — the
+    /// quantity the configured `regret_bound_factor` bounds (up to slack).
+    pub fn regret_factor(&self) -> f64 {
+        if self.cum_shadow_noindex_s <= 0.0 {
+            return 0.0;
+        }
+        self.cum_regret_s / self.cum_shadow_noindex_s
+    }
+}
+
+/// Cheap copyable snapshot of the guardrail's running totals, for
+/// per-round session events.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SafetySnapshot {
+    pub cum_regret_s: f64,
+    pub throttled: bool,
+    pub vetoes: usize,
+    pub rollbacks: usize,
+}
+
+/// The in-flight round's accounting, closed out (shadow-priced) at the
+/// start of the next round, when the catalog and statistics are in hand.
+#[derive(Debug, Default)]
+struct PendingRound {
+    round: usize,
+    rec_s: f64,
+    cre_s: f64,
+    exec_s: f64,
+    maint_s: f64,
+    vetoes: usize,
+    rollbacks: usize,
+    throttled: bool,
+}
+
+/// Mutable guardrail state. Private to the crate; drive it through
+/// [`SafeguardedAdvisor`](crate::SafeguardedAdvisor) and read it through
+/// [`SafetyLedger`].
+pub(crate) struct SafetyState {
+    pub(crate) config: SafetyConfig,
+    pub(crate) cost: CostModel,
+    report: SafetyReport,
+    throttled: bool,
+    pending: Option<PendingRound>,
+    /// Config before the pending round's recommendation, as what-if defs.
+    prev_config: Vec<IndexDef>,
+    /// The pending round's executed workload (recorded in `after_round`).
+    queries: Vec<Query>,
+    /// Maintenance billed to each index during the pending round.
+    maintenance_by_index: HashMap<IndexId, f64>,
+    /// Sliding windows of per-index realized net benefit.
+    benefit_windows: HashMap<IndexId, VecDeque<f64>>,
+    /// Rolled-back definitions → round (1-based, exclusive) their
+    /// quarantine expires; re-creations before then are vetoed on sight.
+    quarantine: HashMap<IndexDef, usize>,
+    /// Shadow NoIndex price of the most recently closed round (the round
+    /// creation budget's reference).
+    last_shadow_noindex_s: Option<f64>,
+}
+
+impl SafetyState {
+    fn new(config: SafetyConfig, cost: CostModel) -> Self {
+        SafetyState {
+            config,
+            cost,
+            report: SafetyReport::default(),
+            throttled: false,
+            pending: None,
+            prev_config: Vec::new(),
+            queries: Vec::new(),
+            maintenance_by_index: HashMap::new(),
+            benefit_windows: HashMap::new(),
+            quarantine: HashMap::new(),
+            last_shadow_noindex_s: None,
+        }
+    }
+
+    pub(crate) fn is_throttled(&self) -> bool {
+        self.throttled
+    }
+
+    pub(crate) fn last_shadow_noindex_s(&self) -> Option<f64> {
+        self.last_shadow_noindex_s
+    }
+
+    /// Close the in-flight round (if any): shadow-price its workload,
+    /// update regret and the throttle latch, assess every materialised
+    /// index's realized net benefit, and return the indexes whose windowed
+    /// benefit went negative — the rollback victims the caller must drop.
+    ///
+    /// Shadow prices are computed against the catalog/statistics as they
+    /// stand when the *next* round opens — one drift application after the
+    /// priced round executed. Under insert-heavy drift this overprices the
+    /// do-nothing baseline by up to one round of growth, biasing observed
+    /// regret slightly low (the bound is enforced a little loosely, never
+    /// spuriously tightly). Pricing at execution time would need the
+    /// advisor interface to hand catalog access to `after_round`; at the
+    /// drift rates the scenarios use (≤ a few % per round) the bias is
+    /// well inside the envelope's slack.
+    pub(crate) fn close_round(&mut self, catalog: &Catalog, stats: &StatsCatalog) -> Vec<IndexId> {
+        let Some(pending) = self.pending.take() else {
+            return Vec::new();
+        };
+        self.quarantine.retain(|_, expiry| *expiry > pending.round);
+        let whatif = WhatIf::new(catalog, stats, &self.cost);
+        let (shadow_noindex_s, shadow_prev_s) = if self.queries.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let (ni, _) = whatif.cost_workload(&self.queries, &[], false);
+            let (pv, _) = whatif.cost_workload(&self.queries, &self.prev_config, false);
+            (ni.secs(), pv.secs())
+        };
+        let actual_s = pending.rec_s + pending.cre_s + pending.exec_s + pending.maint_s;
+        let regret_s = actual_s - shadow_noindex_s;
+        self.report.cum_regret_s += regret_s;
+        self.report.cum_shadow_noindex_s += shadow_noindex_s;
+
+        // Rollback assessment: each index's marginal what-if gain on the
+        // round's workload, minus the maintenance it billed. Consistently
+        // negative over the window ⇒ the index is harming the workload.
+        let mut victims = Vec::new();
+        if !self.queries.is_empty() {
+            let defs: Vec<(IndexId, IndexDef)> = catalog
+                .all_indexes()
+                .map(|ix| (ix.id(), ix.def().clone()))
+                .collect();
+            if !defs.is_empty() {
+                let all: Vec<IndexDef> = defs.iter().map(|(_, d)| d.clone()).collect();
+                // The full-config pass also reports which candidates any
+                // plan used: an index no plan touches has marginal benefit
+                // exactly 0, so only the used ones need the (expensive)
+                // leave-one-out replan of the whole workload.
+                let (full, usage) = whatif.cost_workload(&self.queries, &all, false);
+                for (skip, (id, _)) in defs.iter().enumerate() {
+                    let marginal = if usage[skip] == 0 {
+                        0.0
+                    } else {
+                        let others: Vec<IndexDef> = defs
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != skip)
+                            .map(|(_, (_, d))| d.clone())
+                            .collect();
+                        let (without, _) = whatif.cost_workload(&self.queries, &others, false);
+                        (without - full).secs().max(0.0)
+                    };
+                    let maint = self.maintenance_by_index.get(id).copied().unwrap_or(0.0);
+                    let window = self.benefit_windows.entry(*id).or_default();
+                    window.push_back(marginal - maint);
+                    while window.len() > self.config.rollback_window {
+                        window.pop_front();
+                    }
+                    if window.len() == self.config.rollback_window
+                        && window.iter().sum::<f64>() < 0.0
+                    {
+                        victims.push(*id);
+                        self.benefit_windows.remove(id);
+                    }
+                }
+            }
+            // Windows of indexes that no longer exist are dead weight.
+            self.benefit_windows
+                .retain(|id, _| catalog.index(*id).is_ok());
+        }
+
+        // Throttle latch with hysteresis: enter above the bound (after the
+        // warm-up — early creation is an investment, not yet regret),
+        // leave below `recovery_fraction ×` the bound (which keeps growing
+        // with the shadow denominator, so a frozen-but-healthy session
+        // recovers).
+        let bound = self.config.regret_bound_s(self.report.cum_shadow_noindex_s);
+        let warmed_up = pending.round >= self.config.warmup_rounds;
+        if !self.throttled && warmed_up && self.report.cum_regret_s > bound {
+            self.throttled = true;
+        } else if self.throttled
+            && self.report.cum_regret_s <= self.config.recovery_fraction * bound
+        {
+            self.throttled = false;
+        }
+
+        self.report.rounds.push(RoundSafety {
+            round: pending.round,
+            shadow_noindex_s,
+            shadow_prev_s,
+            actual_s,
+            regret_s,
+            cum_regret_s: self.report.cum_regret_s,
+            vetoes: pending.vetoes,
+            rollbacks: pending.rollbacks,
+            throttled: pending.throttled,
+        });
+        self.last_shadow_noindex_s = Some(shadow_noindex_s);
+        self.queries.clear();
+        self.maintenance_by_index.clear();
+        victims
+    }
+
+    /// Open accounting for round `round` (1-based).
+    pub(crate) fn open_round(&mut self, round: usize) {
+        self.pending = Some(PendingRound {
+            round,
+            ..PendingRound::default()
+        });
+    }
+
+    /// Snapshot the configuration the round starts from — the round's
+    /// do-nothing counterfactual for shadow pricing.
+    pub(crate) fn set_prev_config(&mut self, prev_config: Vec<IndexDef>) {
+        self.prev_config = prev_config;
+    }
+
+    /// Record a rollback and quarantine the definition so the inner tuner
+    /// — which cannot know why its index vanished — does not re-build it
+    /// next round (create/drop thrash would pay creation forever).
+    pub(crate) fn note_rollback(&mut self, def: IndexDef) {
+        self.report.rollbacks += 1;
+        if let Some(p) = &mut self.pending {
+            p.rollbacks += 1;
+            if self.config.quarantine_rounds > 0 {
+                self.quarantine
+                    .insert(def, p.round + self.config.quarantine_rounds);
+            }
+        }
+    }
+
+    /// Whether `def` is still quarantined at (1-based) `round`.
+    pub(crate) fn is_quarantined(&self, def: &IndexDef, round: usize) -> bool {
+        self.quarantine
+            .get(def)
+            .is_some_and(|&expiry| round < expiry)
+    }
+
+    pub(crate) fn note_veto(&mut self) {
+        self.report.vetoes += 1;
+        if let Some(p) = &mut self.pending {
+            p.vetoes += 1;
+        }
+    }
+
+    pub(crate) fn note_throttled(&mut self) {
+        self.report.throttled_rounds += 1;
+        if let Some(p) = &mut self.pending {
+            p.throttled = true;
+        }
+    }
+
+    pub(crate) fn note_advisor_cost(&mut self, rec_s: f64, cre_s: f64) {
+        if let Some(p) = &mut self.pending {
+            p.rec_s = rec_s;
+            p.cre_s = cre_s;
+        }
+    }
+
+    pub(crate) fn note_data_change(&mut self, change: &DataChange) {
+        for &(id, secs) in &change.index_maintenance {
+            *self.maintenance_by_index.entry(id).or_insert(0.0) += secs.secs();
+        }
+        if let Some(p) = &mut self.pending {
+            p.maint_s += change.total_maintenance().secs();
+        }
+    }
+
+    pub(crate) fn note_execution(&mut self, queries: &[Query], executions: &[QueryExecution]) {
+        self.queries = queries.to_vec();
+        if let Some(p) = &mut self.pending {
+            p.exec_s += executions.iter().map(|e| e.total.secs()).sum::<f64>();
+        }
+    }
+
+    fn snapshot(&self) -> SafetySnapshot {
+        SafetySnapshot {
+            cum_regret_s: self.report.cum_regret_s,
+            throttled: self.throttled,
+            vetoes: self.report.vetoes,
+            rollbacks: self.report.rollbacks,
+        }
+    }
+}
+
+/// Shared handle to the guardrail state: the [`SafeguardedAdvisor`] writes
+/// through it from inside the tuning loop, the session reads snapshots and
+/// the final report through its own clone.
+///
+/// [`SafeguardedAdvisor`]: crate::SafeguardedAdvisor
+#[derive(Clone)]
+pub struct SafetyLedger {
+    state: Arc<Mutex<SafetyState>>,
+}
+
+impl SafetyLedger {
+    pub fn new(config: SafetyConfig, cost: CostModel) -> Self {
+        SafetyLedger {
+            state: Arc::new(Mutex::new(SafetyState::new(config, cost))),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, SafetyState> {
+        self.state.lock().expect("safety ledger lock poisoned")
+    }
+
+    /// The aggregated report so far. Complete only after
+    /// [`finalize`](Self::finalize) has closed the last round.
+    pub fn report(&self) -> SafetyReport {
+        self.lock().report.clone()
+    }
+
+    /// Running totals for per-round telemetry.
+    pub fn snapshot(&self) -> SafetySnapshot {
+        self.lock().snapshot()
+    }
+
+    /// Whether the guardrail currently has the configuration frozen.
+    pub fn is_throttled(&self) -> bool {
+        self.lock().is_throttled()
+    }
+
+    /// Close the final round's accounting (shadow-price its workload).
+    /// Call after the tuning loop finishes; rollback verdicts of the final
+    /// round are discarded (there is no next round to apply them in).
+    pub fn finalize(&self, catalog: &Catalog, stats: &StatsCatalog) {
+        let mut state = self.lock();
+        let _ = state.close_round(catalog, stats);
+    }
+}

@@ -10,6 +10,7 @@ use dba_common::{DbError, DbResult, SimSeconds};
 use dba_core::{Advisor, MabConfig, MabTuner};
 use dba_engine::{CostModel, Executor};
 use dba_optimizer::StatsCatalog;
+use dba_safety::{SafeguardedAdvisor, SafetyConfig, SafetyLedger};
 use dba_storage::{BaseData, Catalog};
 use dba_workloads::{Benchmark, DataDrift, WorkloadKind};
 
@@ -96,6 +97,7 @@ pub struct SessionBuilder {
     seed: u64,
     memory_budget_bytes: Option<u64>,
     cost: CostModel,
+    safeguard: Option<SafetyConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -116,6 +118,7 @@ impl SessionBuilder {
             seed: 42,
             memory_budget_bytes: None,
             cost: CostModel::paper_scale(),
+            safeguard: None,
         }
     }
 
@@ -190,6 +193,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Run the tuner behind the `dba-safety` guardrail: shadow-baseline
+    /// regret accounting plus veto/rollback/throttle enforcement (see
+    /// [`SafetyConfig`]). A `memory_budget_bytes` of 0 in the config
+    /// inherits the session's budget. The guarded advisor reports as
+    /// `<tuner>+guard` and the run result carries a
+    /// [`SafetyReport`](dba_safety::SafetyReport). Validated at build
+    /// time; only [`build`](SessionBuilder::build) supports it (wrapping
+    /// a [`build_with`](SessionBuilder::build_with) advisor would change
+    /// the session's advisor type — wrap it yourself with
+    /// [`SafeguardedAdvisor`] in that case).
+    pub fn safeguard(mut self, config: SafetyConfig) -> Self {
+        self.safeguard = Some(config);
+        self
+    }
+
     /// Validate and build the substrate shared by both build paths.
     fn prepare(self) -> DbResult<PreparedSession> {
         let benchmark = self
@@ -229,6 +247,9 @@ impl SessionBuilder {
         let budget = self
             .memory_budget_bytes
             .unwrap_or_else(|| catalog.database_bytes());
+        if let Some(guard) = &self.safeguard {
+            guard.validate()?;
+        }
         Ok(PreparedSession {
             benchmark,
             catalog,
@@ -239,6 +260,7 @@ impl SessionBuilder {
             seed: self.seed,
             budget,
             cost: self.cost,
+            safeguard: self.safeguard,
         })
     }
 
@@ -248,7 +270,7 @@ impl SessionBuilder {
         let kind = p
             .tuner
             .ok_or_else(|| DbError::Invalid("session builder: no tuner configured".into()))?;
-        let advisor = make_advisor(
+        let mut advisor = make_advisor(
             kind,
             p.benchmark.name,
             p.workload,
@@ -256,7 +278,16 @@ impl SessionBuilder {
             &p.cost,
             p.budget,
         );
-        Ok(p.into_session(advisor))
+        let mut ledger: Option<SafetyLedger> = None;
+        if let Some(mut guard_config) = p.safeguard {
+            if guard_config.memory_budget_bytes == 0 {
+                guard_config.memory_budget_bytes = p.budget;
+            }
+            let guard = SafeguardedAdvisor::new(advisor, guard_config, p.cost.clone());
+            ledger = Some(guard.ledger());
+            advisor = Box::new(guard);
+        }
+        Ok(p.into_session_guarded(advisor, ledger))
     }
 
     /// Build a session over a custom advisor. The closure receives the
@@ -270,6 +301,13 @@ impl SessionBuilder {
         F: FnOnce(&Catalog, &CostModel, u64) -> A,
     {
         let p = self.prepare()?;
+        if p.safeguard.is_some() {
+            return Err(DbError::Invalid(
+                "session builder: safeguard() only composes with build(); wrap your advisor \
+                 in dba_safety::SafeguardedAdvisor inside the build_with closure instead"
+                    .into(),
+            ));
+        }
         let advisor = make(&p.catalog, &p.cost, p.budget);
         Ok(p.into_session(advisor))
     }
@@ -286,10 +324,19 @@ struct PreparedSession {
     seed: u64,
     budget: u64,
     cost: CostModel,
+    safeguard: Option<SafetyConfig>,
 }
 
 impl PreparedSession {
     fn into_session<A: Advisor>(self, advisor: A) -> TuningSession<A> {
+        self.into_session_guarded(advisor, None)
+    }
+
+    fn into_session_guarded<A: Advisor>(
+        self,
+        advisor: A,
+        ledger: Option<SafetyLedger>,
+    ) -> TuningSession<A> {
         TuningSession::from_parts(
             self.benchmark,
             self.catalog,
@@ -301,6 +348,7 @@ impl PreparedSession {
             self.cost,
             advisor,
             self.drift,
+            ledger,
         )
     }
 }
@@ -448,6 +496,52 @@ mod tests {
         }
         assert_eq!(Arc::strong_count(base.base()), data_refs + 2);
         assert_eq!(Arc::strong_count(stats.base()), stats_refs + 2);
+    }
+
+    #[test]
+    fn invalid_safety_config_is_rejected() {
+        use dba_safety::SafetyConfig;
+        let result = SessionBuilder::new()
+            .benchmark(ssb(0.01))
+            .tuner(TunerKind::Mab)
+            .workload(WorkloadKind::Static { rounds: 1 })
+            .safeguard(SafetyConfig {
+                rollback_window: 0,
+                ..SafetyConfig::default()
+            })
+            .build();
+        assert!(invalid_msg(result).contains("rollback_window"));
+    }
+
+    #[test]
+    fn safeguard_does_not_compose_with_build_with() {
+        use dba_baselines::NoIndexAdvisor;
+        use dba_safety::SafetyConfig;
+        let result = SessionBuilder::new()
+            .benchmark(ssb(0.01))
+            .workload(WorkloadKind::Static { rounds: 1 })
+            .safeguard(SafetyConfig::default())
+            .build_with(|_, _, _| NoIndexAdvisor);
+        assert!(invalid_msg(result).contains("safeguard"));
+    }
+
+    /// The guard inherits the session budget when the config leaves the
+    /// budget at 0 — the live index footprint never exceeds it.
+    #[test]
+    fn safeguard_inherits_session_budget() {
+        use dba_safety::SafetyConfig;
+        let budget = 512 * 1024;
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .tuner(TunerKind::Mab)
+            .workload(WorkloadKind::Static { rounds: 4 })
+            .memory_budget_bytes(budget)
+            .safeguard(SafetyConfig::default())
+            .seed(7)
+            .build()
+            .unwrap();
+        session.run().unwrap();
+        assert!(session.catalog().live_index_bytes() <= budget);
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub mod session;
 
 pub use builder::{make_advisor, SessionBuilder, TunerKind};
 pub use dba_core::{Advisor, AdvisorCost, DataChange};
+pub use dba_safety::{
+    RoundSafety, SafeguardedAdvisor, SafetyConfig, SafetyLedger, SafetyReport, SafetySnapshot,
+};
 pub use dba_workloads::{DataDrift, DriftRates};
 pub use record::{RoundRecord, RunResult};
 pub use session::{RoundEvent, TuningSession, STATS_REFRESH_STALENESS};

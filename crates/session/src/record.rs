@@ -2,6 +2,7 @@
 //! reports it.
 
 use dba_common::SimSeconds;
+use dba_safety::SafetyReport;
 
 /// One round's time breakdown.
 #[derive(Debug, Clone, Copy)]
@@ -20,6 +21,11 @@ pub struct RoundRecord {
     /// Queries this round that had to be planned (cold template, or an
     /// index/stats/drift change invalidated the cached plan).
     pub plan_cache_misses: u64,
+    /// Workload-shift intensity of the round: the fraction of this
+    /// round's templates that were previously unseen (the query store's
+    /// definition) — what makes safety throttling decisions auditable
+    /// alongside the shift that provoked them.
+    pub shift_intensity: f64,
 }
 
 impl RoundRecord {
@@ -35,6 +41,10 @@ pub struct RunResult {
     pub benchmark: String,
     pub workload: String,
     pub rounds: Vec<RoundRecord>,
+    /// Guardrail outcome (vetoes, rollbacks, throttled rounds, regret
+    /// trajectory); present only for sessions built with
+    /// [`SessionBuilder::safeguard`](crate::SessionBuilder::safeguard).
+    pub safety: Option<SafetyReport>,
 }
 
 impl RunResult {

@@ -1,9 +1,12 @@
 //! The tuning loop itself — the only implementation of the paper's
 //! Algorithm 2 driving loop in the workspace.
 
-use dba_common::{DbResult, SimSeconds};
+use std::collections::HashSet;
+
+use dba_common::{DbResult, SimSeconds, TemplateId};
 use dba_engine::{Executor, Plan, Query, QueryExecution};
 use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog};
+use dba_safety::{SafetyLedger, SafetySnapshot};
 use dba_storage::Catalog;
 use dba_workloads::{Benchmark, DataDrift, WorkloadKind, WorkloadSequencer};
 
@@ -30,10 +33,17 @@ pub struct RoundEvent {
     pub queries: usize,
     /// Materialised secondary indexes after the round.
     pub index_count: usize,
-    /// Bytes held by materialised secondary indexes after the round.
+    /// Live (drift-grown) bytes held by materialised secondary indexes
+    /// after the round — the footprint the safety layer's memory headroom
+    /// is checked against.
     pub index_bytes: u64,
     /// Worst-table statistics staleness after the round (0 when fresh).
     pub stats_staleness: f64,
+    /// Guardrail running totals (cumulative regret, throttle state, veto
+    /// and rollback counts); `None` for unguarded sessions. Shadow prices
+    /// for a round are computed at the start of the *next* round, so the
+    /// regret figure trails the record by one round.
+    pub safety: Option<SafetySnapshot>,
 }
 
 /// A tuner driving session: one advisor × one benchmark × one workload.
@@ -61,6 +71,17 @@ pub struct TuningSession<A: Advisor> {
     /// Template-level plan reuse, validated against per-table catalog and
     /// statistics versions — rounds that change nothing skip the planner.
     plan_cache: PlanCache,
+    /// Templates seen in any previous round, for per-round shift
+    /// intensity (the query store's definition: the fraction of a round's
+    /// distinct templates that are previously unseen) — tracked here so
+    /// every record carries it, without paying for a full session-side
+    /// `QueryStore` whose instance clones and access maps nobody reads.
+    seen_templates: HashSet<TemplateId>,
+    /// Guardrail ledger handle, present when the session was built with
+    /// [`SessionBuilder::safeguard`](crate::SessionBuilder::safeguard);
+    /// the advisor writes through its own clone, the session reads
+    /// snapshots and attaches the final report to the run result.
+    safety: Option<SafetyLedger>,
     records: Vec<RoundRecord>,
     next_round: usize,
 }
@@ -78,6 +99,7 @@ impl<A: Advisor> TuningSession<A> {
         cost: dba_engine::CostModel,
         advisor: A,
         drift: Option<DataDrift>,
+        safety: Option<SafetyLedger>,
     ) -> Self {
         let template_order = WorkloadSequencer::new(&benchmark, workload, seed)
             .order()
@@ -96,6 +118,8 @@ impl<A: Advisor> TuningSession<A> {
             drift,
             template_order,
             plan_cache: PlanCache::new(),
+            seen_templates: HashSet::new(),
+            safety,
             records: Vec::new(),
             next_round: 0,
         }
@@ -231,6 +255,23 @@ impl<A: Advisor> TuningSession<A> {
         let cache_after = self.plan_cache.stats();
         let execution: SimSeconds = executions.iter().map(|e| e.total).sum();
 
+        // Session-side shift intensity for the record (same definition as
+        // any advisor-internal query store: the fraction of this round's
+        // distinct templates that were previously unseen).
+        let shift_intensity = {
+            let round_templates: HashSet<TemplateId> = queries.iter().map(|q| q.template).collect();
+            let new = round_templates
+                .iter()
+                .filter(|t| !self.seen_templates.contains(*t))
+                .count();
+            self.seen_templates.extend(&round_templates);
+            if round_templates.is_empty() {
+                0.0
+            } else {
+                new as f64 / round_templates.len() as f64
+            }
+        };
+
         // 3. Data change: apply the round's drift deltas, charge every
         //    materialised index its maintenance bill, and let statistics go
         //    stale (auto-refreshing past the threshold).
@@ -247,6 +288,7 @@ impl<A: Advisor> TuningSession<A> {
             maintenance,
             plan_cache_hits: cache_after.hits - cache_before.hits,
             plan_cache_misses: cache_after.misses - cache_before.misses,
+            shift_intensity,
         };
         self.records.push(record);
         self.next_round += 1;
@@ -257,8 +299,9 @@ impl<A: Advisor> TuningSession<A> {
             record,
             queries: queries.len(),
             index_count: self.catalog.all_indexes().count(),
-            index_bytes: self.catalog.index_bytes(),
+            index_bytes: self.catalog.live_index_bytes(),
             stats_staleness: self.stats.max_staleness(),
+            safety: self.safety.as_ref().map(|ledger| ledger.snapshot()),
         };
         observer(&event);
         Ok(Some(record))
@@ -296,9 +339,10 @@ impl<A: Advisor> TuningSession<A> {
                 updated: applied.updated,
                 deleted: applied.deleted,
             });
-            let growth = self.catalog.index_growth(d.table);
             for ix in self.catalog.indexes_on(d.table) {
-                let leaf_pages = (ix.leaf_pages() as f64 * growth).ceil() as u64;
+                // Live leaf level: the index's creation-time size plus the
+                // growth it absorbed since — what this batch dirties.
+                let leaf_pages = self.catalog.index_live_leaf_pages(ix.id());
                 let cost = self.cost.index_maintenance(
                     applied.inserted,
                     applied.updated,
@@ -331,8 +375,23 @@ impl<A: Advisor> TuningSession<A> {
     /// owns the rounds. Catalog/stats accessors remain usable.
     pub fn run_with(&mut self, observer: &mut dyn FnMut(&RoundEvent)) -> DbResult<RunResult> {
         while self.step_with(observer)?.is_some() {}
+        self.finalize_safety();
         let rounds = std::mem::take(&mut self.records);
         Ok(self.make_result(rounds))
+    }
+
+    /// Close the guardrail's final round: shadow prices for round `t` are
+    /// computed at the start of round `t+1`, so the last round needs an
+    /// explicit flush once the loop ends.
+    fn finalize_safety(&self) {
+        if let Some(ledger) = &self.safety {
+            ledger.finalize(&self.catalog, &self.stats);
+        }
+    }
+
+    /// The guardrail ledger, when this session runs safeguarded.
+    pub fn safety_ledger(&self) -> Option<&SafetyLedger> {
+        self.safety.as_ref()
     }
 
     /// Finish a step-driven session: consume it and hand the accumulated
@@ -340,6 +399,10 @@ impl<A: Advisor> TuningSession<A> {
     /// [`run`](Self::run) for callers driving rounds via
     /// [`step`](Self::step).
     pub fn into_result(mut self) -> RunResult {
+        // Unconditional: the ledger's pending round (the last one stepped)
+        // still needs its shadow prices, finished or not; closing with
+        // nothing pending is a no-op.
+        self.finalize_safety();
         let rounds = std::mem::take(&mut self.records);
         self.make_result(rounds)
     }
@@ -357,6 +420,7 @@ impl<A: Advisor> TuningSession<A> {
             benchmark: self.benchmark.name.to_string(),
             workload: self.scenario_label(),
             rounds,
+            safety: self.safety.as_ref().map(|ledger| ledger.report()),
         }
     }
 
@@ -638,6 +702,178 @@ mod tests {
         assert!(refreshed, "threshold crossing must trigger a refresh");
     }
 
+    /// Shift intensity lands in the records: everything is new in round 1,
+    /// nothing afterwards on a static workload, and every group boundary
+    /// of a shifting workload spikes back up.
+    #[test]
+    fn shift_intensity_is_recorded_per_round() {
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 4 })
+            .tuner(TunerKind::NoIndex)
+            .seed(7)
+            .build()
+            .unwrap();
+        let result = session.run().unwrap();
+        assert_eq!(result.rounds[0].shift_intensity, 1.0);
+        for r in &result.rounds[1..] {
+            assert_eq!(r.shift_intensity, 0.0, "static repeats are shift-free");
+        }
+
+        let mut shifting = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Shifting {
+                groups: 3,
+                rounds_per_group: 2,
+            })
+            .tuner(TunerKind::NoIndex)
+            .seed(7)
+            .build()
+            .unwrap();
+        let result = shifting.run().unwrap();
+        // Group boundaries at rounds 1, 3, 5 (1-based): all-new templates.
+        for boundary in [0, 2, 4] {
+            assert_eq!(
+                result.rounds[boundary].shift_intensity,
+                1.0,
+                "round {} starts a new group",
+                boundary + 1
+            );
+        }
+        for repeat in [1, 3, 5] {
+            assert_eq!(result.rounds[repeat].shift_intensity, 0.0);
+        }
+    }
+
+    /// A safeguarded session: the advisor reports as `<tuner>+guard`, the
+    /// run result carries a complete safety trajectory, and the per-round
+    /// events expose guardrail snapshots.
+    #[test]
+    fn safeguarded_session_reports_safety_trajectory() {
+        use dba_safety::SafetyConfig;
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 6 })
+            .tuner(TunerKind::Mab)
+            .safeguard(SafetyConfig::default())
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut snapshots = 0;
+        let result = session
+            .run_with(&mut |event| {
+                let snap = event.safety.expect("guarded events carry snapshots");
+                assert!(snap.cum_regret_s.is_finite());
+                snapshots += 1;
+            })
+            .unwrap();
+        assert_eq!(snapshots, 6);
+        assert_eq!(result.tuner, "MAB+guard");
+        let safety = result.safety.expect("guarded runs report safety");
+        assert_eq!(safety.rounds.len(), 6, "finalize closes the last round");
+        for (i, r) in safety.rounds.iter().enumerate() {
+            assert_eq!(r.round, i + 1);
+            assert!(r.shadow_noindex_s > 0.0, "every round has a shadow price");
+            assert!(r.actual_s.is_finite() && r.regret_s.is_finite());
+        }
+        // MAB on a healthy static workload must not trip the guardrail.
+        assert_eq!(safety.throttled_rounds, 0);
+        assert_eq!(safety.rollbacks, 0);
+
+        // Unguarded sessions report nothing.
+        let mut plain = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 2 })
+            .tuner(TunerKind::Mab)
+            .seed(7)
+            .build()
+            .unwrap();
+        let plain_result = plain.run().unwrap();
+        assert!(plain_result.safety.is_none());
+        assert_eq!(plain_result.tuner, "MAB");
+    }
+
+    /// The guarded/unguarded sweep: every workload kind × drift × tuner
+    /// combination completes without panicking, with finite records, and
+    /// guarded runs always produce a complete, finite safety report.
+    #[test]
+    fn guarded_sweep_across_scenarios_is_panic_free_and_finite() {
+        use dba_safety::SafetyConfig;
+        let bench = ssb(0.02);
+        let scenarios: Vec<(WorkloadKind, Option<DataDrift>)> = vec![
+            (WorkloadKind::Static { rounds: 4 }, None),
+            (
+                WorkloadKind::Shifting {
+                    groups: 2,
+                    rounds_per_group: 2,
+                },
+                None,
+            ),
+            (
+                WorkloadKind::Random {
+                    rounds: 4,
+                    queries_per_round: 5,
+                },
+                None,
+            ),
+            (
+                WorkloadKind::Static { rounds: 4 },
+                Some(DataDrift::uniform(DriftRates::new(0.05, 0.02, 0.02))),
+            ),
+        ];
+        for (workload, drift) in &scenarios {
+            for guarded in [false, true] {
+                for tuner in [TunerKind::Mab, TunerKind::Ddqn { seed: 3 }] {
+                    let mut builder = SessionBuilder::new()
+                        .benchmark(bench.clone())
+                        .workload(*workload)
+                        .tuner(tuner)
+                        .seed(7);
+                    if let Some(drift) = drift {
+                        builder = builder.data_drift(drift.clone());
+                    }
+                    if guarded {
+                        builder = builder.safeguard(SafetyConfig::default());
+                    }
+                    let mut session = builder.build().unwrap();
+                    let label =
+                        format!("{}/{:?}/guarded={guarded}", session.scenario_label(), tuner);
+                    let result = session.run().unwrap_or_else(|e| panic!("{label}: {e}"));
+                    assert_eq!(result.rounds.len(), workload.rounds(), "{label}");
+                    for r in &result.rounds {
+                        for v in [
+                            r.recommendation.secs(),
+                            r.creation.secs(),
+                            r.execution.secs(),
+                            r.maintenance.secs(),
+                            r.shift_intensity,
+                        ] {
+                            assert!(v.is_finite(), "{label}: non-finite record");
+                        }
+                    }
+                    match result.safety {
+                        Some(safety) if guarded => {
+                            assert_eq!(safety.rounds.len(), workload.rounds(), "{label}");
+                            for s in &safety.rounds {
+                                for v in [
+                                    s.shadow_noindex_s,
+                                    s.shadow_prev_s,
+                                    s.actual_s,
+                                    s.regret_s,
+                                    s.cum_regret_s,
+                                ] {
+                                    assert!(v.is_finite(), "{label}: non-finite safety");
+                                }
+                            }
+                        }
+                        None if !guarded => {}
+                        other => panic!("{label}: unexpected safety report {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn events_report_materialised_state() {
         let mut session = SessionBuilder::new()
@@ -659,7 +895,7 @@ mod tests {
             })
             .unwrap();
         assert!(saw_indexes, "MAB should materialise something in 5 rounds");
-        assert_eq!(last_bytes, session.catalog().index_bytes());
+        assert_eq!(last_bytes, session.catalog().live_index_bytes());
         assert!(last_bytes <= session.memory_budget_bytes());
     }
 }

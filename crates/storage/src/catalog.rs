@@ -32,6 +32,9 @@ use crate::table::{Table, PAGE_BYTES};
 pub struct IndexMeta {
     pub id: IndexId,
     pub def: IndexDef,
+    /// Size at creation time, drift included: on a table that has grown
+    /// since generation, a freshly built index is proportionally larger
+    /// than its generation-time estimate.
     pub size_bytes: u64,
 }
 
@@ -102,6 +105,12 @@ impl BaseData {
 pub struct Catalog {
     base: Arc<BaseData>,
     indexes: BTreeMap<IndexId, Arc<Index>>,
+    /// Per-index table growth factor *at creation time* (the table's
+    /// [`index_growth`](Catalog::index_growth) when the index was built).
+    /// Sizing an index live means scaling its generation-baseline
+    /// structural size by total growth; billing its growth since creation
+    /// means dividing total growth by this snapshot.
+    created_growth: BTreeMap<IndexId, f64>,
     /// Per-table drift overlay, parallel to `base.tables()`.
     drift: Vec<TableDriftState>,
     /// Per-table physical version, parallel to `base.tables()`: bumped when
@@ -123,6 +132,7 @@ impl Catalog {
         Catalog {
             base,
             indexes: BTreeMap::new(),
+            created_growth: BTreeMap::new(),
             drift: vec![TableDriftState::default(); n],
             versions: vec![0; n],
             next_index: 0,
@@ -246,9 +256,76 @@ impl Catalog {
         (base + d.inserted as f64) / base
     }
 
-    /// Total size of materialised secondary indexes.
+    /// Growth factor (≥ 1) of `index`'s table **since the index was
+    /// created**: total table growth divided by the growth snapshot taken
+    /// at creation time. An index created late in a drifted session is
+    /// billed only for inserts it actually absorbed — not for growth that
+    /// predates it (which is already in its creation-time size). Unknown
+    /// ids (e.g. what-if hypotheticals, which are "created" now) grow by
+    /// definition 1.0.
+    pub fn index_growth_of(&self, id: IndexId) -> f64 {
+        let Some(ix) = self.indexes.get(&id) else {
+            return 1.0;
+        };
+        let at_creation = self.created_growth.get(&id).copied().unwrap_or(1.0);
+        (self.index_growth(ix.def().table) / at_creation).max(1.0)
+    }
+
+    /// Size of `index` at its creation time, drift included: the
+    /// generation-baseline structural size scaled by the table growth
+    /// snapshot taken when the index was built.
+    pub fn index_creation_bytes(&self, id: IndexId) -> u64 {
+        let Some(ix) = self.indexes.get(&id) else {
+            return 0;
+        };
+        let at_creation = self.created_growth.get(&id).copied().unwrap_or(1.0);
+        (ix.size_bytes() as f64 * at_creation).ceil() as u64
+    }
+
+    /// Current live size of `index`: creation-time size plus every insert
+    /// absorbed since (deleted entries linger — no vacuum, matching the
+    /// heap model).
+    pub fn index_live_bytes(&self, id: IndexId) -> u64 {
+        let Some(ix) = self.indexes.get(&id) else {
+            return 0;
+        };
+        (ix.size_bytes() as f64 * self.index_growth(ix.def().table)).ceil() as u64
+    }
+
+    /// Leaf pages a full (covering) scan of `index` must read today:
+    /// the live size in pages.
+    pub fn index_live_leaf_pages(&self, id: IndexId) -> u64 {
+        self.index_live_bytes(id).div_ceil(PAGE_BYTES).max(1)
+    }
+
+    /// Estimated size of materialising `def` **now**, on the live
+    /// (drift-grown) table — what a fresh build would cost to write and
+    /// hold. This is the size memory-budget checks and build billing must
+    /// use on drifted tables; without drift it equals
+    /// [`IndexDef::estimated_bytes`].
+    pub fn estimated_live_bytes(&self, def: &IndexDef) -> u64 {
+        let table = self.table(def.table);
+        (def.estimated_bytes(table) as f64 * self.index_growth(def.table)).ceil() as u64
+    }
+
+    /// Total size of materialised secondary indexes at their creation-time
+    /// (drift-included) sizes.
     pub fn index_bytes(&self) -> u64 {
-        self.indexes.values().map(|ix| ix.size_bytes()).sum()
+        self.indexes
+            .keys()
+            .map(|&id| self.index_creation_bytes(id))
+            .sum()
+    }
+
+    /// Total *live* size of materialised secondary indexes: creation-time
+    /// sizes plus all growth absorbed since. This is what competes with the
+    /// memory budget under drift — the quantity safety headroom checks
+    /// guard.
+    pub fn live_index_bytes(&self) -> u64 {
+        self.indexes
+            .keys()
+            .map(|&id| self.index_live_bytes(id))
+            .sum()
     }
 
     /// Materialise an index. Returns the new index id and its size.
@@ -274,12 +351,14 @@ impl Catalog {
         let id = IndexId(self.next_index);
         self.next_index += 1;
         let ix = Index::build(id, def.clone(), self.base.table(def.table));
+        let growth_at_creation = self.index_growth(def.table);
         let meta = IndexMeta {
             id,
             def,
-            size_bytes: ix.size_bytes(),
+            size_bytes: (ix.size_bytes() as f64 * growth_at_creation).ceil() as u64,
         };
         self.indexes.insert(id, Arc::new(ix));
+        self.created_growth.insert(id, growth_at_creation);
         self.bump_version(meta.def.table);
         Ok(meta)
     }
@@ -289,6 +368,7 @@ impl Catalog {
             .indexes
             .remove(&id)
             .ok_or(DbError::UnknownIndex(id.raw()))?;
+        self.created_growth.remove(&id);
         self.bump_version(ix.def().table);
         Ok(())
     }
@@ -458,6 +538,67 @@ mod tests {
         // 500 base rows + 500 inserted = 2× leaves; updates/deletes don't
         // grow the leaf level (dead entries replace live ones).
         assert!((cat.index_growth(TableId(0)) - 2.0).abs() < 1e-12);
+    }
+
+    /// The drift-sizing contract: an index created *after* the table grew
+    /// is creation-priced at the grown size and billed only for growth it
+    /// actually absorbs; an index created *before* the growth is billed
+    /// for all of it.
+    #[test]
+    fn per_index_growth_bills_only_growth_since_creation() {
+        let mut cat = catalog();
+        let early = cat
+            .create_index(IndexDef::new(TableId(0), vec![0], vec![]))
+            .unwrap();
+        let base_size = early.size_bytes;
+
+        // Table doubles its indexed population (500 → 1000 insert-rows).
+        cat.apply_drift(TableId(0), 500, 0, 0);
+        assert!((cat.index_growth(TableId(0)) - 2.0).abs() < 1e-12);
+        // The early index absorbed the doubling.
+        assert!((cat.index_growth_of(early.id) - 2.0).abs() < 1e-12);
+        assert_eq!(cat.index_live_bytes(early.id), base_size * 2);
+        assert_eq!(cat.index_creation_bytes(early.id), base_size);
+
+        // A late index is built over the doubled table: creation size is
+        // live-scaled, and it has absorbed no growth yet.
+        let late = cat
+            .create_index(IndexDef::new(TableId(0), vec![1], vec![]))
+            .unwrap();
+        let late_base = cat.index(late.id).unwrap().size_bytes();
+        assert_eq!(late.size_bytes, late_base * 2, "creation billed live");
+        assert!((cat.index_growth_of(late.id) - 1.0).abs() < 1e-12);
+        assert_eq!(cat.index_live_bytes(late.id), late.size_bytes);
+        assert_eq!(cat.index_creation_bytes(late.id), late.size_bytes);
+
+        // Another 50% growth on the doubled base: early = 3×, late = 1.5×.
+        cat.apply_drift(TableId(0), 500, 0, 0);
+        assert!((cat.index_growth_of(early.id) - 3.0).abs() < 1e-12);
+        assert!((cat.index_growth_of(late.id) - 1.5).abs() < 1e-12);
+        // Live sizes agree between per-index and total accounting.
+        assert_eq!(
+            cat.live_index_bytes(),
+            cat.index_live_bytes(early.id) + cat.index_live_bytes(late.id)
+        );
+        assert!(cat.live_index_bytes() > cat.index_bytes());
+
+        // A hypothetical (unknown) id has by definition absorbed nothing.
+        assert!((cat.index_growth_of(IndexId(999)) - 1.0).abs() < 1e-12);
+        assert_eq!(cat.index_live_bytes(IndexId(999)), 0);
+    }
+
+    #[test]
+    fn estimated_live_bytes_tracks_insert_growth() {
+        let mut cat = catalog();
+        let def = IndexDef::new(TableId(0), vec![0], vec![]);
+        let flat = cat.estimated_live_bytes(&def);
+        assert_eq!(flat, def.estimated_bytes(cat.table(TableId(0))));
+        cat.apply_drift(TableId(0), 1000, 0, 0);
+        let grown = cat.estimated_live_bytes(&def);
+        assert_eq!(grown, flat * 3, "500 base + 1000 inserted = 3× the rows");
+        // Deletes leave dead entries behind: the estimate never shrinks.
+        cat.apply_drift(TableId(0), 0, 0, 1200);
+        assert_eq!(cat.estimated_live_bytes(&def), grown);
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub use dba_common as common;
 pub use dba_core as bandit;
 pub use dba_engine as engine;
 pub use dba_optimizer as optimizer;
+pub use dba_safety as safety;
 pub use dba_session as session;
 pub use dba_storage as storage;
 pub use dba_workloads as workloads;
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use dba_core::{Advisor, AdvisorCost, MabConfig, MabTuner};
     pub use dba_engine::{CostModel, Executor, Query, QueryExecution};
     pub use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIf};
+    pub use dba_safety::{SafeguardedAdvisor, SafetyConfig, SafetyReport};
     pub use dba_session::{
         RoundEvent, RoundRecord, RunResult, SessionBuilder, TunerKind, TuningSession,
     };
