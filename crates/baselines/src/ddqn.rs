@@ -264,6 +264,7 @@ impl Advisor for DdqnAdvisor {
         _round: usize,
         catalog: &mut Catalog,
         stats: &StatsCatalog,
+        _whatif: &mut dba_optimizer::WhatIfService,
     ) -> AdvisorCost {
         self.round += 1;
         // Forget indexes externally dropped by a guardrail rollback so
@@ -399,7 +400,12 @@ impl Advisor for DdqnAdvisor {
         }
     }
 
-    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]) {
+    fn after_round(
+        &mut self,
+        _ctx: &mut dba_core::RoundContext<'_>,
+        queries: &[Query],
+        executions: &[QueryExecution],
+    ) {
         self.store.ingest_round(queries, executions);
         let (rewards, _) = RewardShaper::shape(
             &self.store,
@@ -462,9 +468,10 @@ mod tests {
     fn drive(advisor: &mut DdqnAdvisor, cat: &mut Catalog, rounds: usize) -> Vec<f64> {
         let stats = StatsCatalog::build(cat);
         let cost = CostModel::unit_scale();
+        let mut whatif = dba_optimizer::WhatIfService::new(cost.clone());
         let mut per_round = Vec::new();
         for round in 0..rounds {
-            advisor.before_round(round, cat, &stats);
+            advisor.before_round(round, cat, &stats, &mut whatif);
             let qs: Vec<Query> = (0..3)
                 .map(|i| {
                     query(
@@ -481,7 +488,12 @@ mod tests {
                 .map(|q| exec.execute(cat, q, &planner.plan(q)))
                 .collect();
             per_round.push(execs.iter().map(|e| e.total.secs()).sum());
-            advisor.after_round(&qs, &execs);
+            let mut round_ctx = dba_core::RoundContext {
+                catalog: cat,
+                stats: &stats,
+                whatif: &mut whatif,
+            };
+            advisor.after_round(&mut round_ctx, &qs, &execs);
         }
         per_round
     }

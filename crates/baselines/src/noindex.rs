@@ -1,8 +1,9 @@
 //! The NoIndex baseline: primary/foreign-key structures only (in our
 //! substrate: heap scans everywhere), never recommends anything.
 
+use dba_core::RoundContext;
 use dba_engine::{Query, QueryExecution};
-use dba_optimizer::StatsCatalog;
+use dba_optimizer::{StatsCatalog, WhatIfService};
 use dba_storage::Catalog;
 
 use crate::{Advisor, AdvisorCost};
@@ -21,11 +22,18 @@ impl Advisor for NoIndexAdvisor {
         _round: usize,
         _catalog: &mut Catalog,
         _stats: &StatsCatalog,
+        _whatif: &mut WhatIfService,
     ) -> AdvisorCost {
         AdvisorCost::default()
     }
 
-    fn after_round(&mut self, _queries: &[Query], _executions: &[QueryExecution]) {}
+    fn after_round(
+        &mut self,
+        _ctx: &mut RoundContext<'_>,
+        _queries: &[Query],
+        _executions: &[QueryExecution],
+    ) {
+    }
 }
 
 #[cfg(test)]
@@ -46,12 +54,19 @@ mod tests {
         );
         let mut cat = Catalog::new(vec![TableBuilder::new(schema, 100).build(TableId(0), 1)]);
         let stats = StatsCatalog::build(&cat);
+        let mut whatif = WhatIfService::new(dba_engine::CostModel::unit_scale());
         let mut advisor = NoIndexAdvisor;
         for round in 0..5 {
-            let cost = advisor.before_round(round, &mut cat, &stats);
+            let cost = advisor.before_round(round, &mut cat, &stats, &mut whatif);
             assert_eq!(cost.recommendation.secs(), 0.0);
             assert_eq!(cost.creation.secs(), 0.0);
-            advisor.after_round(&[], &[]);
+            let snapshot = cat.clone();
+            let mut ctx = RoundContext {
+                catalog: &snapshot,
+                stats: &stats,
+                whatif: &mut whatif,
+            };
+            advisor.after_round(&mut ctx, &[], &[]);
         }
         assert_eq!(cat.all_indexes().count(), 0);
     }

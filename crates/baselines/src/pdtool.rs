@@ -19,8 +19,9 @@
 use std::collections::HashMap;
 
 use dba_common::{IndexId, SimSeconds, TableId};
+use dba_core::RoundContext;
 use dba_engine::{CostModel, Query, QueryExecution};
-use dba_optimizer::{CardEstimator, StatsCatalog, WhatIf};
+use dba_optimizer::{CardEstimator, StatsCatalog, WhatIfService};
 use dba_storage::{Catalog, IndexDef};
 
 use crate::{Advisor, AdvisorCost};
@@ -230,11 +231,21 @@ impl PdToolAdvisor {
 
     /// One full invocation: candidates → what-if costing → greedy
     /// selection → return (chosen config, simulated recommendation time).
+    ///
+    /// Costing goes through the session's shared [`WhatIfService`]: the
+    /// base + each-candidate-alone shape is priced as one batched
+    /// marginals pass, so queries untouched by a candidate's table reuse
+    /// the base plan from the memo instead of replanning — and repeat
+    /// invocations over an unchanged catalog reuse earlier invocations'
+    /// plans outright. (The *simulated* recommendation time still bills
+    /// one optimiser call per query × candidate, as the paper measures —
+    /// the memo saves real compute, not modelled DBMS time.)
     fn recommend(
         &self,
         workload: &[Query],
         catalog: &Catalog,
         stats: &StatsCatalog,
+        whatif: &mut WhatIfService,
     ) -> (Vec<IndexDef>, SimSeconds) {
         let est = CardEstimator::new(stats);
         let mut candidates = self.generate_candidates(workload, &est);
@@ -261,17 +272,17 @@ impl PdToolAdvisor {
         );
 
         // What-if benefits: estimated workload cost without candidates vs
-        // with each candidate alone.
-        let whatif = WhatIf::new(catalog, stats, &self.cost);
-        let (base_cost, _) = whatif.cost_workload(workload, &[], false);
+        // with each candidate alone, as one batched marginals pass.
+        let (base_cost, _) = whatif.cost_workload(catalog, stats, workload, &[], false);
+        let configs: Vec<Vec<IndexDef>> = candidates.iter().cloned().map(|d| vec![d]).collect();
+        let costs = whatif.marginals(catalog, stats, workload, &configs, false);
         let mut scored: Vec<(IndexDef, f64, u64)> = candidates
             .into_iter()
-            .map(|def| {
-                let (with_c, usage) =
-                    whatif.cost_workload(workload, std::slice::from_ref(&def), false);
-                let used: u32 = usage.iter().sum();
+            .zip(costs)
+            .map(|(def, cost)| {
+                let used: u32 = cost.usage.iter().sum();
                 let benefit = if used > 0 {
-                    (base_cost - with_c).secs().max(0.0)
+                    (base_cost - cost.total).secs().max(0.0)
                 } else {
                     0.0
                 };
@@ -320,6 +331,7 @@ impl Advisor for PdToolAdvisor {
         round: usize,
         catalog: &mut Catalog,
         stats: &StatsCatalog,
+        whatif: &mut WhatIfService,
     ) -> AdvisorCost {
         self.round = round;
         if !self.should_invoke() {
@@ -331,7 +343,7 @@ impl Advisor for PdToolAdvisor {
             return AdvisorCost::default();
         }
 
-        let (target, rec_time) = self.recommend(&workload, catalog, stats);
+        let (target, rec_time) = self.recommend(&workload, catalog, stats, whatif);
 
         // Materialise the recommendation: drop indexes no longer wanted,
         // create the new ones.
@@ -370,7 +382,12 @@ impl Advisor for PdToolAdvisor {
         }
     }
 
-    fn after_round(&mut self, queries: &[Query], _executions: &[QueryExecution]) {
+    fn after_round(
+        &mut self,
+        _ctx: &mut RoundContext<'_>,
+        queries: &[Query],
+        _executions: &[QueryExecution],
+    ) {
         let mut new_template = false;
         for q in queries {
             if !self.seen_templates.contains(&q.template) {
@@ -449,6 +466,28 @@ mod tests {
             .collect()
     }
 
+    fn svc() -> WhatIfService {
+        WhatIfService::new(CostModel::unit_scale())
+    }
+
+    /// Drive the observation step with a [`RoundContext`] over the
+    /// current (read-only-round) catalog state.
+    fn observe(
+        pd: &mut PdToolAdvisor,
+        cat: &Catalog,
+        stats: &StatsCatalog,
+        whatif: &mut WhatIfService,
+        qs: &[Query],
+        ex: &[QueryExecution],
+    ) {
+        let mut ctx = RoundContext {
+            catalog: cat,
+            stats,
+            whatif,
+        };
+        pd.after_round(&mut ctx, qs, ex);
+    }
+
     #[test]
     fn invokes_after_new_templates_and_materialises() {
         let mut cat = catalog();
@@ -460,14 +499,15 @@ mod tests {
         );
 
         // Round 0: no invocation (nothing seen yet).
-        let c0 = pd.before_round(0, &mut cat, &stats);
+        let mut whatif = svc();
+        let c0 = pd.before_round(0, &mut cat, &stats, &mut whatif);
         assert_eq!(c0.recommendation.secs(), 0.0);
         let qs: Vec<Query> = (0..3).map(|i| query(i, 1, i as i64 * 100)).collect();
         let ex = run_round(&cat, &stats, &cost, &qs);
-        pd.after_round(&qs, &ex);
+        observe(&mut pd, &cat, &stats, &mut whatif, &qs, &ex);
 
         // Round 1: new templates seen → invoke, recommend, materialise.
-        let c1 = pd.before_round(1, &mut cat, &stats);
+        let c1 = pd.before_round(1, &mut cat, &stats, &mut whatif);
         assert!(c1.recommendation.secs() > 0.0);
         assert!(cat.all_indexes().count() > 0, "recommendation materialised");
         assert!(c1.creation.secs() > 0.0);
@@ -475,8 +515,8 @@ mod tests {
         // Round 2: no new templates → no invocation.
         let qs2: Vec<Query> = (10..13).map(|i| query(i, 1, i as i64 * 50)).collect();
         let ex2 = run_round(&cat, &stats, &cost, &qs2);
-        pd.after_round(&qs2, &ex2);
-        let c2 = pd.before_round(2, &mut cat, &stats);
+        observe(&mut pd, &cat, &stats, &mut whatif, &qs2, &ex2);
+        let c2 = pd.before_round(2, &mut cat, &stats, &mut whatif);
         assert_eq!(c2.recommendation.secs(), 0.0);
     }
 
@@ -495,8 +535,10 @@ mod tests {
             cost.clone(),
             PdToolConfig::paper_defaults(cat.database_bytes(), InvokeSchedule::OnWorkloadChange),
         );
-        pd.after_round(&qs, &run_round(&cat, &stats, &cost, &qs));
-        pd.before_round(1, &mut cat, &stats);
+        let mut whatif = svc();
+        let ex = run_round(&cat, &stats, &cost, &qs);
+        observe(&mut pd, &cat, &stats, &mut whatif, &qs, &ex);
+        pd.before_round(1, &mut cat, &stats, &mut whatif);
         let after: f64 = run_round(&cat, &stats, &cost, &qs)
             .iter()
             .map(|e| e.total.secs())
@@ -516,9 +558,10 @@ mod tests {
             cost.clone(),
             PdToolConfig::paper_defaults(cat.database_bytes(), InvokeSchedule::EveryKRounds(4)),
         );
+        let mut whatif = svc();
         let mut invocations = Vec::new();
         for round in 0..9 {
-            let c = pd.before_round(round, &mut cat, &stats);
+            let c = pd.before_round(round, &mut cat, &stats, &mut whatif);
             if c.recommendation.secs() > 0.0 {
                 invocations.push(round);
             }
@@ -526,7 +569,7 @@ mod tests {
                 .map(|i| query(round as u64 * 10 + i, 1, 500))
                 .collect();
             let ex = run_round(&cat, &stats, &cost, &qs);
-            pd.after_round(&qs, &ex);
+            observe(&mut pd, &cat, &stats, &mut whatif, &qs, &ex);
         }
         assert_eq!(invocations, vec![4, 8]);
     }
@@ -555,14 +598,18 @@ mod tests {
             PdToolAdvisor::new(cost.clone(), cfg)
         };
 
+        let mut whatif = svc();
         let mut unlimited = mk(None);
-        unlimited.after_round(&qs, &run_round(&cat, &stats, &cost, &qs));
-        let free = unlimited.before_round(1, &mut cat, &stats);
+        let ex = run_round(&cat, &stats, &cost, &qs);
+        observe(&mut unlimited, &cat, &stats, &mut whatif, &qs, &ex);
+        let free = unlimited.before_round(1, &mut cat, &stats, &mut whatif);
 
         let mut cat2 = catalog();
+        let mut whatif2 = svc();
         let mut capped = mk(Some(SimSeconds::new(16.0)));
-        capped.after_round(&qs, &run_round(&cat2, &stats, &cost, &qs));
-        let cap = capped.before_round(1, &mut cat2, &stats);
+        let ex2 = run_round(&cat2, &stats, &cost, &qs);
+        observe(&mut capped, &cat2, &stats, &mut whatif2, &qs, &ex2);
+        let cap = capped.before_round(1, &mut cat2, &stats, &mut whatif2);
 
         assert!(cap.recommendation.secs() <= free.recommendation.secs());
         assert!(cap.recommendation.secs() <= 16.0 + 15.0 + 1.0);

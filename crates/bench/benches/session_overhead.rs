@@ -7,9 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use dba_core::{Advisor, MabConfig, MabTuner};
+use dba_core::{Advisor, MabConfig, MabTuner, RoundContext};
 use dba_engine::{CostModel, Executor, QueryExecution};
-use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog};
+use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog, WhatIfService};
 use dba_session::{SessionBuilder, TunerKind, TuningSession};
 use dba_storage::Catalog;
 use dba_workloads::{ssb::ssb, Benchmark, WorkloadKind, WorkloadSequencer};
@@ -40,10 +40,11 @@ fn run_hand_wired(benchmark: &Benchmark, base: &Catalog) -> f64 {
     let sequencer = WorkloadSequencer::new(benchmark, workload(), SEED);
     let executor = Executor::new(cost.clone());
     let mut plan_cache = PlanCache::new();
+    let mut whatif = WhatIfService::new(cost.clone());
 
     let mut total = 0.0;
     for round in 0..sequencer.rounds() {
-        let advisor_cost = tuner.before_round(round, &mut catalog, &stats);
+        let advisor_cost = tuner.before_round(round, &mut catalog, &stats, &mut whatif);
         let queries = sequencer.round_queries(&catalog, round).expect("queries");
         let executions: Vec<QueryExecution> = {
             let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
@@ -59,7 +60,12 @@ fn run_hand_wired(benchmark: &Benchmark, base: &Catalog) -> f64 {
         total += advisor_cost.recommendation.secs()
             + advisor_cost.creation.secs()
             + executions.iter().map(|e| e.total.secs()).sum::<f64>();
-        tuner.after_round(&queries, &executions);
+        let mut ctx = RoundContext {
+            catalog: &catalog,
+            stats: &stats,
+            whatif: &mut whatif,
+        };
+        tuner.after_round(&mut ctx, &queries, &executions);
     }
     total
 }

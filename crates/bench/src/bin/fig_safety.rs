@@ -135,6 +135,16 @@ fn main() {
                 ratio
             ),
         }
+        if r.total_whatif_hits() + r.total_whatif_misses() > 0 {
+            println!(
+                "{:>12}  what-if cache: {} hits / {} misses ({:.0}% — shadow pricing and \
+                 rollback assessment served from the shared service memo)",
+                "",
+                r.total_whatif_hits(),
+                r.total_whatif_misses(),
+                r.whatif_hit_rate() * 100.0
+            );
+        }
     }
 
     let (header, rows) = series_rows(&results);
@@ -162,6 +172,13 @@ fn main() {
         ("rollbacks_total", format!("{rollbacks_total}")),
         ("throttled_rounds_total", format!("{throttled_total}")),
         ("vetoes_total", format!("{vetoes_total}")),
+        (
+            "whatif_hits_total",
+            format!(
+                "{}",
+                results.iter().map(|r| r.total_whatif_hits()).sum::<u64>()
+            ),
+        ),
         ("threads", format!("{threads}")),
     ];
     write_text("results/fig_safety.json", &results_json(&meta, &results)).expect("write json");
@@ -198,6 +215,14 @@ fn main() {
         rollbacks_total >= 1,
         "the adversarial run must exercise at least one rollback"
     );
+    for r in results.iter().filter(|r| r.safety.is_some()) {
+        assert!(
+            r.total_whatif_hits() > 0,
+            "{}: guarded shadow pricing repeats templates across rounds — \
+             the shared what-if service must serve hits",
+            r.tuner
+        );
+    }
     assert!(
         throttled_total >= 1,
         "the adversarial run must exercise at least one throttled round"

@@ -21,6 +21,7 @@
 //! All driving goes through [`dba_session::TuningSession`]; this crate
 //! only configures sessions and formats their results.
 
+pub mod baseline;
 pub mod harness;
 pub mod report;
 

@@ -159,6 +159,12 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
             r.total_plan_cache_misses(),
             r.plan_cache_hit_rate()
         ));
+        out.push_str(&format!(
+            "      \"whatif_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+            r.total_whatif_hits(),
+            r.total_whatif_misses(),
+            r.whatif_hit_rate()
+        ));
         if let Some(safety) = &r.safety {
             out.push_str(&format!(
                 "      \"safety\": {{\"vetoes\": {}, \"rollbacks\": {}, \"throttled_rounds\": {}, \
@@ -195,8 +201,8 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
             out.push_str(&format!(
                 "        {{\"round\": {}, \"recommendation_s\": {:.4}, \"creation_s\": {:.4}, \
                  \"maintenance_s\": {:.4}, \"execution_s\": {:.4}, \"total_s\": {:.4}, \
-                 \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"shift_intensity\": \
-                 {:.4}}}{}\n",
+                 \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"whatif_hits\": {}, \
+                 \"whatif_misses\": {}, \"shift_intensity\": {:.4}}}{}\n",
                 round.round,
                 round.recommendation.secs(),
                 round.creation.secs(),
@@ -205,6 +211,8 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
                 round.total().secs(),
                 round.plan_cache_hits,
                 round.plan_cache_misses,
+                round.whatif_hits,
+                round.whatif_misses,
                 round.shift_intensity,
                 if i + 1 < r.rounds.len() { "," } else { "" }
             ));
@@ -263,6 +271,8 @@ mod tests {
                     maintenance: SimSeconds::ZERO,
                     plan_cache_hits: if i == 0 { 0 } else { 2 },
                     plan_cache_misses: if i == 0 { 2 } else { 0 },
+                    whatif_hits: if i == 0 { 0 } else { 3 },
+                    whatif_misses: if i == 0 { 3 } else { 0 },
                     shift_intensity: if i == 0 { 1.0 } else { 0.0 },
                 })
                 .collect(),
@@ -304,9 +314,13 @@ mod tests {
         assert!(json.contains("\"maintenance_s\": 0.0000"));
         assert!(json.contains("\"sf\": 1"));
         assert!(json.contains("\"rounds\": ["));
-        // Plan-cache counters: run totals and per-round deltas.
+        // Plan-cache and what-if counters: run totals and per-round deltas.
         assert!(json.contains("\"plan_cache\": {\"hits\": 2, \"misses\": 2, \"hit_rate\": 0.5000}"));
         assert!(json.contains("\"plan_cache_hits\": 2"));
+        assert!(
+            json.contains("\"whatif_cache\": {\"hits\": 3, \"misses\": 3, \"hit_rate\": 0.5000}")
+        );
+        assert!(json.contains("\"whatif_hits\": 3"));
         // Shift intensity rides in every round object; unguarded runs
         // carry no safety block.
         assert!(json.contains("\"shift_intensity\": 1.0000"));

@@ -6,10 +6,21 @@
 //! recommend → execute → observe loop of Algorithm 2). A tuner only ever
 //! sees two calls per round: `before_round` to adjust the physical design,
 //! `after_round` to observe what actually happened.
+//!
+//! Both calls carry the session's shared [`WhatIfService`]: hypothetical
+//! costing is a versioned, memoizing subsystem owned by the driver, so a
+//! guardrail's shadow baselines, PDTool's candidate scoring and any
+//! advisor-side oracle all share one plan memo instead of replanning the
+//! same (template, configuration) pairs independently. `after_round`
+//! additionally hands back a [`RoundContext`] whose catalog and statistics
+//! are the **execution-time** (pre-drift) snapshot of the round — what the
+//! observed executions actually ran against — so shadow prices and
+//! benefit assessments are computed against the state of the round they
+//! price, not one drift application later.
 
 use dba_common::{IndexId, SimSeconds, TableId};
 use dba_engine::{Query, QueryExecution};
-use dba_optimizer::StatsCatalog;
+use dba_optimizer::{StatsCatalog, WhatIfService};
 use dba_storage::Catalog;
 
 /// Time charged by an advisor in one round, split the way Table I reports
@@ -51,6 +62,33 @@ impl DataChange {
     }
 }
 
+/// Execution-time round state handed to [`Advisor::after_round`].
+///
+/// `catalog` and `stats` are the state the round's queries executed
+/// against — when the round drifted, the driver snapshots them *before*
+/// applying the deltas, so anything priced through here (shadow baselines,
+/// rollback assessments) reflects the round it prices rather than the
+/// post-drift world. `whatif` is the session's shared costing service;
+/// costings against the snapshot validate under the snapshot's versions,
+/// so a post-drift costing never reuses a pre-drift plan by accident.
+pub struct RoundContext<'a> {
+    pub catalog: &'a Catalog,
+    pub stats: &'a StatsCatalog,
+    pub whatif: &'a mut WhatIfService,
+}
+
+impl<'a> RoundContext<'a> {
+    /// Reborrow for handing the context to an inner advisor while keeping
+    /// use of it afterwards (the guardrail's wrap-then-price pattern).
+    pub fn reborrow(&mut self) -> RoundContext<'_> {
+        RoundContext {
+            catalog: self.catalog,
+            stats: self.stats,
+            whatif: &mut *self.whatif,
+        }
+    }
+}
+
 /// Uniform tuner interface driven by a tuning session: a recommendation
 /// step before each round's workload, an observation step after.
 ///
@@ -61,11 +99,15 @@ pub trait Advisor: Send {
     fn name(&self) -> &str;
 
     /// Adjust the physical design before round `round` (0-based) executes.
+    /// `whatif` is the session's shared hypothetical-costing service;
+    /// advisors that consult the optimiser (PDTool-style what-if scoring,
+    /// guardrail budgeting) cost through it and share its plan memo.
     fn before_round(
         &mut self,
         round: usize,
         catalog: &mut Catalog,
         stats: &StatsCatalog,
+        whatif: &mut WhatIfService,
     ) -> AdvisorCost;
 
     /// Observe the round's data change (HTAP drift): which indexes paid how
@@ -74,8 +116,15 @@ pub trait Advisor: Send {
     /// Baselines that ignore churn keep the default no-op.
     fn on_data_change(&mut self, _change: &DataChange) {}
 
-    /// Observe the executed workload.
-    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]);
+    /// Observe the executed workload. `ctx` carries the execution-time
+    /// (pre-drift) catalog/statistics snapshot and the shared what-if
+    /// service — see [`RoundContext`].
+    fn after_round(
+        &mut self,
+        ctx: &mut RoundContext<'_>,
+        queries: &[Query],
+        executions: &[QueryExecution],
+    );
 }
 
 /// Drop bookkeeping for indexes that no longer exist in `catalog` — the
@@ -110,15 +159,21 @@ impl<A: Advisor + ?Sized> Advisor for Box<A> {
         round: usize,
         catalog: &mut Catalog,
         stats: &StatsCatalog,
+        whatif: &mut WhatIfService,
     ) -> AdvisorCost {
-        (**self).before_round(round, catalog, stats)
+        (**self).before_round(round, catalog, stats, whatif)
     }
 
     fn on_data_change(&mut self, change: &DataChange) {
         (**self).on_data_change(change)
     }
 
-    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]) {
-        (**self).after_round(queries, executions)
+    fn after_round(
+        &mut self,
+        ctx: &mut RoundContext<'_>,
+        queries: &[Query],
+        executions: &[QueryExecution],
+    ) {
+        (**self).after_round(ctx, queries, executions)
     }
 }

@@ -31,7 +31,9 @@ pub mod query_store;
 pub mod reward;
 pub mod tuner;
 
-pub use advisor::{reconcile_external_drops, Advisor, AdvisorCost, DataChange, TableChange};
+pub use advisor::{
+    reconcile_external_drops, Advisor, AdvisorCost, DataChange, RoundContext, TableChange,
+};
 pub use arms::{Arm, ArmGenConfig, ArmRegistry};
 pub use c2ucb::{AlphaSchedule, C2Ucb, C2UcbConfig};
 pub use context::{ContextBuilder, ContextLayout};

@@ -470,7 +470,14 @@ impl Advisor for MabTuner {
         _round: usize,
         catalog: &mut Catalog,
         stats: &StatsCatalog,
+        _whatif: &mut dba_optimizer::WhatIfService,
     ) -> AdvisorCost {
+        // The MAB deliberately does not consult the what-if service for
+        // its scores — learning from *observed* executions instead of
+        // optimiser estimates is the paper's thesis. The service still
+        // arrives through the contract so a guardrail wrapped around this
+        // tuner (and any estimate-assisted extension) shares the session's
+        // plan memo.
         let outcome = self.recommend_and_apply(catalog, stats);
         AdvisorCost {
             recommendation: outcome.recommendation_time,
@@ -482,7 +489,12 @@ impl Advisor for MabTuner {
         self.note_data_change(change);
     }
 
-    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]) {
+    fn after_round(
+        &mut self,
+        _ctx: &mut crate::advisor::RoundContext<'_>,
+        queries: &[Query],
+        executions: &[QueryExecution],
+    ) {
         self.observe(queries, executions);
     }
 }

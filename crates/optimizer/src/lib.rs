@@ -24,9 +24,11 @@ pub mod plan_cache;
 pub mod planner;
 pub mod stats;
 pub mod whatif;
+pub mod whatif_service;
 
 pub use est::CardEstimator;
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use planner::{IndexCandidate, Planner, PlannerContext};
 pub use stats::{ColumnStats, Histogram, StatsCatalog, TableStats, HISTOGRAM_BUCKETS};
 pub use whatif::{WhatIf, WhatIfOutcome};
+pub use whatif_service::{ConfigCost, WhatIfService, WhatIfStats};

@@ -6,13 +6,23 @@
 //! flows into the advisor's decisions. Hypothetical indexes receive
 //! synthetic ids in a reserved range so they can never collide with (or be
 //! executed against) real materialised indexes.
+//!
+//! [`WhatIf`] is the one-shot facade: construct, cost, drop. Every costing
+//! flows through the session-lifetime [`WhatIfService`] underneath — the
+//! facade simply owns a private service instance — so the two paths share
+//! one implementation: interned candidate definitions, version-validated
+//! plan memoization, and live (drift-grown) sizing for hypothetical and
+//! materialised candidates alike. Long-lived callers (the tuning session,
+//! the safety guardrail, PDTool) hold the shared service directly and get
+//! cross-round plan reuse; the facade is for tests, examples and other
+//! single-invocation probes.
 
-use dba_common::{IndexId, SimSeconds};
+use dba_common::SimSeconds;
 use dba_engine::{CostModel, Plan, Query};
 use dba_storage::{Catalog, IndexDef};
 
-use crate::planner::{IndexCandidate, Planner, PlannerContext};
 use crate::stats::StatsCatalog;
+use crate::whatif_service::WhatIfService;
 
 /// First id used for hypothetical indexes.
 pub const HYPOTHETICAL_BASE: u64 = 1 << 48;
@@ -28,102 +38,56 @@ pub struct WhatIfOutcome {
     pub plan: Plan,
 }
 
-/// What-if costing facade.
+/// What-if costing facade: a transient [`WhatIfService`] bound to one
+/// catalog/statistics pair.
 pub struct WhatIf<'a> {
     catalog: &'a Catalog,
     stats: &'a StatsCatalog,
-    cost: &'a CostModel,
+    service: WhatIfService,
 }
 
 impl<'a> WhatIf<'a> {
-    pub fn new(catalog: &'a Catalog, stats: &'a StatsCatalog, cost: &'a CostModel) -> Self {
+    pub fn new(catalog: &'a Catalog, stats: &'a StatsCatalog, cost: &CostModel) -> Self {
         WhatIf {
             catalog,
             stats,
-            cost,
+            service: WhatIfService::new(cost.clone()),
         }
-    }
-
-    /// Build planner candidates for a hypothetical configuration: the
-    /// supplied defs get ids `HYPOTHETICAL_BASE + position`.
-    ///
-    /// `include_materialised` additionally exposes the catalog's real
-    /// indexes (an advisor evaluating *incremental* benefit wants them; a
-    /// from-scratch recommendation pass does not).
-    fn candidates(
-        &self,
-        hypothetical: &[IndexDef],
-        include_materialised: bool,
-    ) -> Vec<IndexCandidate> {
-        let mut out: Vec<IndexCandidate> =
-            Vec::with_capacity(hypothetical.len() + if include_materialised { 8 } else { 0 });
-        for (i, def) in hypothetical.iter().enumerate() {
-            out.push(IndexCandidate {
-                id: IndexId(HYPOTHETICAL_BASE + i as u64),
-                def: def.clone(),
-                // A hypothetical index is "created now": its size is the
-                // live (drift-grown) estimate, and it has absorbed no growth.
-                size_bytes: self.catalog.estimated_live_bytes(def),
-            });
-        }
-        if include_materialised {
-            for ix in self.catalog.all_indexes() {
-                out.push(IndexCandidate {
-                    id: ix.id(),
-                    def: ix.def().clone(),
-                    size_bytes: self.catalog.index_creation_bytes(ix.id()),
-                });
-            }
-        }
-        out
     }
 
     /// Cost one query under `hypothetical` indexes (plus, optionally, the
-    /// materialised ones).
+    /// materialised ones — priced at their live sizes, exactly like the
+    /// hypotheticals).
     pub fn cost_query(
-        &self,
+        &mut self,
         query: &Query,
         hypothetical: &[IndexDef],
         include_materialised: bool,
     ) -> WhatIfOutcome {
-        let ctx = PlannerContext {
-            catalog: self.catalog,
-            stats: self.stats,
-            cost: self.cost,
-            indexes: self.candidates(hypothetical, include_materialised),
-        };
-        let plan = Planner::new(&ctx).plan(query);
-        let used_hypothetical = plan
-            .indexes_used()
-            .into_iter()
-            .filter(|ix| ix.raw() >= HYPOTHETICAL_BASE)
-            .map(|ix| (ix.raw() - HYPOTHETICAL_BASE) as usize)
-            .collect();
-        WhatIfOutcome {
-            est_cost: plan.est_cost,
-            used_hypothetical,
-            plan,
-        }
+        self.service.cost_query(
+            self.catalog,
+            self.stats,
+            query,
+            hypothetical,
+            include_materialised,
+        )
     }
 
     /// Total estimated cost of a workload under a hypothetical
     /// configuration, plus per-index usage counts.
     pub fn cost_workload(
-        &self,
+        &mut self,
         queries: &[Query],
         hypothetical: &[IndexDef],
         include_materialised: bool,
     ) -> (SimSeconds, Vec<u32>) {
-        let mut total = SimSeconds::ZERO;
-        let mut usage = vec![0u32; hypothetical.len()];
-        for q in queries {
-            let outcome = self.cost_query(q, hypothetical, include_materialised);
-            total += outcome.est_cost;
-            for i in outcome.used_hypothetical {
-                usage[i] += 1;
-            }
-        }
-        (total, usage)
+        self.service.cost_workload(
+            self.catalog,
+            self.stats,
+            queries,
+            hypothetical,
+            include_materialised,
+        )
     }
 }
 
@@ -167,7 +131,7 @@ mod tests {
         let cat = catalog();
         let stats = StatsCatalog::build(&cat);
         let cost = CostModel::unit_scale();
-        let wi = WhatIf::new(&cat, &stats, &cost);
+        let mut wi = WhatIf::new(&cat, &stats, &cost);
         let without = wi.cost_query(&query(), &[], false);
         let with = wi.cost_query(
             &query(),
@@ -200,12 +164,34 @@ mod tests {
         assert!((hypo_cost.secs() - real_cost.secs()).abs() < 1e-9);
     }
 
+    /// The satellite fix: under drift, materialised candidates are priced
+    /// at live sizes (like hypotheticals), so the agreement holds on a
+    /// drifted table too.
+    #[test]
+    fn costs_agree_under_drift() {
+        let def = IndexDef::new(TableId(0), vec![1], vec![0]);
+        let mut cat = catalog();
+        cat.apply_drift(TableId(0), 50_000, 0, 0);
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let hypo_cost = WhatIf::new(&cat, &stats, &cost)
+            .cost_query(&query(), std::slice::from_ref(&def), false)
+            .est_cost;
+
+        let mut cat2 = cat.clone();
+        cat2.create_index(def).unwrap();
+        let real_cost = WhatIf::new(&cat2, &stats, &cost)
+            .cost_query(&query(), &[], true)
+            .est_cost;
+        assert!((hypo_cost.secs() - real_cost.secs()).abs() < 1e-9);
+    }
+
     #[test]
     fn workload_costing_counts_usage() {
         let cat = catalog();
         let stats = StatsCatalog::build(&cat);
         let cost = CostModel::unit_scale();
-        let wi = WhatIf::new(&cat, &stats, &cost);
+        let mut wi = WhatIf::new(&cat, &stats, &cost);
         let defs = [
             IndexDef::new(TableId(0), vec![1], vec![0]),
             IndexDef::new(TableId(0), vec![2], vec![]),
@@ -222,7 +208,7 @@ mod tests {
         let cat = catalog();
         let stats = StatsCatalog::build(&cat);
         let cost = CostModel::unit_scale();
-        let wi = WhatIf::new(&cat, &stats, &cost);
+        let mut wi = WhatIf::new(&cat, &stats, &cost);
         let baseline = wi.cost_query(&query(), &[], false).est_cost;
         let with_junk = wi
             .cost_query(

@@ -3,9 +3,9 @@
 use std::collections::HashSet;
 
 use dba_common::{IndexId, SimSeconds};
-use dba_core::{Advisor, AdvisorCost, DataChange};
+use dba_core::{Advisor, AdvisorCost, DataChange, RoundContext};
 use dba_engine::{CostModel, Query, QueryExecution};
-use dba_optimizer::StatsCatalog;
+use dba_optimizer::{StatsCatalog, WhatIfService};
 use dba_storage::Catalog;
 
 use crate::config::SafetyConfig;
@@ -14,16 +14,22 @@ use crate::ledger::SafetyLedger;
 /// A tuner-agnostic guardrail implementing [`Advisor`] around any inner
 /// [`Advisor`]. Each round it:
 ///
-/// 1. closes the previous round's ledger entry (shadow prices, regret,
-///    throttle latch) and **rolls back** indexes whose windowed net
-///    benefit went negative;
+/// 1. applies the previous round's **rollback** verdicts (indexes whose
+///    windowed net benefit went negative — assessed when that round
+///    closed in its own observation step, against the execution-time
+///    snapshot);
 /// 2. if the regret bound is breached, **throttles**: the inner advisor
 ///    is not consulted and the configuration is frozen (rollbacks keep
 ///    running, which is what drives recovery);
 /// 3. otherwise lets the inner advisor act, then **vetoes** creations
 ///    that violate the memory headroom or the round's creation budget —
 ///    the vetoed indexes are dropped and their build time refunded, as a
-///    guardrail consulting the what-if API before building would do.
+///    guardrail consulting the what-if API before building would do;
+/// 4. in `after_round`, closes the round's ledger entry: shadow prices
+///    (empty config and freeze-counterfactual), regret, the throttle
+///    latch and the next round's rollback verdicts — all priced through
+///    the session's shared [`WhatIfService`] against the pre-drift
+///    snapshot the executed queries actually ran on.
 ///
 /// Inner tuners need no safety awareness: MAB, DDQN and PDTool all
 /// reconcile against externally-dropped indexes at the start of their own
@@ -163,12 +169,14 @@ impl<A: Advisor> Advisor for SafeguardedAdvisor<A> {
         round: usize,
         catalog: &mut Catalog,
         stats: &StatsCatalog,
+        whatif: &mut WhatIfService,
     ) -> AdvisorCost {
-        // 1. Close the previous round: shadow prices, regret, throttle
-        //    latch, and the rollback verdicts to apply now.
+        // 1. Apply the rollback verdicts the previous round's close
+        //    produced (catalog mutations belong to round boundaries), and
+        //    open this round's accounting.
         let victims = {
             let mut state = self.ledger.lock();
-            let victims = state.close_round(catalog, stats);
+            let victims = state.take_pending_rollbacks();
             state.open_round(round + 1); // records count rounds 1-based
             victims
         };
@@ -203,7 +211,7 @@ impl<A: Advisor> Advisor for SafeguardedAdvisor<A> {
         }
         // 3. Let the inner advisor act, then veto what it overspent.
         let before_ids: HashSet<IndexId> = catalog.all_indexes().map(|ix| ix.id()).collect();
-        let cost = self.inner.before_round(round, catalog, stats);
+        let cost = self.inner.before_round(round, catalog, stats, whatif);
         let refund_s = self.apply_vetoes(catalog, &before_ids, round + 1, cost.creation.secs());
         let guarded = AdvisorCost {
             recommendation: cost.recommendation,
@@ -220,8 +228,22 @@ impl<A: Advisor> Advisor for SafeguardedAdvisor<A> {
         self.ledger.lock().note_data_change(change);
     }
 
-    fn after_round(&mut self, queries: &[Query], executions: &[QueryExecution]) {
-        self.inner.after_round(queries, executions);
-        self.ledger.lock().note_execution(queries, executions);
+    fn after_round(
+        &mut self,
+        ctx: &mut RoundContext<'_>,
+        queries: &[Query],
+        executions: &[QueryExecution],
+    ) {
+        self.inner
+            .after_round(&mut ctx.reborrow(), queries, executions);
+        // 4. Close the round at execution time: `ctx` carries the
+        //    pre-drift snapshot the queries ran against, so the shadow
+        //    baseline prices the round it observes — not the post-drift
+        //    world one round later. Rollback verdicts wait for the next
+        //    round boundary.
+        let mut state = self.ledger.lock();
+        state.note_execution(queries, executions);
+        let victims = state.close_round(ctx.catalog, ctx.stats, ctx.whatif);
+        state.set_pending_rollbacks(victims);
     }
 }

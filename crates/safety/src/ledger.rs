@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use dba_common::IndexId;
 use dba_core::DataChange;
 use dba_engine::{CostModel, Query, QueryExecution};
-use dba_optimizer::{StatsCatalog, WhatIf};
+use dba_optimizer::{StatsCatalog, WhatIfService};
 use dba_storage::{Catalog, IndexDef};
 
 use crate::config::SafetyConfig;
@@ -88,8 +88,8 @@ pub struct SafetySnapshot {
     pub rollbacks: usize,
 }
 
-/// The in-flight round's accounting, closed out (shadow-priced) at the
-/// start of the next round, when the catalog and statistics are in hand.
+/// The in-flight round's accounting, closed out (shadow-priced) in the
+/// round's own observation step, against the execution-time snapshot.
 #[derive(Debug, Default)]
 struct PendingRound {
     round: usize,
@@ -125,6 +125,10 @@ pub(crate) struct SafetyState {
     /// Shadow NoIndex price of the most recently closed round (the round
     /// creation budget's reference).
     last_shadow_noindex_s: Option<f64>,
+    /// Rollback verdicts produced when the previous round closed, waiting
+    /// for the next round boundary (the guard applies catalog mutations
+    /// only in `before_round`).
+    pending_rollbacks: Vec<IndexId>,
 }
 
 impl SafetyState {
@@ -141,7 +145,17 @@ impl SafetyState {
             benefit_windows: HashMap::new(),
             quarantine: HashMap::new(),
             last_shadow_noindex_s: None,
+            pending_rollbacks: Vec::new(),
         }
+    }
+
+    /// Rollback verdicts awaiting the next round boundary.
+    pub(crate) fn take_pending_rollbacks(&mut self) -> Vec<IndexId> {
+        std::mem::take(&mut self.pending_rollbacks)
+    }
+
+    pub(crate) fn set_pending_rollbacks(&mut self, victims: Vec<IndexId>) {
+        self.pending_rollbacks = victims;
     }
 
     pub(crate) fn is_throttled(&self) -> bool {
@@ -155,28 +169,35 @@ impl SafetyState {
     /// Close the in-flight round (if any): shadow-price its workload,
     /// update regret and the throttle latch, assess every materialised
     /// index's realized net benefit, and return the indexes whose windowed
-    /// benefit went negative — the rollback victims the caller must drop.
+    /// benefit went negative — the rollback victims the guard applies at
+    /// the next round boundary.
     ///
-    /// Shadow prices are computed against the catalog/statistics as they
-    /// stand when the *next* round opens — one drift application after the
-    /// priced round executed. Under insert-heavy drift this overprices the
-    /// do-nothing baseline by up to one round of growth, biasing observed
-    /// regret slightly low (the bound is enforced a little loosely, never
-    /// spuriously tightly). Pricing at execution time would need the
-    /// advisor interface to hand catalog access to `after_round`; at the
-    /// drift rates the scenarios use (≤ a few % per round) the bias is
-    /// well inside the envelope's slack.
-    pub(crate) fn close_round(&mut self, catalog: &Catalog, stats: &StatsCatalog) -> Vec<IndexId> {
+    /// Called from the guard's `after_round` with the **execution-time
+    /// snapshot** of the catalog and statistics — the pre-drift state the
+    /// round's queries actually ran against — so the do-nothing baseline
+    /// is priced on the round it prices. (Pricing at the next round's
+    /// open, as this used to, overpriced the baseline by up to one round
+    /// of insert growth, biasing observed regret low.) All costings flow
+    /// through the session's shared [`WhatIfService`], whose memo makes
+    /// the leave-one-out rollback assessment cost one plan per (query,
+    /// touched-table subset) instead of O(used-indexes × queries) fresh
+    /// plans per round.
+    pub(crate) fn close_round(
+        &mut self,
+        catalog: &Catalog,
+        stats: &StatsCatalog,
+        whatif: &mut WhatIfService,
+    ) -> Vec<IndexId> {
         let Some(pending) = self.pending.take() else {
             return Vec::new();
         };
         self.quarantine.retain(|_, expiry| *expiry > pending.round);
-        let whatif = WhatIf::new(catalog, stats, &self.cost);
         let (shadow_noindex_s, shadow_prev_s) = if self.queries.is_empty() {
             (0.0, 0.0)
         } else {
-            let (ni, _) = whatif.cost_workload(&self.queries, &[], false);
-            let (pv, _) = whatif.cost_workload(&self.queries, &self.prev_config, false);
+            let (ni, _) = whatif.cost_workload(catalog, stats, &self.queries, &[], false);
+            let (pv, _) =
+                whatif.cost_workload(catalog, stats, &self.queries, &self.prev_config, false);
             (ni.secs(), pv.secs())
         };
         let actual_s = pending.rec_s + pending.cre_s + pending.exec_s + pending.maint_s;
@@ -197,21 +218,32 @@ impl SafetyState {
                 let all: Vec<IndexDef> = defs.iter().map(|(_, d)| d.clone()).collect();
                 // The full-config pass also reports which candidates any
                 // plan used: an index no plan touches has marginal benefit
-                // exactly 0, so only the used ones need the (expensive)
-                // leave-one-out replan of the whole workload.
-                let (full, usage) = whatif.cost_workload(&self.queries, &all, false);
+                // exactly 0, so only the used ones need a leave-one-out
+                // pass — and those passes share every untouched query's
+                // plan with the full pass through the service's memo.
+                let (full, usage) =
+                    whatif.cost_workload(catalog, stats, &self.queries, &all, false);
+                let loo_configs: Vec<Vec<IndexDef>> = defs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(skip, _)| usage[skip] > 0)
+                    .map(|(skip, _)| {
+                        defs.iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != skip)
+                            .map(|(_, (_, d))| d.clone())
+                            .collect()
+                    })
+                    .collect();
+                let loo_costs =
+                    whatif.marginals(catalog, stats, &self.queries, &loo_configs, false);
+                let mut loo = loo_costs.into_iter();
                 for (skip, (id, _)) in defs.iter().enumerate() {
                     let marginal = if usage[skip] == 0 {
                         0.0
                     } else {
-                        let others: Vec<IndexDef> = defs
-                            .iter()
-                            .enumerate()
-                            .filter(|&(j, _)| j != skip)
-                            .map(|(_, (_, d))| d.clone())
-                            .collect();
-                        let (without, _) = whatif.cost_workload(&self.queries, &others, false);
-                        (without - full).secs().max(0.0)
+                        let without = loo.next().expect("one leave-one-out pass per used index");
+                        (without.total - full).secs().max(0.0)
                     };
                     let maint = self.maintenance_by_index.get(id).copied().unwrap_or(0.0);
                     let window = self.benefit_windows.entry(*id).or_default();
@@ -367,8 +399,9 @@ impl SafetyLedger {
         self.state.lock().expect("safety ledger lock poisoned")
     }
 
-    /// The aggregated report so far. Complete only after
-    /// [`finalize`](Self::finalize) has closed the last round.
+    /// The aggregated report. Every round closes in its own observation
+    /// step (shadow prices are computed at execution time), so after the
+    /// last `after_round` the report is complete — no finalize step.
     pub fn report(&self) -> SafetyReport {
         self.lock().report.clone()
     }
@@ -381,13 +414,5 @@ impl SafetyLedger {
     /// Whether the guardrail currently has the configuration frozen.
     pub fn is_throttled(&self) -> bool {
         self.lock().is_throttled()
-    }
-
-    /// Close the final round's accounting (shadow-price its workload).
-    /// Call after the tuning loop finishes; rollback verdicts of the final
-    /// round are discarded (there is no next round to apply them in).
-    pub fn finalize(&self, catalog: &Catalog, stats: &StatsCatalog) {
-        let mut state = self.lock();
-        let _ = state.close_round(catalog, stats);
     }
 }

@@ -41,12 +41,35 @@ pub use ledger::{RoundSafety, SafetyLedger, SafetyReport, SafetySnapshot};
 mod tests {
     use super::*;
     use dba_common::{ColumnId, QueryId, SimSeconds, TableId, TemplateId};
-    use dba_core::{Advisor, AdvisorCost, DataChange};
+    use dba_core::{Advisor, AdvisorCost, DataChange, RoundContext};
     use dba_engine::{CostModel, Executor, Predicate, Query, QueryExecution};
-    use dba_optimizer::{Planner, PlannerContext, StatsCatalog};
+    use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIfService};
     use dba_storage::{
         Catalog, ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema,
     };
+
+    fn svc() -> WhatIfService {
+        WhatIfService::new(CostModel::unit_scale())
+    }
+
+    /// Run the guard's observation step with a [`RoundContext`] over the
+    /// current catalog state (these tests apply drift between rounds, so
+    /// "current" is the execution-time snapshot).
+    fn observe<A: Advisor>(
+        guard: &mut SafeguardedAdvisor<A>,
+        cat: &Catalog,
+        stats: &StatsCatalog,
+        whatif: &mut WhatIfService,
+        qs: &[Query],
+        ex: &[QueryExecution],
+    ) {
+        let mut ctx = RoundContext {
+            catalog: cat,
+            stats,
+            whatif,
+        };
+        guard.after_round(&mut ctx, qs, ex);
+    }
 
     fn catalog() -> Catalog {
         let t = TableSchema::new(
@@ -123,6 +146,7 @@ mod tests {
             round: usize,
             catalog: &mut Catalog,
             _stats: &StatsCatalog,
+            _whatif: &mut WhatIfService,
         ) -> AdvisorCost {
             self.calls += 1;
             let cost_model = CostModel::unit_scale();
@@ -145,11 +169,19 @@ mod tests {
             }
         }
 
-        fn after_round(&mut self, _queries: &[Query], _executions: &[QueryExecution]) {}
+        fn after_round(
+            &mut self,
+            _ctx: &mut RoundContext<'_>,
+            _queries: &[Query],
+            _executions: &[QueryExecution],
+        ) {
+        }
     }
 
     /// Drive a guarded scripted advisor for `rounds` rounds over the
-    /// single-template workload, returning the final report.
+    /// single-template workload, returning the final report. Every round
+    /// closes in its own observation step, so the report is complete when
+    /// the loop ends — no finalize.
     fn drive(
         guard: &mut SafeguardedAdvisor<Scripted>,
         cat: &mut Catalog,
@@ -158,8 +190,9 @@ mod tests {
     ) -> SafetyReport {
         let stats = StatsCatalog::build(cat);
         let cost = CostModel::unit_scale();
+        let mut whatif = svc();
         for round in 0..rounds {
-            guard.before_round(round, cat, &stats);
+            guard.before_round(round, cat, &stats, &mut whatif);
             let qs: Vec<Query> = (0..2)
                 .map(|i| {
                     query(
@@ -179,12 +212,9 @@ mod tests {
                 };
                 guard.on_data_change(&change);
             }
-            guard.after_round(&qs, &ex);
+            observe(guard, cat, &stats, &mut whatif, &qs, &ex);
         }
-        let stats = StatsCatalog::build(cat);
-        let ledger = guard.ledger();
-        ledger.finalize(cat, &stats);
-        ledger.report()
+        guard.ledger().report()
     }
 
     #[test]
@@ -220,7 +250,7 @@ mod tests {
             config,
             CostModel::unit_scale(),
         );
-        let cost = guard.before_round(0, &mut cat, &stats);
+        let cost = guard.before_round(0, &mut cat, &stats, &mut svc());
         // The big index was vetoed, the small one survived.
         assert_eq!(cat.all_indexes().count(), 1);
         assert!(cat.find_index(&small).is_some());
@@ -268,6 +298,7 @@ mod tests {
                 round: usize,
                 catalog: &mut Catalog,
                 _stats: &StatsCatalog,
+                _whatif: &mut WhatIfService,
             ) -> AdvisorCost {
                 let mut creation = SimSeconds::ZERO;
                 if round == 1 {
@@ -286,7 +317,13 @@ mod tests {
                     creation,
                 }
             }
-            fn after_round(&mut self, _q: &[Query], _e: &[QueryExecution]) {}
+            fn after_round(
+                &mut self,
+                _ctx: &mut RoundContext<'_>,
+                _q: &[Query],
+                _e: &[QueryExecution],
+            ) {
+            }
         }
         let mut guard = SafeguardedAdvisor::new(
             LateCreator {
@@ -295,11 +332,12 @@ mod tests {
             config,
             cost_model.clone(),
         );
+        let mut whatif = svc();
         for round in 0..2 {
-            let cost = guard.before_round(round, &mut cat, &stats);
+            let cost = guard.before_round(round, &mut cat, &stats, &mut whatif);
             let qs = vec![query(round as u64, 5)];
             let ex = run_round(&cat, &stats, &cost_model, &qs);
-            guard.after_round(&qs, &ex);
+            observe(&mut guard, &cat, &stats, &mut whatif, &qs, &ex);
             if round == 1 {
                 assert_eq!(cost.creation.secs(), 0.0, "build refunded");
             }
@@ -327,16 +365,17 @@ mod tests {
         };
         let mut guard =
             SafeguardedAdvisor::new(Scripted::new(vec![def.clone()], 0.0), config, cost.clone());
-        guard.before_round(0, &mut cat, &stats);
+        let mut whatif = svc();
+        guard.before_round(0, &mut cat, &stats, &mut whatif);
         assert_eq!(cat.all_indexes().count(), 1, "fits at creation");
         let qs = vec![query(0, 5)];
         let ex = run_round(&cat, &stats, &cost, &qs);
-        guard.after_round(&qs, &ex);
+        observe(&mut guard, &cat, &stats, &mut whatif, &qs, &ex);
 
         // The table grows 50%: the index absorbs it and outgrows the budget.
         cat.apply_drift(TableId(0), 25_000, 0, 0);
         assert!(cat.live_index_bytes() > config.memory_budget_bytes);
-        guard.before_round(1, &mut cat, &stats);
+        guard.before_round(1, &mut cat, &stats, &mut whatif);
         assert_eq!(cat.all_indexes().count(), 0, "grown index evicted");
         assert!(cat.live_index_bytes() <= config.memory_budget_bytes);
         assert!(guard.ledger().report().rollbacks >= 1, "eviction recorded");
@@ -436,6 +475,59 @@ mod tests {
             "cum regret {} must end within the bound {}",
             report.cum_regret_s,
             bound
+        );
+    }
+
+    /// The regret-bias fix: shadow prices are computed against the
+    /// pre-drift (execution-time) snapshot of the round they price. Under
+    /// insert-heavy drift the old close-at-next-round-open pricing charged
+    /// the do-nothing baseline for a round of growth it never scanned,
+    /// biasing observed regret low.
+    #[test]
+    fn shadow_prices_use_the_pre_drift_snapshot() {
+        let mut cat = catalog();
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let mut whatif = svc();
+        let mut guard = SafeguardedAdvisor::new(
+            Scripted::new(vec![], 0.0),
+            SafetyConfig {
+                memory_budget_bytes: u64::MAX,
+                ..SafetyConfig::default()
+            },
+            cost.clone(),
+        );
+
+        let qs = vec![query(0, 5), query(1, 77)];
+        // Independent reference: the do-nothing price of this workload on
+        // the pre-drift catalog.
+        let (reference, _) = svc().cost_workload(&cat, &stats, &qs, &[], false);
+
+        guard.before_round(0, &mut cat, &stats, &mut whatif);
+        let ex = run_round(&cat, &stats, &cost, &qs);
+        // The round closes at execution time (pre-drift)...
+        observe(&mut guard, &cat, &stats, &mut whatif, &qs, &ex);
+        // ...and only afterwards does insert-heavy drift triple the table.
+        cat.apply_drift(TableId(0), 100_000, 0, 0);
+
+        let report = guard.ledger().report();
+        assert_eq!(report.rounds.len(), 1);
+        let shadow = report.rounds[0].shadow_noindex_s;
+        assert!(
+            (shadow - reference.secs()).abs() < 1e-9,
+            "shadow {shadow} must equal the pre-drift price {}",
+            reference.secs()
+        );
+        // The quantity the old pricing would have charged — the same
+        // workload on the post-drift catalog — is strictly larger, which
+        // is exactly the overpricing the snapshot eliminates.
+        let (post_drift, _) = svc().cost_workload(&cat, &stats, &qs, &[], false);
+        assert!(
+            post_drift.secs() > reference.secs(),
+            "insert-heavy drift must make the post-drift price larger \
+             ({} vs {})",
+            post_drift.secs(),
+            reference.secs()
         );
     }
 

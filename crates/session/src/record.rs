@@ -21,6 +21,14 @@ pub struct RoundRecord {
     /// Queries this round that had to be planned (cold template, or an
     /// index/stats/drift change invalidated the cached plan).
     pub plan_cache_misses: u64,
+    /// What-if costings this round served from the session's shared
+    /// [`WhatIfService`](dba_optimizer::WhatIfService) memo (hypothetical
+    /// replans skipped — guardrail shadow pricing, rollback assessment and
+    /// PDTool scoring all count here).
+    pub whatif_hits: u64,
+    /// What-if costings this round that had to plan a hypothetical
+    /// configuration fresh.
+    pub whatif_misses: u64,
     /// Workload-shift intensity of the round: the fraction of this
     /// round's templates that were previously unseen (the query store's
     /// definition) — what makes safety throttling decisions auditable
@@ -98,5 +106,25 @@ impl RunResult {
             return 0.0;
         }
         self.total_plan_cache_hits() as f64 / total as f64
+    }
+
+    /// What-if costings served from the shared service memo over the run.
+    pub fn total_whatif_hits(&self) -> u64 {
+        self.rounds.iter().map(|r| r.whatif_hits).sum()
+    }
+
+    /// What-if costings that planned a hypothetical configuration fresh.
+    pub fn total_whatif_misses(&self) -> u64 {
+        self.rounds.iter().map(|r| r.whatif_misses).sum()
+    }
+
+    /// Fraction of what-if costings answered from the memo (0 when the
+    /// run costed nothing hypothetically).
+    pub fn whatif_hit_rate(&self) -> f64 {
+        let total = self.total_whatif_hits() + self.total_whatif_misses();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_whatif_hits() as f64 / total as f64
     }
 }

@@ -5,12 +5,12 @@ use std::collections::HashSet;
 
 use dba_common::{DbResult, SimSeconds, TemplateId};
 use dba_engine::{Executor, Plan, Query, QueryExecution};
-use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog};
+use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog, WhatIfService};
 use dba_safety::{SafetyLedger, SafetySnapshot};
 use dba_storage::Catalog;
 use dba_workloads::{Benchmark, DataDrift, WorkloadKind, WorkloadSequencer};
 
-use dba_core::{Advisor, DataChange, TableChange};
+use dba_core::{Advisor, DataChange, RoundContext, TableChange};
 
 use crate::record::{RoundRecord, RunResult};
 
@@ -41,8 +41,9 @@ pub struct RoundEvent {
     pub stats_staleness: f64,
     /// Guardrail running totals (cumulative regret, throttle state, veto
     /// and rollback counts); `None` for unguarded sessions. Shadow prices
-    /// for a round are computed at the start of the *next* round, so the
-    /// regret figure trails the record by one round.
+    /// are computed in the round's own observation step against its
+    /// execution-time (pre-drift) snapshot, so the regret figure covers
+    /// the round this event reports.
     pub safety: Option<SafetySnapshot>,
 }
 
@@ -71,6 +72,12 @@ pub struct TuningSession<A: Advisor> {
     /// Template-level plan reuse, validated against per-table catalog and
     /// statistics versions — rounds that change nothing skip the planner.
     plan_cache: PlanCache,
+    /// Shared hypothetical-costing subsystem: one memoizing, versioned
+    /// what-if layer per session, handed to the advisor every round (the
+    /// guardrail's shadow baselines and rollback assessment, PDTool's
+    /// candidate scoring). Hit/miss deltas land in each
+    /// [`RoundRecord`](crate::RoundRecord).
+    whatif: WhatIfService,
     /// Templates seen in any previous round, for per-round shift
     /// intensity (the query store's definition: the fraction of a round's
     /// distinct templates that are previously unseen) — tracked here so
@@ -105,6 +112,7 @@ impl<A: Advisor> TuningSession<A> {
             .order()
             .to_vec();
         let drift = drift.filter(|d| !d.is_none());
+        let whatif = WhatIfService::new(cost.clone());
         TuningSession {
             benchmark,
             catalog,
@@ -118,6 +126,7 @@ impl<A: Advisor> TuningSession<A> {
             drift,
             template_order,
             plan_cache: PlanCache::new(),
+            whatif,
             seen_templates: HashSet::new(),
             safety,
             records: Vec::new(),
@@ -225,10 +234,12 @@ impl<A: Advisor> TuningSession<A> {
             &self.template_order,
         );
 
-        // 1. Recommendation: the advisor adjusts the physical design.
-        let advisor_cost = self
-            .advisor
-            .before_round(round, &mut self.catalog, &self.stats);
+        // 1. Recommendation: the advisor adjusts the physical design,
+        //    costing hypotheticals through the session's shared service.
+        let whatif_before = self.whatif.stats();
+        let advisor_cost =
+            self.advisor
+                .before_round(round, &mut self.catalog, &self.stats, &mut self.whatif);
 
         // 2. Execution: plan against the current design — through the plan
         //    cache, so templates whose tables saw no index/stats/drift
@@ -274,11 +285,31 @@ impl<A: Advisor> TuningSession<A> {
 
         // 3. Data change: apply the round's drift deltas, charge every
         //    materialised index its maintenance bill, and let statistics go
-        //    stale (auto-refreshing past the threshold).
+        //    stale (auto-refreshing past the threshold). The advisor's
+        //    observation step must price against the state the queries
+        //    actually ran on, so drifting rounds snapshot the catalog and
+        //    statistics first — overlay clones over the shared `Arc`'d
+        //    base, a few cheap `Vec`s, never the data.
+        let pre_drift = self
+            .drift
+            .as_ref()
+            .map(|_| (self.catalog.clone(), self.stats.clone()));
         let maintenance = self.apply_drift(round);
 
-        // 4. Observation: feed actual run-time statistics back.
-        self.advisor.after_round(&queries, &executions);
+        // 4. Observation: feed actual run-time statistics back, with
+        //    execution-time catalog/stats access (kills the one-round-late
+        //    shadow-pricing bias guarded sessions used to carry).
+        let (exec_catalog, exec_stats) = match &pre_drift {
+            Some((catalog, stats)) => (catalog, stats),
+            None => (&self.catalog, &self.stats),
+        };
+        let mut ctx = RoundContext {
+            catalog: exec_catalog,
+            stats: exec_stats,
+            whatif: &mut self.whatif,
+        };
+        self.advisor.after_round(&mut ctx, &queries, &executions);
+        let whatif_after = self.whatif.stats();
 
         let record = RoundRecord {
             round: round + 1,
@@ -288,6 +319,8 @@ impl<A: Advisor> TuningSession<A> {
             maintenance,
             plan_cache_hits: cache_after.hits - cache_before.hits,
             plan_cache_misses: cache_after.misses - cache_before.misses,
+            whatif_hits: whatif_after.hits - whatif_before.hits,
+            whatif_misses: whatif_after.misses - whatif_before.misses,
             shift_intensity,
         };
         self.records.push(record);
@@ -375,18 +408,8 @@ impl<A: Advisor> TuningSession<A> {
     /// owns the rounds. Catalog/stats accessors remain usable.
     pub fn run_with(&mut self, observer: &mut dyn FnMut(&RoundEvent)) -> DbResult<RunResult> {
         while self.step_with(observer)?.is_some() {}
-        self.finalize_safety();
         let rounds = std::mem::take(&mut self.records);
         Ok(self.make_result(rounds))
-    }
-
-    /// Close the guardrail's final round: shadow prices for round `t` are
-    /// computed at the start of round `t+1`, so the last round needs an
-    /// explicit flush once the loop ends.
-    fn finalize_safety(&self) {
-        if let Some(ledger) = &self.safety {
-            ledger.finalize(&self.catalog, &self.stats);
-        }
     }
 
     /// The guardrail ledger, when this session runs safeguarded.
@@ -397,12 +420,9 @@ impl<A: Advisor> TuningSession<A> {
     /// Finish a step-driven session: consume it and hand the accumulated
     /// records over by value (no clone). The counterpart of
     /// [`run`](Self::run) for callers driving rounds via
-    /// [`step`](Self::step).
+    /// [`step`](Self::step). Every round's guardrail accounting closes in
+    /// the round's own observation step, so no finalize pass is needed.
     pub fn into_result(mut self) -> RunResult {
-        // Unconditional: the ledger's pending round (the last one stepped)
-        // still needs its shadow prices, finished or not; closing with
-        // nothing pending is a no-op.
-        self.finalize_safety();
         let rounds = std::mem::take(&mut self.records);
         self.make_result(rounds)
     }
@@ -427,6 +447,12 @@ impl<A: Advisor> TuningSession<A> {
     /// Running plan-cache totals (hits/misses/invalidations).
     pub fn plan_cache_stats(&self) -> dba_optimizer::PlanCacheStats {
         self.plan_cache.stats()
+    }
+
+    /// Running what-if service totals (hits/misses/invalidations/
+    /// recompilations) across everything the session's advisor costed.
+    pub fn whatif_stats(&self) -> dba_optimizer::WhatIfStats {
+        self.whatif.stats()
     }
 
     /// Plan (without executing) the queries of `round` against the current
@@ -872,6 +898,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The shared what-if service: a guarded session's shadow pricing
+    /// costs every round's workload hypothetically, and repeat rounds of
+    /// an unchanged workload are served from the memo — counted in the
+    /// round records. Tuners that never cost hypothetically leave the
+    /// counters at zero.
+    #[test]
+    fn guarded_sessions_hit_the_whatif_memo() {
+        use dba_safety::SafetyConfig;
+        let mut session = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 6 })
+            .tuner(TunerKind::Mab)
+            .safeguard(SafetyConfig::default())
+            .seed(7)
+            .build()
+            .unwrap();
+        let result = session.run().unwrap();
+        assert!(
+            result.total_whatif_misses() > 0,
+            "shadow pricing costs hypothetically every round"
+        );
+        assert!(
+            result.total_whatif_hits() > 0,
+            "repeat rounds must be served from the what-if memo"
+        );
+        assert!(result.whatif_hit_rate() > 0.0);
+        let svc = session.whatif_stats();
+        assert_eq!(
+            svc.hits,
+            result.total_whatif_hits(),
+            "record deltas must sum to the service totals"
+        );
+
+        // A NoIndex session never costs hypothetically.
+        let mut plain = SessionBuilder::new()
+            .benchmark(ssb(0.02))
+            .workload(WorkloadKind::Static { rounds: 3 })
+            .tuner(TunerKind::NoIndex)
+            .seed(7)
+            .build()
+            .unwrap();
+        let plain_result = plain.run().unwrap();
+        assert_eq!(plain_result.total_whatif_hits(), 0);
+        assert_eq!(plain_result.total_whatif_misses(), 0);
     }
 
     #[test]

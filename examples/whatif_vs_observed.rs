@@ -64,7 +64,7 @@ fn main() {
     for custkey in [0i64, 1, 5, 777, 7777] {
         let q = query_for(custkey);
         // What-if: estimated cost with the hypothetical index.
-        let wi = WhatIf::new(&catalog, &stats, &cost);
+        let mut wi = WhatIf::new(&catalog, &stats, &cost);
         let estimate = wi.cost_query(&q, std::slice::from_ref(&index), false);
 
         // Reality: materialise, plan, execute, measure.

@@ -71,9 +71,9 @@ pub use dba_workloads as workloads;
 pub mod prelude {
     pub use dba_baselines::{NoIndexAdvisor, PdToolAdvisor};
     pub use dba_common::{SimClock, SimSeconds};
-    pub use dba_core::{Advisor, AdvisorCost, MabConfig, MabTuner};
+    pub use dba_core::{Advisor, AdvisorCost, MabConfig, MabTuner, RoundContext};
     pub use dba_engine::{CostModel, Executor, Query, QueryExecution};
-    pub use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIf};
+    pub use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIf, WhatIfService};
     pub use dba_safety::{SafeguardedAdvisor, SafetyConfig, SafetyReport};
     pub use dba_session::{
         RoundEvent, RoundRecord, RunResult, SessionBuilder, TunerKind, TuningSession,
