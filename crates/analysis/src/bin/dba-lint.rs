@@ -1,0 +1,68 @@
+//! `dba-lint` — walk every workspace `.rs` file and enforce the invariant
+//! rules (D01/D02/D03/C01/V01 + allowlist hygiene).
+//!
+//! Usage: `cargo run -p dba-analysis --bin dba-lint [-- --json] [--root DIR]`
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("dba-lint [--json] [--root DIR]");
+                eprintln!("rules: {}", dba_analysis::rules::RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace the binary was built from, so `cargo run
+    // -p dba-analysis --bin dba-lint` works from any cwd inside the repo.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/analysis has a workspace root two levels up")
+            .to_path_buf()
+    });
+
+    let diags = match dba_analysis::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("dba-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", dba_analysis::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        if !diags.is_empty() {
+            eprintln!("dba-lint: {} finding(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

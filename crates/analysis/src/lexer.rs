@@ -1,0 +1,478 @@
+//! A small, dependency-free Rust lexer.
+//!
+//! Produces a token stream that is *string-, char-, and comment-aware*:
+//! rule patterns never match inside literals or comments, which is the
+//! failure mode of grep-based lint scripts. This is deliberately not a
+//! parser — the build environment is offline (no `syn`), and every rule in
+//! [`crate::rules`] is expressible over tokens plus brace depth.
+//!
+//! Two comment shapes are surfaced as side-channel directives instead of
+//! being discarded:
+//!
+//! - `// lint: allow(RULE, ...) — reason` suppresses findings on the same
+//!   or the next source line; the reason is mandatory (see
+//!   [`crate::rules::check_allow_directives`]).
+//! - `// bumps: catalog_version` (or `stats_version`) marks a method as a
+//!   version-bumping mutator for rule V01.
+
+/// Token classes. Rules mostly care about `Ident` text and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    /// String / raw-string / byte-string literal (content dropped).
+    Str,
+    /// Character literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    /// Brace depth *before* this token is applied (`{` at depth 0 opens
+    /// depth 1). Parens and brackets are tracked separately by rules that
+    /// need them.
+    pub depth: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// `// lint: allow(D01, D03) — reason` parsed from a line comment.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    pub line: u32,
+    pub rules: Vec<String>,
+    /// Text after the rule list (separator stripped). Empty = malformed.
+    pub reason: String,
+}
+
+/// `// bumps: catalog_version` parsed from a line comment.
+#[derive(Debug, Clone)]
+pub struct BumpMarker {
+    pub line: u32,
+    pub kind: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub allows: Vec<AllowDirective>,
+    pub bumps: Vec<BumpMarker>,
+}
+
+/// Lex `src` into tokens plus comment directives. Never fails: unknown
+/// bytes are skipped (the linter must not abort the workspace walk on one
+/// odd file).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut depth: u32 = 0;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                let comment: String = b[start..j].iter().collect();
+                parse_directive(comment.trim(), line, &mut out);
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Nested block comments, as in real Rust.
+                let mut nest = 1u32;
+                let mut j = i + 2;
+                while j < b.len() && nest > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        nest += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        nest -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (j, nl) = skip_string(&b, i);
+                out.tokens.push(tok(TokKind::Str, "\"\"", line, depth));
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (j, nl, kind) = skip_prefixed_string(&b, i);
+                out.tokens.push(tok(kind, "\"\"", line, depth));
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'ident` with no closing quote
+                // is a lifetime/label.
+                if i + 1 < b.len() && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                    let mut j = i + 2;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == '\'' {
+                        // 'a' — a char literal after all.
+                        out.tokens.push(tok(TokKind::Char, "''", line, depth));
+                        i = j + 1;
+                    } else {
+                        let text: String = b[i..j].iter().collect();
+                        out.tokens.push(tok(TokKind::Lifetime, &text, line, depth));
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: '\n', '\'', '('.
+                    let mut j = i + 1;
+                    if j < b.len() && b[j] == '\\' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    while j < b.len() && b[j] != '\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(tok(TokKind::Char, "''", line, depth));
+                    i = (j + 1).min(b.len());
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let text: String = b[i..j].iter().collect();
+                out.tokens.push(tok(TokKind::Ident, &text, line, depth));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                let mut seen_dot = false;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        // Exponent sign: 1e-3.
+                        if (d == 'e' || d == 'E')
+                            && j + 1 < b.len()
+                            && (b[j + 1] == '+' || b[j + 1] == '-')
+                        {
+                            j += 2;
+                            continue;
+                        }
+                        j += 1;
+                    } else if d == '.' && !seen_dot && j + 1 < b.len() && b[j + 1].is_ascii_digit()
+                    {
+                        // 1.5 — but not the range 1..5 or the call 1.max(2).
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(tok(TokKind::Num, "0", line, depth));
+                i = j;
+            }
+            _ => {
+                if c == '{' {
+                    out.tokens.push(tok(TokKind::Punct, "{", line, depth));
+                    depth += 1;
+                } else if c == '}' {
+                    depth = depth.saturating_sub(1);
+                    out.tokens.push(tok(TokKind::Punct, "}", line, depth));
+                } else {
+                    out.tokens
+                        .push(tok(TokKind::Punct, &c.to_string(), line, depth));
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: TokKind, text: &str, line: u32, depth: u32) -> Tok {
+    Tok {
+        kind,
+        text: text.to_string(),
+        line,
+        depth,
+    }
+}
+
+/// Skip a plain `"..."` string starting at `i`; returns (next index,
+/// newlines crossed).
+fn skip_string(b: &[char], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut nl = 0;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            '"' => return (j + 1, nl),
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r"...", r#"..."#, b"...", br"...", b'...' handled elsewhere.
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == 'r' {
+        j += 1;
+        while j < b.len() && b[j] == '#' {
+            j += 1;
+        }
+        return j < b.len() && b[j] == '"';
+    }
+    j < b.len() && b[j] == '"' && b[i] == 'b'
+}
+
+/// Skip `r"..."` / `r#"..."#` / `b"..."` / `br#"..."#` starting at `i`.
+fn skip_prefixed_string(b: &[char], i: usize) -> (usize, u32, TokKind) {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == '"', "caller checked the prefix");
+    j += 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        if b[j] == '\n' {
+            nl += 1;
+            j += 1;
+        } else if !raw && b[j] == '\\' {
+            j += 2;
+        } else if b[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while raw && k < b.len() && b[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if !raw || seen == hashes {
+                return (k, nl, TokKind::Str);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (j, nl, TokKind::Str)
+}
+
+/// Recognise the two directive comments; everything else is discarded.
+fn parse_directive(comment: &str, line: u32, out: &mut Lexed) {
+    if let Some(rest) = comment.strip_prefix("lint:") {
+        let rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix("allow(") {
+            let Some(close) = after.find(')') else {
+                out.allows.push(AllowDirective {
+                    line,
+                    rules: vec![],
+                    reason: String::new(),
+                });
+                return;
+            };
+            let rules: Vec<String> = after[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            // The reason follows the close paren; strip one leading
+            // separator (`—`, `-`, `:`) then require substance.
+            let mut reason = after[close + 1..].trim();
+            for sep in ["—", "–", "-", ":"] {
+                if let Some(r) = reason.strip_prefix(sep) {
+                    reason = r.trim();
+                    break;
+                }
+            }
+            out.allows.push(AllowDirective {
+                line,
+                rules,
+                reason: reason.to_string(),
+            });
+        }
+    } else if let Some(rest) = comment.strip_prefix("bumps:") {
+        let kind = rest.trim().to_string();
+        if !kind.is_empty() {
+            out.bumps.push(BumpMarker { line, kind });
+        }
+    }
+}
+
+/// Remove token ranges covered by `#[cfg(test)]` items (almost always
+/// `mod tests { ... }`). Rules run on production code only; fixture files
+/// exercise them directly.
+pub fn strip_cfg_test(tokens: Vec<Tok>) -> Vec<Tok> {
+    let mut keep = vec![true; tokens.len()];
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip the attributed item: everything up to and including either
+        // a `;` before any `{`, or the matching `}` of the first `{`.
+        let mut j = i + 7;
+        let mut end = tokens.len();
+        while j < tokens.len() {
+            if tokens[j].is_punct(';') {
+                end = j + 1;
+                break;
+            }
+            if tokens[j].is_punct('{') {
+                let open_depth = tokens[j].depth;
+                let mut k = j + 1;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('}') && tokens[k].depth == open_depth {
+                        break;
+                    }
+                    k += 1;
+                }
+                end = (k + 1).min(tokens.len());
+                break;
+            }
+            j += 1;
+        }
+        for flag in keep.iter_mut().take(end).skip(i) {
+            *flag = false;
+        }
+        i = end;
+    }
+    tokens
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(t, k)| k.then_some(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let l = lex(r#"let a = "partial_cmp"; /* unwrap */ b.c()"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("partial_cmp")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("c")));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) { r#\"has \"quote\" inside\"#; }");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("quote")));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = lex("let c = 'x'; let d: Vec<'static>;");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn allow_directive_parses_rules_and_reason() {
+        let l = lex("x(); // lint: allow(D01, D03) — iteration feeds a set union\n");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].rules, vec!["D01", "D03"]);
+        assert!(l.allows[0].reason.contains("set union"));
+    }
+
+    #[test]
+    fn reasonless_allow_has_empty_reason() {
+        let l = lex("// lint: allow(D02)\n// lint: allow(D02) —\n");
+        assert_eq!(l.allows.len(), 2);
+        assert!(l.allows.iter().all(|a| a.reason.is_empty()));
+    }
+
+    #[test]
+    fn bump_marker_parses() {
+        let l = lex("// bumps: catalog_version\nfn create(&mut self) {}\n");
+        assert_eq!(l.bumps.len(), 1);
+        assert_eq!(l.bumps[0].kind, "catalog_version");
+        assert_eq!(l.bumps[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_test_mods_are_stripped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn dead() { x.lock().unwrap(); } }\nfn also_live() {}";
+        let l = lex(src);
+        let toks = strip_cfg_test(l.tokens);
+        assert!(toks.iter().any(|t| t.is_ident("live")));
+        assert!(toks.iter().any(|t| t.is_ident("also_live")));
+        assert!(!toks.iter().any(|t| t.is_ident("dead")));
+        assert!(!toks.iter().any(|t| t.is_ident("lock")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let l = lex("let s = \"a\nb\nc\";\nfn f() {}");
+        let f = l.tokens.iter().find(|t| t.is_ident("f")).unwrap();
+        assert_eq!(f.line, 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! `dba-analysis` — a dependency-free static-analysis pass for the
+//! workspace's determinism, NaN-safety, lock-hygiene, and version-bump
+//! invariants.
+//!
+//! The headline guarantees of this reproduction — bit-identical parallel
+//! suite runs, version-validated plan/what-if caches, safety-ledger regret
+//! accounting — were previously enforced by convention only. This crate
+//! makes them machine-checked. See README "Correctness tooling" for the
+//! rule catalogue; `cargo run -p dba-analysis --bin dba-lint` runs it.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D01  | no unnormalized `HashMap`/`HashSet` iteration in result-affecting crates |
+//! | D02  | no wall-clock/OS-entropy reads outside `dba-bench` |
+//! | D03  | no `partial_cmp(..).unwrap()` float ordering (use `total_cmp`) |
+//! | C01  | mutex access via the `SafetyLedger` wrapper; no guard held across `Advisor` calls |
+//! | V01  | `Catalog`/`StatsCatalog` mutators bump their version counter (`// bumps:` markers) |
+//! | A00  | every `// lint: allow(RULE)` carries a written reason |
+//!
+//! Suppression: `// lint: allow(RULE) — reason` on the finding's line or
+//! the line above. The reason is mandatory; a reason-less allow is itself
+//! a finding and does not suppress.
+
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use policy::FilePolicy;
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// One diagnostic, located in a file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The `file:line [RULE] message` form the CLI prints.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{} [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lint one source text under an explicit policy. This is the entry point
+/// the fixture tests drive; the workspace walk resolves policy from paths.
+pub fn lint_source(src: &str, policy: &FilePolicy) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let toks = lexer::strip_cfg_test(lexed.tokens);
+
+    let mut findings = rules::check_allow_directives(&lexed.allows);
+    if !policy.is_test {
+        findings.extend(rules::d01_nondeterministic_iteration(&toks, policy));
+        findings.extend(rules::d02_wall_clock_entropy(&toks, policy));
+        findings.extend(rules::d03_nan_unsafe_ordering(&toks, policy));
+        findings.extend(rules::c01_lock_hygiene(&toks, policy));
+        findings.extend(rules::v01_version_bump(&toks, policy, &lexed.bumps));
+    }
+    let mut findings = rules::apply_allows(findings, &lexed.allows);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Recursively collect workspace `.rs` files under `root`, skipping paths
+/// the policy excludes (vendor/, target/, fixtures/, dotdirs).
+fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        // Deterministic walk order — the linter obeys its own D01.
+        entries.sort();
+        for path in entries {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            if policy::skip_path(rel) {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint the whole workspace rooted at `root`. IO errors on individual
+/// files are reported as diagnostics rather than aborting the walk.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let Some(policy) = policy::policy_for(&rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(&path)?;
+        for f in lint_source(&src, &policy) {
+            out.push(Diagnostic {
+                file: rel.display().to_string(),
+                line: f.line,
+                rule: f.rule,
+                message: f.message,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Minimal JSON encoding of the diagnostics (the build env has no serde
+/// for this crate by design: the linter must stay dependency-free).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&d.file),
+            d.line,
+            d.rule,
+            esc(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_policy() -> FilePolicy {
+        policy::policy_for(Path::new("crates/core/src/x.rs")).unwrap()
+    }
+
+    #[test]
+    fn clean_source_yields_nothing() {
+        let f = lint_source(
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }",
+            &core_policy(),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let d = vec![Diagnostic {
+            file: "a.rs".into(),
+            line: 1,
+            rule: "D03",
+            message: "uses `partial_cmp(\"x\")`".into(),
+        }];
+        let j = to_json(&d);
+        assert!(j.contains("\\\"x\\\""));
+        assert!(j.trim_start().starts_with('['));
+    }
+
+    #[test]
+    fn render_is_file_line_rule_message() {
+        let d = Diagnostic {
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            rule: "D01",
+            message: "m".into(),
+        };
+        assert_eq!(d.render(), "crates/core/src/x.rs:7 [D01] m");
+    }
+}

@@ -1,0 +1,167 @@
+//! The embedded per-crate policy table: which rules apply where.
+//!
+//! The repo's determinism guarantees are not uniform — wall-clock reads are
+//! fine in the bench harness but poison a tuning trajectory, and HashMap
+//! iteration only threatens reproducibility where its order can reach
+//! records/JSON. Scoping lives here, in one place, instead of in scattered
+//! allow comments.
+
+use std::path::Path;
+
+/// V01 configuration for one version-discipline file.
+#[derive(Debug, Clone)]
+pub struct V01Policy {
+    /// Token sequences whose presence in a `&mut self` method body marks it
+    /// as a tracked-state mutator (e.g. `self.indexes`).
+    pub mutation_seqs: &'static [&'static [&'static str]],
+    /// Idents that satisfy the bump obligation (the bump helper itself, or
+    /// a delegate that is marked in turn).
+    pub bump_tokens: &'static [&'static str],
+}
+
+/// Which rules run on one file.
+#[derive(Debug, Clone)]
+pub struct FilePolicy {
+    pub crate_name: String,
+    /// Test-context files (under `tests/` or `benches/`): only allowlist
+    /// hygiene (A00) runs there; `#[cfg(test)]` bodies in production files
+    /// are stripped by the lexer either way.
+    pub is_test: bool,
+    pub d01: bool,
+    pub d02: bool,
+    pub d03: bool,
+    pub c01: bool,
+    pub v01: Option<V01Policy>,
+}
+
+/// Crates whose outputs feed records/JSON/baselines: HashMap iteration
+/// order there is a reproducibility hazard (D01).
+const RESULT_AFFECTING: &[&str] = &[
+    "dba-core",
+    "dba-optimizer",
+    "dba-safety",
+    "dba-session",
+    "dba-baselines",
+];
+
+/// Crates allowed to read wall-clock time and OS entropy (D02 exempt):
+/// the bench harness times real work by design.
+const WALL_CLOCK_OK: &[&str] = &["dba-bench"];
+
+const CATALOG_MUTATIONS: &[&[&str]] = &[&["self", ".", "indexes"], &["self", ".", "drift"]];
+const STATS_MUTATIONS: &[&[&str]] = &[&["self", ".", "rows"], &["self", ".", "base"]];
+/// `bump_version` is the canonical bump; `refresh_table` bumps internally,
+/// so delegating mutators (`refresh`, `refresh_stale`) satisfy V01 through
+/// it.
+const BUMP_TOKENS: &[&str] = &["bump_version", "refresh_table"];
+
+/// Should this path be skipped entirely (no lexing, no findings)?
+pub fn skip_path(rel: &Path) -> bool {
+    rel.components().any(|c| {
+        let s = c.as_os_str().to_string_lossy();
+        s == "vendor" || s == "target" || s == "fixtures" || s.starts_with('.')
+    })
+}
+
+/// Policy for one workspace-relative path. `None` when the file is skipped.
+pub fn policy_for(rel: &Path) -> Option<FilePolicy> {
+    if skip_path(rel) {
+        return None;
+    }
+    let comps: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let crate_name = if comps.first().map(String::as_str) == Some("crates") && comps.len() > 1 {
+        format!("dba-{}", comps[1])
+    } else {
+        // Root package files: src/, tests/, examples/.
+        "dba-bandits".to_string()
+    };
+    // `crates/core` is the package `dba-core`, etc.; the one mismatch is
+    // the root package itself.
+    let is_test = comps.iter().any(|c| c == "tests" || c == "benches");
+
+    let file_name = rel.file_name().map(|f| f.to_string_lossy().into_owned());
+    let v01 = match (crate_name.as_str(), file_name.as_deref()) {
+        ("dba-storage", Some("catalog.rs")) => Some(V01Policy {
+            mutation_seqs: CATALOG_MUTATIONS,
+            bump_tokens: BUMP_TOKENS,
+        }),
+        ("dba-optimizer", Some("stats.rs")) => Some(V01Policy {
+            mutation_seqs: STATS_MUTATIONS,
+            bump_tokens: BUMP_TOKENS,
+        }),
+        _ => None,
+    };
+
+    Some(FilePolicy {
+        d01: RESULT_AFFECTING.contains(&crate_name.as_str()),
+        d02: !WALL_CLOCK_OK.contains(&crate_name.as_str()) && crate_name != "dba-analysis",
+        d03: true,
+        c01: true,
+        v01,
+        crate_name,
+        is_test,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_and_fixtures_are_skipped() {
+        assert!(policy_for(Path::new("vendor/rand/src/lib.rs")).is_none());
+        assert!(policy_for(Path::new("crates/analysis/tests/fixtures/d01.rs")).is_none());
+        assert!(policy_for(Path::new("target/debug/build/x.rs")).is_none());
+    }
+
+    #[test]
+    fn result_affecting_scoping() {
+        let p = policy_for(Path::new("crates/core/src/tuner.rs")).unwrap();
+        assert!(p.d01 && p.d02 && p.d03 && p.c01);
+        let p = policy_for(Path::new("crates/engine/src/exec.rs")).unwrap();
+        assert!(!p.d01 && p.d03);
+        let p = policy_for(Path::new("crates/bench/src/bin/fig9_htap.rs")).unwrap();
+        assert!(
+            !p.d02 && p.d03,
+            "bench may read wall-clock but not NaN-sort"
+        );
+    }
+
+    #[test]
+    fn test_dirs_are_test_context() {
+        assert!(
+            policy_for(Path::new("tests/integration.rs"))
+                .unwrap()
+                .is_test
+        );
+        assert!(
+            policy_for(Path::new("crates/bench/benches/micro.rs"))
+                .unwrap()
+                .is_test
+        );
+        assert!(
+            !policy_for(Path::new("crates/bench/src/bin/fig9_htap.rs"))
+                .unwrap()
+                .is_test
+        );
+    }
+
+    #[test]
+    fn v01_targets_catalog_and_stats() {
+        assert!(policy_for(Path::new("crates/storage/src/catalog.rs"))
+            .unwrap()
+            .v01
+            .is_some());
+        assert!(policy_for(Path::new("crates/optimizer/src/stats.rs"))
+            .unwrap()
+            .v01
+            .is_some());
+        assert!(policy_for(Path::new("crates/optimizer/src/planner.rs"))
+            .unwrap()
+            .v01
+            .is_none());
+    }
+}

@@ -1,0 +1,625 @@
+//! The rule implementations.
+//!
+//! Every rule is a pure function over the lexed token stream plus the file
+//! policy; findings carry the rule id, line, and a message. Heuristics are
+//! deliberately conservative-but-loud: a justified false positive is
+//! silenced with `// lint: allow(RULE) — reason`, which doubles as
+//! reviewer-facing documentation of *why* the site is safe.
+
+use crate::lexer::{AllowDirective, BumpMarker, Tok};
+use crate::policy::FilePolicy;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+pub const RULES: &[&str] = &["D01", "D02", "D03", "C01", "V01", "A00"];
+
+fn finding(rule: &'static str, line: u32, message: impl Into<String>) -> Finding {
+    Finding {
+        rule,
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D01 — nondeterministic iteration over hash containers
+// ---------------------------------------------------------------------------
+
+/// Iteration adapters that observe hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Tokens downstream of an iteration that restore determinism: an explicit
+/// sort, a collect into an ordered (or re-hashed, order-free) container, or
+/// an order-insensitive reduction. `fold` is deliberately absent — it is
+/// order-sensitive in general and must be allowlisted when commutative.
+const NORMALIZERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+    "sum",
+    "product",
+    "count",
+    "len",
+    "is_empty",
+    "min",
+    "max",
+    "all",
+    "any",
+    "extend",
+];
+
+/// Collect identifiers that are (locally provable) hash containers: let
+/// bindings with a `HashMap`/`HashSet` type or initialiser, struct fields,
+/// and typed fn params.
+fn hash_container_names(toks: &[Tok]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        // `name : [&] [mut] ['a] HashMap <` — fields, params, typed lets.
+        if toks[i].kind == crate::lexer::TokKind::Ident
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct(':')
+        {
+            let mut j = i + 2;
+            while j < toks.len()
+                && (toks[j].is_punct('&')
+                    || toks[j].is_ident("mut")
+                    || toks[j].kind == crate::lexer::TokKind::Lifetime)
+            {
+                j += 1;
+            }
+            if j < toks.len() && (toks[j].is_ident("HashMap") || toks[j].is_ident("HashSet")) {
+                names.push(toks[i].text.clone());
+            }
+        }
+        // `let [mut] name = HashMap::new()` and friends.
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j + 2 < toks.len()
+                && toks[j].kind == crate::lexer::TokKind::Ident
+                && toks[j + 1].is_punct('=')
+                && (toks[j + 2].is_ident("HashMap") || toks[j + 2].is_ident("HashSet"))
+            {
+                names.push(toks[j].text.clone());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Statement-chain window for the normalization check: from the iteration
+/// site to the end of the current statement *plus one more statement* — the
+/// `let v: Vec<_> = map.values().collect(); v.sort();` idiom normalizes on
+/// the following line.
+fn chain_window(toks: &[Tok], site: usize) -> std::ops::Range<usize> {
+    let depth = toks[site].depth;
+    let mut semis = 0;
+    let mut j = site;
+    while j < toks.len() {
+        if toks[j].depth < depth {
+            break; // enclosing block closed
+        }
+        if toks[j].is_punct(';') && toks[j].depth == depth {
+            semis += 1;
+            if semis == 2 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    site..j
+}
+
+pub fn d01_nondeterministic_iteration(toks: &[Tok], policy: &FilePolicy) -> Vec<Finding> {
+    if !policy.d01 {
+        return vec![];
+    }
+    let names = hash_container_names(toks);
+    if names.is_empty() {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    let is_tracked = |t: &Tok| t.kind == crate::lexer::TokKind::Ident && names.contains(&t.text);
+
+    for i in 0..toks.len() {
+        // Pattern A: `name.method(` with method an iteration adapter.
+        let method_site = i + 2 < toks.len()
+            && is_tracked(&toks[i])
+            && toks[i + 1].is_punct('.')
+            && toks[i + 2].kind == crate::lexer::TokKind::Ident
+            && ITER_METHODS.contains(&toks[i + 2].text.as_str())
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('));
+        // Pattern B: `for pat in &[mut] name {` / `for pat in name {`.
+        let for_site = is_tracked(&toks[i])
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('{'))
+            && toks[..i].iter().rev().take(8).any(|t| t.is_ident("in"))
+            && toks[..i].iter().rev().take(12).any(|t| t.is_ident("for"));
+        if !(method_site || for_site) {
+            continue;
+        }
+        if for_site {
+            // A for-loop body has no chain to normalize in; it is
+            // order-dependent unless proven otherwise by a human.
+            out.push(finding(
+                "D01",
+                toks[i].line,
+                format!(
+                    "for-loop over hash container `{}`: iteration order is \
+                     nondeterministic in a result-affecting crate; iterate a \
+                     sorted snapshot or annotate why order cannot reach results",
+                    toks[i].text
+                ),
+            ));
+            continue;
+        }
+        let win = chain_window(toks, i);
+        let normalized = toks[win].iter().any(|t| {
+            t.kind == crate::lexer::TokKind::Ident && NORMALIZERS.contains(&t.text.as_str())
+        });
+        if !normalized {
+            out.push(finding(
+                "D01",
+                toks[i].line,
+                format!(
+                    "`{}.{}()` iterates a hash container without an ordering \
+                     normalization on the statement chain (sort / ordered \
+                     collect / order-insensitive reduction)",
+                    toks[i].text,
+                    toks[i + 2].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D02 — wall-clock / OS entropy in deterministic crates
+// ---------------------------------------------------------------------------
+
+pub fn d02_wall_clock_entropy(toks: &[Tok], policy: &FilePolicy) -> Vec<Finding> {
+    if !policy.d02 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let hit = if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            // `Instant::now()` / `SystemTime::now()`; the bare type in a
+            // signature is already a smell, but only flag the read.
+            toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        } else if t.is_ident("thread_rng") {
+            true
+        } else if t.is_ident("random")
+            && i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+        {
+            // `rand::random` / `random()` via path.
+            true
+        } else {
+            false
+        };
+        if hit {
+            out.push(finding(
+                "D02",
+                t.line,
+                format!(
+                    "`{}` reads wall-clock/OS entropy in `{}`: all time must be \
+                     SimSeconds from the cost model and all randomness seeded \
+                     (StdRng::seed_from_u64), or trajectories stop replaying",
+                    t.text, policy.crate_name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D03 — NaN-unsafe float ordering
+// ---------------------------------------------------------------------------
+
+pub fn d03_nan_unsafe_ordering(toks: &[Tok], policy: &FilePolicy) -> Vec<Finding> {
+    if !policy.d03 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("partial_cmp") {
+            continue;
+        }
+        // Match the call's closing paren, then look for `.unwrap()` /
+        // `.expect(...)` chained onto the Option.
+        let Some(open) = toks.get(i + 1).filter(|t| t.is_punct('(')) else {
+            continue;
+        };
+        let _ = open;
+        let mut paren = 0i32;
+        let mut j = i + 1;
+        let mut close = None;
+        while j < toks.len() {
+            if toks[j].is_punct('(') {
+                paren += 1;
+            } else if toks[j].is_punct(')') {
+                paren -= 1;
+                if paren == 0 {
+                    close = Some(j);
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(c) = close else { continue };
+        if toks.get(c + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(c + 2)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+        {
+            out.push(finding(
+                "D03",
+                toks[i].line,
+                "`partial_cmp(..).unwrap()` panics on NaN mid-session; use \
+                 `total_cmp` (and prune non-finite values first when scores \
+                 can be ±inf/NaN) — the greedy_select idiom in core/oracle.rs",
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// C01 — lock hygiene
+// ---------------------------------------------------------------------------
+
+/// `Advisor` trait methods: calling back into the tuning stack while
+/// holding the ledger lock is the deadlock/latency hazard the SafetyLedger
+/// wrapper exists to prevent.
+const ADVISOR_METHODS: &[&str] = &["before_round", "after_round", "on_data_change"];
+
+pub fn c01_lock_hygiene(toks: &[Tok], policy: &FilePolicy) -> Vec<Finding> {
+    if !policy.c01 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("lock") {
+            continue;
+        }
+        // `.lock().unwrap()` / `.lock().expect(` — raw mutex use; all lock
+        // points must go through the SafetyLedger wrapper so poisoning
+        // policy lives in one place.
+        if i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(i + 4)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+        {
+            out.push(finding(
+                "C01",
+                toks[i].line,
+                "raw `.lock().unwrap()/expect()`: route mutex access through \
+                 the SafetyLedger wrapper (the one blessed lock point) so \
+                 poisoning policy is centralised",
+            ));
+        }
+    }
+
+    // `let guard = ...lock()...;` held across a call into an Advisor
+    // method: the inner advisor may re-enter the ledger → deadlock.
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_ident("mut") {
+            j += 1;
+        }
+        let Some(name_tok) = toks
+            .get(j)
+            .filter(|t| t.kind == crate::lexer::TokKind::Ident)
+        else {
+            i += 1;
+            continue;
+        };
+        let binding = name_tok.text.clone();
+        let let_depth = toks[i].depth;
+        // Find end of the let statement and whether it takes a lock.
+        let mut k = j;
+        let mut locks = false;
+        while k < toks.len() && !(toks[k].is_punct(';') && toks[k].depth == let_depth) {
+            // Only a lock taken at the let's own brace depth makes the
+            // binding a guard: `let x = { let g = m.lock(); g.field };`
+            // drops the guard inside the block — `x` is plain data.
+            if toks[k].is_ident("lock")
+                && toks[k].depth == let_depth
+                && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+            {
+                locks = true;
+            }
+            k += 1;
+        }
+        if !locks {
+            i = k + 1;
+            continue;
+        }
+        // Guard live from k to the end of the enclosing block or drop().
+        let mut m = k + 1;
+        while m < toks.len() && toks[m].depth >= let_depth {
+            if toks[m].is_ident("drop")
+                && toks.get(m + 1).is_some_and(|t| t.is_punct('('))
+                && toks.get(m + 2).is_some_and(|t| t.text == binding)
+            {
+                break;
+            }
+            if toks[m].kind == crate::lexer::TokKind::Ident
+                && ADVISOR_METHODS.contains(&toks[m].text.as_str())
+                && toks.get(m + 1).is_some_and(|t| t.is_punct('('))
+            {
+                out.push(finding(
+                    "C01",
+                    toks[m].line,
+                    format!(
+                        "Advisor method `{}` called while MutexGuard `{}` \
+                         (bound at line {}) is lexically live: copy what you \
+                         need out of the guard scope first, or drop() it",
+                        toks[m].text, binding, name_tok.line
+                    ),
+                ));
+                break;
+            }
+            m += 1;
+        }
+        i = k + 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// V01 — version-bump discipline
+// ---------------------------------------------------------------------------
+
+/// A function item: name, signature range, body range.
+struct FnItem {
+    name: String,
+    line: u32,
+    sig: std::ops::Range<usize>,
+    body: std::ops::Range<usize>,
+}
+
+fn fn_items(toks: &[Tok]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+        {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            let fn_depth = toks[i].depth;
+            // Signature runs to the body `{` at the fn's own depth (or a
+            // `;` for a trait method without a default body).
+            let mut j = i + 2;
+            let mut body = 0..0;
+            let mut sig_end = j;
+            while j < toks.len() {
+                if toks[j].is_punct(';') && toks[j].depth == fn_depth {
+                    sig_end = j;
+                    break;
+                }
+                if toks[j].is_punct('{') && toks[j].depth == fn_depth {
+                    sig_end = j;
+                    let mut k = j + 1;
+                    while k < toks.len() && !(toks[k].is_punct('}') && toks[k].depth == fn_depth) {
+                        k += 1;
+                    }
+                    body = j + 1..k;
+                    break;
+                }
+                j += 1;
+            }
+            out.push(FnItem {
+                name,
+                line,
+                sig: i..sig_end,
+                body,
+            });
+            i = sig_end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn has_seq(toks: &[Tok], range: &std::ops::Range<usize>, seq: &[&str]) -> bool {
+    if range.len() < seq.len() {
+        return false;
+    }
+    'outer: for s in range.start..=range.end.saturating_sub(seq.len()) {
+        for (off, want) in seq.iter().enumerate() {
+            let t = &toks[s + off];
+            let matches = match *want {
+                "." => t.is_punct('.'),
+                "&" => t.is_punct('&'),
+                w => t.is_ident(w),
+            };
+            if !matches {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+pub fn v01_version_bump(toks: &[Tok], policy: &FilePolicy, bumps: &[BumpMarker]) -> Vec<Finding> {
+    let Some(v01) = &policy.v01 else {
+        return vec![];
+    };
+    let mut out = Vec::new();
+    let items = fn_items(toks);
+
+    // A marker binds to exactly the first fn declared after it.
+    let mut marked_fn_lines: Vec<u32> = Vec::new();
+
+    // Part 1: every `// bumps: X` marker must sit on a function whose body
+    // actually bumps (directly or through a marked delegate).
+    for marker in bumps {
+        let item = items.iter().find(|f| f.line >= marker.line);
+        if let Some(item) = item {
+            marked_fn_lines.push(item.line);
+        }
+        let Some(item) = item else {
+            out.push(finding(
+                "V01",
+                marker.line,
+                format!("`// bumps: {}` marker is not followed by a fn", marker.kind),
+            ));
+            continue;
+        };
+        let bumped = v01
+            .bump_tokens
+            .iter()
+            .any(|b| has_seq(toks, &item.body, &[b]));
+        if !bumped {
+            out.push(finding(
+                "V01",
+                item.line,
+                format!(
+                    "`{}` is marked `// bumps: {}` but its body never calls \
+                     a bump ({}): cached plans keyed on this version will \
+                     serve stale results",
+                    item.name,
+                    marker.kind,
+                    v01.bump_tokens.join("/")
+                ),
+            ));
+        }
+    }
+
+    // Part 2: every `&mut self` method that touches tracked state must
+    // carry a marker (or bump anyway — then the marker is just missing
+    // documentation, still flagged to keep the convention total).
+    for item in &items {
+        let mut_self = has_seq(toks, &item.sig, &["&", "mut", "self"]);
+        if !mut_self || item.body.is_empty() {
+            continue;
+        }
+        let mutates = v01
+            .mutation_seqs
+            .iter()
+            .any(|seq| has_seq(toks, &item.body, seq));
+        if !mutates {
+            continue;
+        }
+        // The bump helper itself is the mechanism, not a client.
+        if v01.bump_tokens.contains(&item.name.as_str()) {
+            continue;
+        }
+        let marked = marked_fn_lines.contains(&item.line);
+        if !marked {
+            out.push(finding(
+                "V01",
+                item.line,
+                format!(
+                    "`&mut self` method `{}` mutates version-tracked state \
+                     without a `// bumps:` marker: either bump the version \
+                     counter and mark it, or annotate why no bump is needed",
+                    item.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A00 — allowlist hygiene + suppression
+// ---------------------------------------------------------------------------
+
+pub fn check_allow_directives(allows: &[AllowDirective]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for a in allows {
+        if a.rules.is_empty() {
+            out.push(finding(
+                "A00",
+                a.line,
+                "malformed `// lint: allow(...)` directive: no rule names",
+            ));
+            continue;
+        }
+        for r in &a.rules {
+            if !RULES.contains(&r.as_str()) || r == "A00" {
+                out.push(finding(
+                    "A00",
+                    a.line,
+                    format!("`// lint: allow({r})` names an unknown rule"),
+                ));
+            }
+        }
+        if a.reason.trim().len() < 3 {
+            out.push(finding(
+                "A00",
+                a.line,
+                format!(
+                    "`// lint: allow({})` has no reason: suppressions must \
+                     say why the site is safe (`// lint: allow(RULE) — reason`)",
+                    a.rules.join(", ")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Drop findings covered by a well-formed allow on the same or previous
+/// line. Malformed (reason-less) allows never suppress.
+pub fn apply_allows(findings: Vec<Finding>, allows: &[AllowDirective]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !allows.iter().any(|a| {
+                a.reason.trim().len() >= 3
+                    && a.rules.iter().any(|r| r == f.rule)
+                    && (a.line == f.line || a.line + 1 == f.line)
+            })
+        })
+        .collect()
+}

@@ -1,0 +1,21 @@
+//! Allowlist fixture (malformed): reason-less and unknown-rule forms are
+//! themselves findings (A00), and a reason-less allow does NOT suppress.
+use std::collections::HashMap;
+
+fn unjustified(m: &HashMap<u64, f64>) -> Vec<f64> {
+    // lint: allow(D01)
+    m.values().copied().collect()
+}
+
+fn separator_but_no_reason(m: &HashMap<u64, f64>) -> Vec<f64> {
+    // lint: allow(D01) —
+    m.values().copied().collect()
+}
+
+fn unknown_rule() {
+    // lint: allow(Z99) — there is no rule Z99
+}
+
+fn empty_rule_list() {
+    // lint: allow()
+}

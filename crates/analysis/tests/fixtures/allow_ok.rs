@@ -1,0 +1,21 @@
+//! Allowlist fixture (well-formed): every suppression carries a reason,
+//! so none of these sites produce findings under the dba-core policy.
+use std::collections::HashMap;
+
+// Directive on the line above the finding.
+fn justified_iteration(m: &HashMap<u64, f64>) -> Vec<f64> {
+    // lint: allow(D01) — caller sorts; order cannot reach records
+    m.values().copied().collect()
+}
+
+// Directive on the finding's own line.
+fn justified_ordering(v: &mut Vec<f64>) {
+    v.retain(|x| x.is_finite());
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // lint: allow(D03) — pruned to finite above
+}
+
+// One directive may name several rules.
+fn multi_rule(m: &HashMap<u64, f64>) -> Vec<f64> {
+    // lint: allow(D01, D03) — diagnostic dump, never fed back into tuning
+    m.values().copied().collect()
+}

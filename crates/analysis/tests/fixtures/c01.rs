@@ -1,0 +1,46 @@
+//! C01 fixture: lock hygiene.
+//! Linted under the dba-safety policy.
+use std::sync::{Arc, Mutex, MutexGuard};
+
+trait FakeAdvisor {
+    fn before_round(&mut self, v: u64);
+}
+
+struct Shared {
+    inner: Arc<Mutex<u64>>,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, u64> {
+        // lint: allow(C01) — fixture stand-in for the SafetyLedger wrapper
+        self.inner.lock().unwrap()
+    }
+}
+
+// BAD: raw lock().unwrap() outside the wrapper.
+fn bad_raw_lock(s: &Shared) -> u64 {
+    *s.inner.lock().unwrap()
+}
+
+// BAD: guard lexically live across the advisor call.
+fn bad_guard_across_advisor(s: &Shared, advisor: &mut dyn FakeAdvisor) {
+    let g = s.lock();
+    advisor.before_round(*g);
+}
+
+// GOOD: the guard dies inside the block; only plain data crosses.
+fn good_scoped(s: &Shared, advisor: &mut dyn FakeAdvisor) {
+    let v = {
+        let g = s.lock();
+        *g
+    };
+    advisor.before_round(v);
+}
+
+// GOOD: explicit drop before the call.
+fn good_dropped(s: &Shared, advisor: &mut dyn FakeAdvisor) {
+    let g = s.lock();
+    let v = *g;
+    drop(g);
+    advisor.before_round(v);
+}

@@ -1,0 +1,47 @@
+//! D01 fixture: nondeterministic iteration over hash containers.
+//! Linted under the dba-core policy (result-affecting crate).
+use std::collections::{HashMap, HashSet};
+
+struct Registry {
+    by_id: HashMap<u64, String>,
+}
+
+fn emit(_s: &str) {}
+
+// BAD: for-loop over a map field, order reaches the emit sink.
+fn bad_for_loop(r: &Registry) {
+    for (_k, v) in &r.by_id {
+        emit(v);
+    }
+}
+
+// BAD: keys() collected into an order-preserving Vec, no sort.
+fn bad_chain(m: &HashMap<u64, f64>) -> Vec<u64> {
+    m.keys().copied().collect()
+}
+
+// BAD: for-loop over a locally built set.
+fn bad_set() {
+    let mut s = HashSet::new();
+    s.insert(3u32);
+    for x in &s {
+        emit(&x.to_string());
+    }
+}
+
+// GOOD: sorted on the next statement of the chain.
+fn good_sorted(m: &HashMap<u64, f64>) -> Vec<u64> {
+    let mut v: Vec<u64> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+// GOOD: order-insensitive reduction.
+fn good_sum(m: &HashMap<u64, u64>) -> u64 {
+    m.values().sum()
+}
+
+// GOOD: collected back into an unordered map (order cannot escape).
+fn good_remap(m: &HashMap<u64, u64>) -> HashMap<u64, u64> {
+    m.iter().map(|(&k, &v)| (k, v * 2)).collect::<HashMap<_, _>>()
+}

@@ -1,0 +1,30 @@
+//! D02 fixture: wall-clock / OS-entropy reads.
+//! Linted under the dba-core policy (deterministic crate); the same code
+//! under the dba-bench policy produces no findings.
+use std::time::{Instant, SystemTime};
+
+// BAD: wall-clock read.
+fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+// BAD: epoch read.
+fn bad_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+// BAD: OS-seeded rng.
+fn bad_thread_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+// BAD: convenience entropy.
+fn bad_random() -> u64 {
+    rand::random()
+}
+
+// GOOD: seeded, replayable randomness.
+fn good_seeded(seed: u64) -> rand::StdRng {
+    rand::SeedableRng::seed_from_u64(seed)
+}

@@ -1,0 +1,28 @@
+//! D03 fixture: NaN-unsafe float ordering.
+//! Linted under the dba-engine policy (D03 applies in every crate).
+
+// BAD: one NaN aborts the whole sort.
+fn bad_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+// BAD: expect() is the same panic with a nicer epitaph.
+fn bad_max(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.partial_cmp(b).expect("finite"))
+}
+
+// BAD: nested arguments don't confuse the paren matcher.
+fn bad_keyed(v: &mut [(u32, f64)]) {
+    v.sort_by(|a, b| (a.1 / 2.0).partial_cmp(&(b.1 / 2.0)).unwrap().then(a.0.cmp(&b.0)));
+}
+
+// GOOD: the total-order comparison, with non-finite pruning.
+fn good_total(v: &mut Vec<f64>) {
+    v.retain(|x| x.is_finite());
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+// GOOD: propagating the Option is honest about partiality.
+fn good_option(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}

@@ -1,0 +1,36 @@
+//! V01 fixture: version-bump discipline.
+//! Linted under the dba-storage catalog.rs policy (tracked state:
+//! `self.indexes` / `self.drift`; bump via `bump_version`).
+
+struct Catalog {
+    indexes: Vec<u64>,
+    versions: Vec<u64>,
+}
+
+impl Catalog {
+    fn bump_version(&mut self, t: usize) {
+        self.versions[t] += 1;
+    }
+
+    // bumps: catalog_version
+    fn good_create(&mut self, id: u64) {
+        self.indexes.push(id);
+        self.bump_version(0);
+    }
+
+    // BAD: marked as bumping, body never does — caches go stale silently.
+    // bumps: catalog_version
+    fn bad_marked_but_never_bumps(&mut self, id: u64) {
+        self.indexes.push(id);
+    }
+
+    // BAD: mutates the index set with neither marker nor bump.
+    fn bad_unmarked_mutator(&mut self, id: u64) {
+        self.indexes.retain(|&x| x != id);
+    }
+
+    // GOOD: reads don't need versions.
+    fn read_only(&self) -> usize {
+        self.indexes.len()
+    }
+}

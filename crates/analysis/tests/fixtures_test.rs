@@ -1,0 +1,131 @@
+//! Fixture suite: each rule must fire at the expected `file:line`, every
+//! well-formed allowlist comment must suppress, and the reason-less
+//! allowlist form must itself be rejected.
+//!
+//! Fixtures live under `tests/fixtures/` — a path the workspace walk
+//! skips (they contain deliberately bad code), so they are only ever
+//! linted here, under an explicitly chosen policy.
+
+use dba_analysis::{lint_source, policy};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint `name` under the policy of a representative workspace path and
+/// compare (rule, line) pairs exactly — extra findings are as much a bug
+/// as missing ones.
+fn assert_findings(name: &str, policy_path: &str, expected: &[(&str, u32)]) {
+    let src = fixture(name);
+    let pol = policy::policy_for(Path::new(policy_path))
+        .unwrap_or_else(|| panic!("policy path {policy_path} is skipped"));
+    let got: Vec<(String, u32)> = lint_source(&src, &pol)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect();
+    let want: Vec<(String, u32)> = expected.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(
+        got, want,
+        "findings mismatch for {name} under {policy_path}"
+    );
+}
+
+#[test]
+fn d01_fires_in_result_affecting_crates() {
+    assert_findings(
+        "d01.rs",
+        "crates/core/src/fixture.rs",
+        &[("D01", 13), ("D01", 20), ("D01", 27)],
+    );
+}
+
+#[test]
+fn d01_is_scoped_out_of_non_result_crates() {
+    // Same code under dba-engine (not result-affecting): no findings.
+    assert_findings("d01.rs", "crates/engine/src/fixture.rs", &[]);
+}
+
+#[test]
+fn d02_fires_in_deterministic_crates() {
+    assert_findings(
+        "d02.rs",
+        "crates/core/src/fixture.rs",
+        &[("D02", 8), ("D02", 13), ("D02", 18), ("D02", 24)],
+    );
+}
+
+#[test]
+fn d02_is_exempt_in_bench() {
+    assert_findings("d02.rs", "crates/bench/src/bin/fixture.rs", &[]);
+}
+
+#[test]
+fn d03_fires_everywhere() {
+    let expected = &[("D03", 6), ("D03", 11), ("D03", 16)];
+    assert_findings("d03.rs", "crates/engine/src/fixture.rs", expected);
+    // D03 has no crate exemption — bench binaries order floats too.
+    assert_findings("d03.rs", "crates/bench/src/bin/fixture.rs", expected);
+}
+
+#[test]
+fn c01_fires_on_raw_locks_and_live_guards() {
+    assert_findings(
+        "c01.rs",
+        "crates/safety/src/fixture.rs",
+        &[("C01", 22), ("C01", 28)],
+    );
+}
+
+#[test]
+fn v01_fires_on_marker_and_mutation_violations() {
+    assert_findings(
+        "v01.rs",
+        "crates/storage/src/catalog.rs",
+        &[("V01", 23), ("V01", 28)],
+    );
+}
+
+#[test]
+fn v01_is_scoped_to_versioned_files() {
+    // The same source under a non-versioned file: no findings.
+    assert_findings("v01.rs", "crates/storage/src/index.rs", &[]);
+}
+
+#[test]
+fn well_formed_allows_suppress() {
+    assert_findings("allow_ok.rs", "crates/core/src/fixture.rs", &[]);
+}
+
+#[test]
+fn reasonless_allows_are_rejected_and_do_not_suppress() {
+    assert_findings(
+        "allow_bad.rs",
+        "crates/core/src/fixture.rs",
+        &[
+            ("A00", 6),
+            ("D01", 7),
+            ("A00", 11),
+            ("D01", 12),
+            ("A00", 16),
+            ("A00", 20),
+        ],
+    );
+}
+
+#[test]
+fn test_context_files_only_get_allow_hygiene() {
+    // A test-context path: rule findings are skipped, malformed allow
+    // directives are still rejected.
+    let src = fixture("allow_bad.rs");
+    let pol = policy::policy_for(Path::new("tests/integration.rs")).unwrap();
+    assert!(pol.is_test);
+    let got: Vec<_> = lint_source(&src, &pol)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(got, vec![("A00", 6), ("A00", 11), ("A00", 16), ("A00", 20)]);
+}

@@ -233,20 +233,23 @@ impl DdqnAdvisor {
             }
             let t = &self.replay[self.rng.gen_range(0..self.replay.len())];
             // Double-DQN target: argmax by online net, value by target net.
+            // A diverging net can emit NaN/∞ q-values: those must neither
+            // panic the comparison nor win the argmax, and an all-non-finite
+            // round degrades to the bare reward target.
             let target_value = if t.next_inputs.is_empty() {
                 t.reward
             } else {
                 let best = t
                     .next_inputs
                     .iter()
-                    .max_by(|a, b| {
-                        self.online
-                            .predict(a)
-                            .partial_cmp(&self.online.predict(b))
-                            .unwrap()
-                    })
-                    .expect("non-empty");
-                t.reward + self.config.gamma * self.target.predict(best)
+                    .map(|a| (self.online.predict(a), a))
+                    .filter(|(q, _)| q.is_finite())
+                    .max_by(|(qa, _), (qb, _)| qa.total_cmp(qb))
+                    .map(|(_, a)| a);
+                match best {
+                    Some(a) => t.reward + self.config.gamma * self.target.predict(a),
+                    None => t.reward,
+                }
             };
             let input = t.input.clone();
             self.online.train_one(&input, target_value);
@@ -315,7 +318,7 @@ impl Advisor for DdqnAdvisor {
             order.sort_by(|&a, &b| {
                 let qa = self.online.predict(&Self::q_input(&state, &actions[a]));
                 let qb = self.online.predict(&Self::q_input(&state, &actions[b]));
-                qb.partial_cmp(&qa).unwrap()
+                qb.total_cmp(&qa)
             });
         }
         let mut selected: Vec<usize> = Vec::new();
@@ -328,7 +331,10 @@ impl Advisor for DdqnAdvisor {
             }
             if !explore {
                 let q = self.online.predict(&Self::q_input(&state, &actions[pos]));
-                if q <= 0.0 {
+                // NaN sorts first under descending `total_cmp`; it must
+                // stop greedy selection like any non-positive q, not buy
+                // an index on a diverged estimate.
+                if q.is_nan() || q <= 0.0 {
                     break;
                 }
             } else if !self.rng.gen_bool(0.5) {
@@ -342,14 +348,17 @@ impl Advisor for DdqnAdvisor {
             }
         }
 
-        // Materialise the diff (same protocol as the MAB tuner).
+        // Materialise the diff (same protocol as the MAB tuner). `current`
+        // is a HashMap, so sort the snapshot — catalog mutations must
+        // happen in a run-independent order.
         let selected_set: HashSet<usize> = selected.iter().copied().collect();
-        let to_drop: Vec<(IndexId, usize)> = self
+        let mut to_drop: Vec<(IndexId, usize)> = self
             .current
             .iter()
             .filter(|(_, arm)| !selected_set.contains(arm))
             .map(|(&id, &arm)| (id, arm))
             .collect();
+        to_drop.sort_unstable_by_key(|&(id, _)| id);
         for (id, arm) in to_drop {
             let _ = catalog.drop_index(id);
             self.current.remove(&id);

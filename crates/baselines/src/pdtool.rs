@@ -147,7 +147,7 @@ impl PdToolAdvisor {
                         cols.push((jc.ordinal, 0.05));
                     }
                 }
-                cols.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+                cols.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 cols.dedup_by_key(|(c, _)| *c);
                 if cols.is_empty() {
                     continue;
@@ -289,16 +289,12 @@ impl PdToolAdvisor {
                 let size = catalog.estimated_live_bytes(&def);
                 (def, benefit, size)
             })
-            .filter(|(_, benefit, _)| *benefit > 0.0)
+            .filter(|(_, benefit, _)| benefit.is_finite() && *benefit > 0.0)
             .collect();
 
         // Greedy by benefit density with same-(table, leading-key) damping
         // to avoid stacking near-duplicates.
-        scored.sort_by(|a, b| {
-            (b.1 / b.2.max(1) as f64)
-                .partial_cmp(&(a.1 / a.2.max(1) as f64))
-                .unwrap()
-        });
+        scored.sort_by(|a, b| (b.1 / b.2.max(1) as f64).total_cmp(&(a.1 / a.2.max(1) as f64)));
         let mut chosen: Vec<IndexDef> = Vec::new();
         let mut budget = self.config.memory_budget_bytes;
         let mut served: HashMap<(TableId, u16), u32> = HashMap::new();

@@ -122,7 +122,7 @@ fn main() {
         for i in 0..rounds {
             let per_rep = |runs: &[RunResult]| -> Vec<f64> {
                 let mut v: Vec<f64> = runs.iter().map(|r| r.rounds[i].total().secs()).collect();
-                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.sort_by(|a, b| a.total_cmp(b));
                 v
             };
             let d = per_rep(&ddqn_runs);

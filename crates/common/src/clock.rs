@@ -43,6 +43,14 @@ impl SimSeconds {
         self.0.is_finite()
     }
 
+    /// Total order over the underlying seconds (IEEE 754 totalOrder): safe
+    /// for `sort_by`/`max_by` even if a cost model ever leaks a NaN, where
+    /// `partial_cmp().unwrap()` would abort the session.
+    #[inline]
+    pub fn total_cmp(&self, other: &SimSeconds) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
     #[inline]
     pub fn max(self, other: SimSeconds) -> SimSeconds {
         SimSeconds(self.0.max(other.0))

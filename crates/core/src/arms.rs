@@ -289,8 +289,7 @@ fn orderings(
                     selectivity
                         .get(a)
                         .unwrap_or(&1.0)
-                        .partial_cmp(selectivity.get(b).unwrap_or(&1.0))
-                        .unwrap()
+                        .total_cmp(selectivity.get(b).unwrap_or(&1.0))
                         .then(a.cmp(b))
                 });
                 v

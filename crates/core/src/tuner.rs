@@ -307,14 +307,17 @@ impl MabTuner {
             }
         }
 
-        // Diff against materialised state: drop then create.
+        // Diff against materialised state: drop then create. `current` is
+        // a HashMap, so sort the snapshot — catalog mutations must happen
+        // in a run-independent order.
         let mut dropped = 0usize;
-        let to_drop: Vec<(IndexId, usize)> = self
+        let mut to_drop: Vec<(IndexId, usize)> = self
             .current
             .iter()
             .filter(|(_, arm)| !selected_set.contains(arm))
             .map(|(&id, &arm)| (id, arm))
             .collect();
+        to_drop.sort_unstable_by_key(|&(id, _)| id);
         for (id, arm) in to_drop {
             catalog.drop_index(id).expect("tracked index must exist");
             self.current.remove(&id);

@@ -71,7 +71,7 @@ impl QueryExecution {
             .iter()
             .filter(|a| a.table == table && a.index.is_some())
             .map(|a| a.time)
-            .max_by(|a, b| a.partial_cmp(b).unwrap())
+            .max_by(|a, b| a.total_cmp(b))
     }
 }
 

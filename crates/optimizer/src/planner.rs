@@ -93,6 +93,15 @@ struct AccessOption {
     rows_out: f64,
 }
 
+/// Ascending order on estimated driver output. Estimates flow out of
+/// `CardEstimator` arithmetic, so a degenerate histogram can hand the sort
+/// an ∞ or NaN; `total_cmp` keeps the sort total (no mid-session panic)
+/// and the explicit non-finite demotion keeps such a table from ever
+/// winning the driver slot on the spurious strength of `-inf`/`-NaN`.
+fn driver_order(a: f64, b: f64) -> std::cmp::Ordering {
+    (!a.is_finite()).cmp(&!b.is_finite()).then(a.total_cmp(&b))
+}
+
 /// The planner.
 pub struct Planner<'a> {
     ctx: &'a PlannerContext<'a>,
@@ -334,7 +343,7 @@ impl<'a> Planner<'a> {
             .collect();
 
         // Driver: smallest estimated output (classic greedy start).
-        accesses.sort_by(|a, b| a.1.rows_out.partial_cmp(&b.1.rows_out).unwrap());
+        accesses.sort_by(|a, b| driver_order(a.1.rows_out, b.1.rows_out));
         let (driver_table, driver_access) = accesses[0].clone();
 
         let mut joined: Vec<TableId> = vec![driver_table];
@@ -734,5 +743,33 @@ mod tests {
             .plan(&fact_query(vec![Predicate::eq(col(1, 1), 5)]))
             .est_cost;
         assert!(seek_cost.secs() < scan_cost.secs());
+    }
+
+    #[test]
+    fn non_finite_estimates_order_without_panicking() {
+        // Regression: driver ordering used `partial_cmp().unwrap()`, so one
+        // NaN cardinality estimate (degenerate histogram arithmetic) aborted
+        // the whole session. The ordering must stay total and must never
+        // hand a non-finite "smallest output" the driver slot.
+        let mut rows = [
+            (TableId(0), f64::NAN),
+            (TableId(1), 50.0),
+            (TableId(2), f64::INFINITY),
+            (TableId(3), 7.0),
+            (TableId(4), f64::NEG_INFINITY),
+        ];
+        rows.sort_by(|a, b| driver_order(a.1, b.1));
+        let order: Vec<TableId> = rows.iter().map(|r| r.0).collect();
+        // Finite estimates first (ascending); non-finite demoted behind
+        // them in total_cmp order (−inf < +inf < NaN).
+        assert_eq!(
+            order,
+            vec![TableId(3), TableId(1), TableId(4), TableId(2), TableId(0)]
+        );
+        assert_eq!(
+            driver_order(f64::NAN, f64::NAN),
+            std::cmp::Ordering::Equal,
+            "sort comparator must stay consistent on equal non-finites"
+        );
     }
 }

@@ -344,14 +344,24 @@ impl StatsCatalog {
     /// kept — selectivity fractions stay exact under the
     /// distribution-preserving drift model; what refresh fixes is the
     /// row-count *scale* every cardinality estimate is multiplied by.
+    // bumps: stats_version
     pub fn refresh_table(&mut self, catalog: &Catalog, table: TableId) {
         let i = table.raw() as usize;
         self.rows[i] = catalog.live_rows(table);
         self.changed_since_refresh[i] = 0;
-        self.versions[i] += 1;
+        self.bump_version(table);
+    }
+
+    /// The one bump point for the per-table statistics version, mirroring
+    /// `Catalog::bump_version` — cached plans and what-if entries key on
+    /// it, so every estimate-changing mutation must route through here.
+    #[inline]
+    fn bump_version(&mut self, table: TableId) {
+        self.versions[table.raw() as usize] += 1;
     }
 
     /// Re-ANALYZE every table (see [`refresh_table`](Self::refresh_table)).
+    // bumps: stats_version
     pub fn refresh(&mut self, catalog: &Catalog) {
         for i in 0..self.base.len() {
             self.refresh_table(catalog, TableId(i as u32));
@@ -362,6 +372,7 @@ impl StatsCatalog {
     /// `threshold` (per-table triggering, as in commercial systems — a
     /// churning dimension must not reset the fact table's counters).
     /// Returns how many tables were refreshed.
+    // bumps: stats_version
     pub fn refresh_stale(&mut self, catalog: &Catalog, threshold: f64) -> usize {
         let mut refreshed = 0;
         for i in 0..self.base.len() {

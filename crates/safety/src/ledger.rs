@@ -396,6 +396,7 @@ impl SafetyLedger {
     }
 
     pub(crate) fn lock(&self) -> MutexGuard<'_, SafetyState> {
+        // lint: allow(C01) — the SafetyLedger wrapper itself: the blessed lock point
         self.state.lock().expect("safety ledger lock poisoned")
     }
 

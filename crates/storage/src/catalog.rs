@@ -191,6 +191,7 @@ impl Catalog {
     /// round's inserts). Returns the *applied* delta — callers pricing
     /// maintenance or tracking staleness must use it, not the requested
     /// counts, so nobody is billed for rows that were never touched.
+    // bumps: catalog_version
     pub fn apply_drift(
         &mut self,
         table: TableId,
@@ -332,6 +333,7 @@ impl Catalog {
     ///
     /// The caller is responsible for charging creation time through the cost
     /// model; the catalog only builds the structure.
+    // bumps: catalog_version
     pub fn create_index(&mut self, def: IndexDef) -> DbResult<IndexMeta> {
         if def.key_cols.is_empty() {
             return Err(DbError::Invalid("index with no key columns".into()));
@@ -363,6 +365,7 @@ impl Catalog {
         Ok(meta)
     }
 
+    // bumps: catalog_version
     pub fn drop_index(&mut self, id: IndexId) -> DbResult<()> {
         let ix = self
             .indexes

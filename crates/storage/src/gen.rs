@@ -106,7 +106,7 @@ impl ZipfSampler {
     /// Sample a value in `[0, n)`; rank 0 is the hottest value.
     pub fn sample(&self, rng: &mut StdRng) -> u64 {
         let u: f64 = rng.gen();
-        let idx = match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+        let idx = match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i,
         };
