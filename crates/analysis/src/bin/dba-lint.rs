@@ -1,20 +1,32 @@
 //! `dba-lint` — walk every workspace `.rs` file and enforce the invariant
-//! rules (D01/D02/D03/C01/V01 + allowlist hygiene).
+//! rules: the token-local set (D01/D02/D03/C01/V01), the call-graph set
+//! (G01/G02/G03/G04), and allowlist hygiene (A00).
 //!
-//! Usage: `cargo run -p dba-analysis --bin dba-lint [-- --json] [--root DIR]`
+//! Usage: `cargo run -p dba-analysis --bin dba-lint [-- FLAGS]`
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "dba-lint [--json] [--root DIR] [--rule RULE]... [--list-rules] [--graph]
+
+  --json        emit findings as a JSON array instead of file:line lines
+  --root DIR    lint the workspace rooted at DIR (default: this repo)
+  --rule RULE   report only findings of RULE (repeatable, e.g. --rule G02)
+  --list-rules  print the rule table and exit
+  --graph       print the workspace call graph as GraphViz DOT and exit";
+
 fn main() -> ExitCode {
     let mut json = false;
+    let mut graph = false;
     let mut root: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--graph" => graph = true,
             "--root" => match args.next() {
                 Some(r) => root = Some(PathBuf::from(r)),
                 None => {
@@ -22,13 +34,36 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--rule" => match args.next() {
+                Some(r) => {
+                    let r = r.to_uppercase();
+                    if !dba_analysis::rules::RULES.contains(&r.as_str()) {
+                        eprintln!(
+                            "unknown rule `{r}` (known: {})",
+                            dba_analysis::rules::RULES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                    only.push(r);
+                }
+                None => {
+                    eprintln!("--rule requires a rule name (try --list-rules)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for (rule, doc) in dba_analysis::rules::RULE_DOCS {
+                    println!("{rule}  {doc}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
-                eprintln!("dba-lint [--json] [--root DIR]");
-                eprintln!("rules: {}", dba_analysis::rules::RULES.join(", "));
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
                 eprintln!("unknown argument `{other}` (try --help)");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
@@ -43,13 +78,29 @@ fn main() -> ExitCode {
             .to_path_buf()
     });
 
-    let diags = match dba_analysis::lint_workspace(&root) {
+    if graph {
+        match dba_analysis::workspace_model(&root) {
+            Ok((_, model)) => {
+                println!("{}", model.to_dot());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("dba-lint: {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut diags = match dba_analysis::lint_workspace(&root) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("dba-lint: {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if !only.is_empty() {
+        diags.retain(|d| only.iter().any(|r| r == d.rule));
+    }
     if json {
         println!("{}", dba_analysis::to_json(&diags));
     } else {

@@ -1,0 +1,462 @@
+//! The workspace model: symbol table + call graph over every parsed file.
+//!
+//! Name resolution is **suffix-qualified and deliberately conservative**:
+//! an edge is added only when the callee is unambiguous at the most
+//! specific tier that matches (same impl type → known receiver type →
+//! unique workspace-wide name). Ambiguity yields *no* edge — a missed
+//! transitive finding is recoverable by reading the README caveats; a
+//! false edge would make every graph rule cry wolf. The one deliberate
+//! over-approximation is dynamic dispatch: a call through a `dyn Trait` /
+//! generic-bound receiver fans out to every impl of that trait method,
+//! because each is genuinely reachable at runtime.
+
+use crate::lexer::{AllowDirective, BumpMarker, Tok};
+use crate::parser::{CallKind, CallSite, FnInfo, ParsedFile, Recv};
+use crate::policy::FilePolicy;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a function in [`Model::fns`].
+pub type FnId = usize;
+
+/// One analyzed file: path, policy, the *unstripped* token stream the
+/// parse spans index into, the comment directives, and the parse results.
+pub struct FileModel {
+    pub rel: String,
+    pub policy: FilePolicy,
+    pub toks: Vec<Tok>,
+    pub allows: Vec<AllowDirective>,
+    pub bumps: Vec<BumpMarker>,
+    pub parsed: ParsedFile,
+}
+
+/// A function symbol: the parsed item plus its file/crate coordinates.
+pub struct FnSym {
+    pub file: usize,
+    pub crate_name: String,
+    pub info: FnInfo,
+}
+
+impl FnSym {
+    /// `crate::module::Type::name` — the display path used in messages
+    /// and DOT output.
+    pub fn display(&self) -> String {
+        format!("{}::{}", self.crate_name, self.info.qual())
+    }
+}
+
+/// The workspace symbol table + call graph.
+pub struct Model {
+    pub fns: Vec<FnSym>,
+    /// Adjacency: for each fn, resolved callees with the call-site line.
+    pub edges: Vec<Vec<(FnId, u32)>>,
+    /// name → fn ids (all fns with that bare name).
+    by_name: BTreeMap<String, Vec<FnId>>,
+    /// (self_ty, name) → fn ids.
+    by_method: BTreeMap<(String, String), Vec<FnId>>,
+    /// trait name → method name → impl fn ids (trait impls only).
+    trait_methods: BTreeMap<String, BTreeMap<String, Vec<FnId>>>,
+    /// Declared trait names (for receiver-bound dispatch).
+    trait_names: BTreeSet<String>,
+}
+
+impl Model {
+    /// Build the symbol table and resolve every call site into edges.
+    pub fn build(files: &[FileModel]) -> Model {
+        let mut fns = Vec::new();
+        let mut trait_names = BTreeSet::new();
+        for (fi, fm) in files.iter().enumerate() {
+            for t in &fm.parsed.traits {
+                trait_names.insert(t.name.clone());
+            }
+            for f in &fm.parsed.fns {
+                // Files under tests/ and benches/ are test context even
+                // when the item itself carries no #[cfg(test)].
+                let mut info = f.clone();
+                info.is_test |= fm.policy.is_test;
+                fns.push(FnSym {
+                    file: fi,
+                    crate_name: fm.policy.crate_name.clone(),
+                    info,
+                });
+            }
+        }
+        let mut by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut by_method: BTreeMap<(String, String), Vec<FnId>> = BTreeMap::new();
+        let mut trait_methods: BTreeMap<String, BTreeMap<String, Vec<FnId>>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(f.info.name.clone()).or_default().push(id);
+            if let Some(t) = &f.info.self_ty {
+                by_method
+                    .entry((t.clone(), f.info.name.clone()))
+                    .or_default()
+                    .push(id);
+            }
+            if let Some(tr) = &f.info.trait_impl {
+                trait_methods
+                    .entry(tr.clone())
+                    .or_default()
+                    .entry(f.info.name.clone())
+                    .or_default()
+                    .push(id);
+            }
+        }
+        let mut m = Model {
+            fns,
+            edges: Vec::new(),
+            by_name,
+            by_method,
+            trait_methods,
+            trait_names,
+        };
+        m.edges = (0..m.fns.len())
+            .map(|id| {
+                let mut es: Vec<(FnId, u32)> = m.fns[id]
+                    .info
+                    .calls
+                    .iter()
+                    .flat_map(|c| {
+                        m.resolve(id, c)
+                            .into_iter()
+                            .map(move |t| (t, c.line))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                es.sort_unstable();
+                es.dedup();
+                es
+            })
+            .collect();
+        m
+    }
+
+    /// Resolve one call site to zero or more callees. Empty = unresolved
+    /// or ambiguous (conservative: no edge). Production callers never
+    /// resolve into test-only fns — test helpers reusing a production
+    /// name must not poison disambiguation, so test candidates are
+    /// dropped *before* the uniqueness checks.
+    pub(crate) fn resolve(&self, caller: FnId, call: &CallSite) -> Vec<FnId> {
+        let c = &self.fns[caller];
+        let allow_test = c.info.is_test;
+        match &call.kind {
+            CallKind::Method { recv, name } => match recv {
+                Recv::SelfRecv => {
+                    let Some(ty) = &c.info.self_ty else {
+                        return vec![];
+                    };
+                    self.unique_in(
+                        self.method_candidates(ty, name, allow_test),
+                        c.crate_name.as_str(),
+                        c.file,
+                    )
+                }
+                Recv::Ident(x) => {
+                    if let Some(ty) = c.info.local_type(x) {
+                        if self.trait_names.contains(ty) {
+                            // dyn/bound dispatch: every impl is reachable.
+                            return self.trait_impl_methods(ty, name, allow_test);
+                        }
+                        self.unique_in(
+                            self.method_candidates(ty, name, allow_test),
+                            c.crate_name.as_str(),
+                            c.file,
+                        )
+                    } else {
+                        self.unique_method_by_name(name, allow_test)
+                    }
+                }
+                Recv::Other(_) => self.unique_method_by_name(name, allow_test),
+            },
+            CallKind::Free(segs) => match segs.as_slice() {
+                [] => vec![],
+                [name] => {
+                    let cands: Vec<FnId> = self
+                        .named(name, allow_test)
+                        .filter(|&id| self.fns[id].info.self_ty.is_none())
+                        .collect();
+                    self.unique_in(cands, c.crate_name.as_str(), c.file)
+                }
+                [.., qual, name] => {
+                    let qual = if qual == "Self" {
+                        match &c.info.self_ty {
+                            Some(t) => t.as_str(),
+                            None => return vec![],
+                        }
+                    } else {
+                        qual.as_str()
+                    };
+                    // `Type::assoc` first; then `module::free_fn` /
+                    // `crate::free_fn` suffix matches.
+                    let mut cands = self.method_candidates(qual, name, allow_test);
+                    if cands.is_empty() {
+                        cands = self
+                            .named(name, allow_test)
+                            .filter(|&id| {
+                                let f = &self.fns[id];
+                                f.info.self_ty.is_none()
+                                    && (f.info.modules.last().is_some_and(|m| m == qual)
+                                        || crate_matches(&f.crate_name, qual))
+                            })
+                            .collect();
+                    }
+                    self.unique_in(cands, c.crate_name.as_str(), c.file)
+                }
+            },
+        }
+    }
+
+    fn named<'a>(&'a self, name: &str, allow_test: bool) -> impl Iterator<Item = FnId> + 'a {
+        self.by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |&id| allow_test || !self.fns[id].info.is_test)
+    }
+
+    fn method_candidates(&self, ty: &str, name: &str, allow_test: bool) -> Vec<FnId> {
+        self.by_method
+            .get(&(ty.to_string(), name.to_string()))
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&id| allow_test || !self.fns[id].info.is_test)
+            .collect()
+    }
+
+    fn trait_impl_methods(&self, tr: &str, name: &str, allow_test: bool) -> Vec<FnId> {
+        self.trait_methods
+            .get(tr)
+            .and_then(|m| m.get(name))
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&id| allow_test || !self.fns[id].info.is_test)
+            .collect()
+    }
+
+    /// A method call with an unknown receiver type: resolve only when the
+    /// method name is defined exactly once across the workspace — and is
+    /// not a name std containers/iterators also define, because then the
+    /// receiver is almost surely a `Vec`/`HashMap`/iterator and the edge
+    /// would be false (the cardinal sin for the graph rules).
+    fn unique_method_by_name(&self, name: &str, allow_test: bool) -> Vec<FnId> {
+        const STD_METHODS: &[&str] = &[
+            "push",
+            "pop",
+            "get",
+            "get_mut",
+            "insert",
+            "remove",
+            "len",
+            "is_empty",
+            "iter",
+            "iter_mut",
+            "keys",
+            "values",
+            "contains",
+            "contains_key",
+            "clear",
+            "extend",
+            "drain",
+            "sort",
+            "sort_by",
+            "sort_by_key",
+            "clone",
+            "next",
+            "map",
+            "filter",
+            "collect",
+            "fold",
+            "sum",
+            "min",
+            "max",
+            "unwrap",
+            "unwrap_or",
+            "expect",
+            "take",
+            "replace",
+            "entry",
+            "to_string",
+            "as_str",
+            "split",
+            "trim",
+            "join",
+            "abs",
+            "sqrt",
+            "powi",
+            "powf",
+        ];
+        if STD_METHODS.contains(&name) {
+            return vec![];
+        }
+        let cands: Vec<FnId> = self
+            .named(name, allow_test)
+            .filter(|&id| self.fns[id].info.self_ty.is_some())
+            .collect();
+        if cands.len() == 1 {
+            cands
+        } else {
+            vec![]
+        }
+    }
+
+    /// Tiered disambiguation: same file → same crate → workspace. The
+    /// first tier with at least one candidate must be a singleton or the
+    /// call stays unresolved.
+    fn unique_in(&self, cands: Vec<FnId>, crate_name: &str, file: usize) -> Vec<FnId> {
+        if cands.len() <= 1 {
+            return cands;
+        }
+        for tier in [
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].file == file)
+                .collect::<Vec<_>>(),
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| self.fns[id].crate_name == crate_name)
+                .collect::<Vec<_>>(),
+        ] {
+            if tier.len() == 1 {
+                return tier;
+            }
+            if !tier.is_empty() {
+                return vec![]; // ambiguous at this tier: no edge
+            }
+        }
+        vec![]
+    }
+
+    /// Forward BFS from `starts`; returns, per reached fn, one example
+    /// predecessor (for rendering a taint path). Starts map to themselves.
+    pub fn reach_from(&self, starts: &[FnId]) -> BTreeMap<FnId, FnId> {
+        let mut pred: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue: Vec<FnId> = Vec::new();
+        for &s in starts {
+            if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(s) {
+                e.insert(s);
+                queue.push(s);
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let u = queue[qi];
+            qi += 1;
+            for &(v, _) in &self.edges[u] {
+                if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(v) {
+                    e.insert(u);
+                    queue.push(v);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Render the example call path `entry → .. → target` recorded by
+    /// [`Model::reach_from`].
+    pub fn path_to(&self, pred: &BTreeMap<FnId, FnId>, target: FnId) -> Vec<FnId> {
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(&p) = pred.get(&cur) {
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Transitive closure of a per-fn fact: `closure[f]` is the union of
+    /// `direct[g]` over every `g` reachable from `f` (including itself).
+    pub fn closure_of<T: Clone + Ord>(&self, direct: &[Vec<T>]) -> Vec<BTreeSet<T>> {
+        // Iterate to fixpoint; the graph is small (a few hundred fns) and
+        // closures are tiny (lock ids), so simplicity beats Tarjan here.
+        let n = self.fns.len();
+        let mut out: Vec<BTreeSet<T>> =
+            direct.iter().map(|d| d.iter().cloned().collect()).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in 0..n {
+                for (v, _) in self.edges[u].clone() {
+                    if out[v].is_empty() {
+                        continue;
+                    }
+                    let add: Vec<T> = out[v].difference(&out[u]).cloned().collect();
+                    if !add.is_empty() {
+                        out[u].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Edges as display-name pairs — the unit tests' assertion surface.
+    pub fn edges_named(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .edges
+            .iter()
+            .enumerate()
+            .flat_map(|(u, es)| {
+                es.iter()
+                    .map(move |&(v, _)| (self.fns[u].display(), self.fns[v].display()))
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    pub fn has_edge(&self, from_suffix: &str, to_suffix: &str) -> bool {
+        self.edges_named()
+            .iter()
+            .any(|(a, b)| a.ends_with(from_suffix) && b.ends_with(to_suffix))
+    }
+
+    /// GraphViz DOT serialization of the call graph, one cluster per
+    /// crate, for `dba-lint --graph`.
+    pub fn to_dot(&self) -> String {
+        let mut crates: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, f) in self.fns.iter().enumerate() {
+            crates.entry(&f.crate_name).or_default().push(id);
+        }
+        let mut s =
+            String::from("digraph calls {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n");
+        for (ci, (name, ids)) in crates.iter().enumerate() {
+            s.push_str(&format!(
+                "  subgraph cluster_{ci} {{\n    label=\"{name}\";\n"
+            ));
+            for &id in ids {
+                let style = if self.fns[id].info.is_test {
+                    ", style=dashed"
+                } else {
+                    ""
+                };
+                s.push_str(&format!(
+                    "    n{id} [label=\"{}\"{style}];\n",
+                    self.fns[id].info.qual().replace('"', "'")
+                ));
+            }
+            s.push_str("  }\n");
+        }
+        for (u, es) in self.edges.iter().enumerate() {
+            for &(v, _) in es {
+                s.push_str(&format!("  n{u} -> n{v};\n"));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Does `crate_name` (e.g. `dba-bench`) match a path qualifier ident
+/// (e.g. `dba_bench`)?
+fn crate_matches(crate_name: &str, qual: &str) -> bool {
+    crate_name.replace('-', "_") == qual
+}

@@ -15,16 +15,27 @@
 //! | D03  | no `partial_cmp(..).unwrap()` float ordering (use `total_cmp`) |
 //! | C01  | mutex access via the `SafetyLedger` wrapper; no guard held across `Advisor` calls |
 //! | V01  | `Catalog`/`StatsCatalog` mutators bump their version counter (`// bumps:` markers) |
+//! | G01  | no D01/D02-class source reachable from a result-affecting entry point, any crate |
+//! | G02  | no lock-order cycles; no guard held across a (transitively) lock-acquiring call |
+//! | G03  | pricing in `dba-safety`/`dba-baselines` routes through `WhatIfService` |
+//! | G04  | mutations reached through wrappers still hit a `// bumps:`-marked mutator |
 //! | A00  | every `// lint: allow(RULE)` carries a written reason |
+//! | E00  | unreadable workspace file (reported, not suppressible) |
+//!
+//! D01–V01 are token-local; G01–G04 ride the workspace call graph built by
+//! [`parser`] + [`graph`] (`dba-lint --graph` dumps it as DOT).
 //!
 //! Suppression: `// lint: allow(RULE) — reason` on the finding's line or
 //! the line above. The reason is mandatory; a reason-less allow is itself
 //! a finding and does not suppress.
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod policy;
 pub mod rules;
 
+use graph::{FileModel, Model};
 use policy::FilePolicy;
 use rules::Finding;
 use std::path::{Path, PathBuf};
@@ -39,6 +50,10 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+/// The readable `(relative path, source)` pairs plus E00 read-error
+/// diagnostics from one workspace walk.
+pub type WorkspaceSources = (Vec<(String, String)>, Vec<Diagnostic>);
+
 impl Diagnostic {
     /// The `file:line [RULE] message` form the CLI prints.
     pub fn render(&self) -> String {
@@ -49,23 +64,97 @@ impl Diagnostic {
     }
 }
 
-/// Lint one source text under an explicit policy. This is the entry point
-/// the fixture tests drive; the workspace walk resolves policy from paths.
+/// The token-local rules for one file. G03 runs on the *unstripped*
+/// stream (a `#[cfg(test)]` helper pricing around the service validates
+/// the wrong path); everything else sees `#[cfg(test)]` bodies stripped.
+fn local_findings(
+    toks: &[lexer::Tok],
+    allows: &[lexer::AllowDirective],
+    bumps: &[lexer::BumpMarker],
+    policy: &FilePolicy,
+) -> Vec<Finding> {
+    let mut findings = rules::check_allow_directives(allows);
+    if !policy.is_test {
+        findings.extend(rules::g03_pricing_discipline(toks, policy));
+        let stripped = lexer::strip_cfg_test(toks.to_vec());
+        findings.extend(rules::d01_nondeterministic_iteration(&stripped, policy));
+        findings.extend(rules::d02_wall_clock_entropy(&stripped, policy));
+        findings.extend(rules::d03_nan_unsafe_ordering(&stripped, policy));
+        findings.extend(rules::c01_lock_hygiene(&stripped, policy));
+        findings.extend(rules::v01_version_bump(&stripped, policy, bumps));
+    }
+    findings
+}
+
+/// Lint one source text under an explicit policy — the token-local rules
+/// only. This is the entry point the single-file fixture tests drive; the
+/// graph rules need a workspace and live in [`analyze_sources`].
 pub fn lint_source(src: &str, policy: &FilePolicy) -> Vec<Finding> {
     let lexed = lexer::lex(src);
-    let toks = lexer::strip_cfg_test(lexed.tokens);
-
-    let mut findings = rules::check_allow_directives(&lexed.allows);
-    if !policy.is_test {
-        findings.extend(rules::d01_nondeterministic_iteration(&toks, policy));
-        findings.extend(rules::d02_wall_clock_entropy(&toks, policy));
-        findings.extend(rules::d03_nan_unsafe_ordering(&toks, policy));
-        findings.extend(rules::c01_lock_hygiene(&toks, policy));
-        findings.extend(rules::v01_version_bump(&toks, policy, &lexed.bumps));
-    }
-    let mut findings = rules::apply_allows(findings, &lexed.allows);
+    let mut findings = rules::apply_allows(
+        local_findings(&lexed.tokens, &lexed.allows, &lexed.bumps, policy),
+        &lexed.allows,
+    );
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
+}
+
+/// Build per-file models for `(workspace-relative path, source)` pairs;
+/// files the policy skips are dropped.
+pub fn file_models(sources: &[(String, String)]) -> Vec<FileModel> {
+    sources
+        .iter()
+        .filter_map(|(rel, src)| {
+            let policy = policy::policy_for(Path::new(rel))?;
+            let lexed = lexer::lex(src);
+            let parsed = parser::parse_file(&lexed.tokens);
+            Some(FileModel {
+                rel: rel.clone(),
+                policy,
+                toks: lexed.tokens,
+                allows: lexed.allows,
+                bumps: lexed.bumps,
+                parsed,
+            })
+        })
+        .collect()
+}
+
+/// The full two-layer analysis over in-memory sources: token-local rules
+/// per file, then the call-graph rules (G01/G02/G04) across all of them.
+/// This is what `lint_workspace` runs and what the graph-rule fixtures
+/// drive directly (the cross-file taint fixture needs two files at once).
+pub fn analyze_sources(sources: &[(String, String)]) -> Vec<Diagnostic> {
+    let files = file_models(sources);
+    let model = Model::build(&files);
+
+    let mut per_file: Vec<Vec<Finding>> = files
+        .iter()
+        .map(|fm| local_findings(&fm.toks, &fm.allows, &fm.bumps, &fm.policy))
+        .collect();
+    for (fi, finding) in rules::g01_transitive_taint(&model, &files)
+        .into_iter()
+        .chain(rules::g02_lock_order(&model, &files))
+        .chain(rules::g04_transitive_bump(&model, &files))
+    {
+        per_file[fi].push(finding);
+    }
+
+    let mut out = Vec::new();
+    for (fm, findings) in files.iter().zip(per_file) {
+        let mut findings = rules::apply_allows(findings, &fm.allows);
+        findings.sort_by_key(|f| (f.line, f.rule));
+        findings.dedup();
+        for f in findings {
+            out.push(Diagnostic {
+                file: fm.rel.clone(),
+                line: f.line,
+                rule: f.rule,
+                message: f.message,
+            });
+        }
+    }
+    out
 }
 
 /// Recursively collect workspace `.rs` files under `root`, skipping paths
@@ -95,26 +184,48 @@ fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
+/// Read the workspace sources under `root`. Returns the readable
+/// `(relative path, source)` pairs plus an `E00` diagnostic for every
+/// file the walk found but could not read — a vanished or permission-
+/// broken file must not silently shrink the analysis surface, and it
+/// must not abort the walk either. E00 is deliberately not a known rule:
+/// it cannot be `allow`ed away.
+pub fn read_workspace(root: &Path) -> std::io::Result<WorkspaceSources> {
+    let mut sources = Vec::new();
+    let mut errors = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        if policy::policy_for(&rel).is_none() {
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(src) => sources.push((rel.display().to_string(), src)),
+            Err(e) => errors.push(Diagnostic {
+                file: rel.display().to_string(),
+                line: 0,
+                rule: "E00",
+                message: format!("cannot read file: {e}"),
+            }),
+        }
+    }
+    Ok((sources, errors))
+}
+
 /// Lint the whole workspace rooted at `root`. IO errors on individual
 /// files are reported as diagnostics rather than aborting the walk.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
-    for path in collect_rs_files(root)? {
-        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        let Some(policy) = policy::policy_for(&rel) else {
-            continue;
-        };
-        let src = std::fs::read_to_string(&path)?;
-        for f in lint_source(&src, &policy) {
-            out.push(Diagnostic {
-                file: rel.display().to_string(),
-                line: f.line,
-                rule: f.rule,
-                message: f.message,
-            });
-        }
-    }
+    let (sources, mut out) = read_workspace(root)?;
+    out.extend(analyze_sources(&sources));
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(out)
+}
+
+/// Build the workspace symbol table + call graph (for `dba-lint --graph`).
+pub fn workspace_model(root: &Path) -> std::io::Result<(Vec<FileModel>, Model)> {
+    let (sources, _) = read_workspace(root)?;
+    let files = file_models(&sources);
+    let model = Model::build(&files);
+    Ok((files, model))
 }
 
 /// Minimal JSON encoding of the diagnostics (the build env has no serde

@@ -1,0 +1,794 @@
+//! A dependency-free recursive-descent *item* parser over the lexer's
+//! token stream.
+//!
+//! This is the first layer of the cross-function analyzer: it recovers the
+//! item structure the token-local rules cannot see — modules, `impl`
+//! blocks (inherent and trait), `trait` declarations, and `fn` items with
+//! their signature/body token spans — plus, per function, the *call sites*
+//! and the locally-provable types of parameters and `let` bindings that
+//! the call-graph layer ([`crate::graph`]) uses for receiver-type
+//! resolution.
+//!
+//! It is deliberately **not** a full Rust parser. Everything it does not
+//! understand (macros, struct bodies, const initialisers, where-clauses)
+//! is skipped token-by-token; the worst outcome of a parse miss is a
+//! missing call edge, never a crash. The soundness consequences of that
+//! (missed edges ⇒ missed transitive findings) are documented in the
+//! README's "how name resolution approximates" section.
+
+use crate::lexer::{Tok, TokKind};
+use std::ops::Range;
+
+/// Receiver shape of a method call, as far as tokens can tell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// `self.method(..)` — resolves against the enclosing impl type.
+    SelfRecv,
+    /// `x.method(..)` with `x` a plain identifier — resolves through the
+    /// caller's param/let type environment.
+    Ident(String),
+    /// Anything more complex (`self.field.m()`, `foo().m()`, `a[i].m()`):
+    /// the receiver chain text is kept for lock-identity heuristics, but
+    /// type-based resolution is not attempted.
+    Other(String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(..)` or `a::b::name(..)` — path segments, last is the fn.
+    Free(Vec<String>),
+    /// `recv.name(..)`.
+    Method { recv: Recv, name: String },
+}
+
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub kind: CallKind,
+    pub line: u32,
+    /// Token index of the callee name (into the file's unstripped stream).
+    pub tok: usize,
+}
+
+/// A `fn` item with everything the graph layer needs.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub name: String,
+    /// Module path within the file (`mod` nesting), innermost last.
+    pub modules: Vec<String>,
+    /// Enclosing impl/trait self type (`impl Foo`, `impl Tr for Foo` ⇒
+    /// `Foo`; `trait Tr { .. }` default methods ⇒ `Tr`).
+    pub self_ty: Option<String>,
+    /// Trait being implemented, when inside `impl Tr for Foo` (or a
+    /// default method body in `trait Tr`).
+    pub trait_impl: Option<String>,
+    pub line: u32,
+    /// Signature token range (from the `fn` keyword to the body `{` or `;`).
+    pub sig: Range<usize>,
+    /// Body token range (exclusive of the braces); empty for bodyless
+    /// trait-method declarations.
+    pub body: Range<usize>,
+    /// Inside a `#[cfg(test)]` item or annotated `#[test]`.
+    pub is_test: bool,
+    /// Whether the return type mentions `MutexGuard` (lock-wrapper shape).
+    pub returns_guard: bool,
+    /// Locally provable types: typed params, `let x: T`, and
+    /// `let x = T::new(..)`-style constructor bindings. Generic params are
+    /// substituted by their first trait bound when one is declared inline.
+    pub locals: Vec<(String, String)>,
+    pub calls: Vec<CallSite>,
+}
+
+impl FnInfo {
+    /// Suffix-qualified display path: `module::Type::name` (modules and
+    /// impl type included when present).
+    pub fn qual(&self) -> String {
+        let mut parts: Vec<&str> = self.modules.iter().map(String::as_str).collect();
+        if let Some(t) = &self.self_ty {
+            parts.push(t);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+
+    pub fn local_type(&self, name: &str) -> Option<&str> {
+        // Later bindings shadow earlier ones.
+        self.locals
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_str())
+    }
+}
+
+/// A `trait` declaration: name and declared method names.
+#[derive(Debug, Clone)]
+pub struct TraitDecl {
+    pub name: String,
+    pub methods: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnInfo>,
+    pub traits: Vec<TraitDecl>,
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "else", "let", "in", "as", "move", "break",
+    "continue", "fn", "impl", "use", "pub", "unsafe", "where", "ref", "mut", "dyn", "box", "await",
+    "async", "yield", "Some", "Ok", "Err", "None",
+];
+
+struct Ctx {
+    modules: Vec<String>,
+    self_ty: Option<String>,
+    trait_impl: Option<String>,
+    is_test: bool,
+}
+
+pub fn parse_file(toks: &[Tok]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let ctx = Ctx {
+        modules: Vec::new(),
+        self_ty: None,
+        trait_impl: None,
+        is_test: false,
+    };
+    parse_items(toks, 0..toks.len(), &ctx, &mut out);
+    out
+}
+
+/// Find the matching `}` for the `{` at `open` (same recorded depth).
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let d = toks[open].depth;
+    let mut k = open + 1;
+    while k < toks.len() {
+        if toks[k].is_punct('}') && toks[k].depth == d {
+            return k;
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// Skip a balanced `<...>` generics group starting at `open` (which must
+/// be `<`). Returns the index just past the matching `>`. `>>` is two
+/// closes (the lexer emits single-char puncts, so nesting counts work).
+fn skip_angles(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct('<') {
+            depth += 1;
+        } else if toks[k].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        } else if toks[k].is_punct('{') || toks[k].is_punct(';') {
+            // Runaway (a lone less-than): bail where the item starts.
+            return open;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Parse the items in `range` under `ctx`, appending fns/traits to `out`.
+fn parse_items(toks: &[Tok], range: Range<usize>, ctx: &Ctx, out: &mut ParsedFile) {
+    let mut i = range.start;
+    let end = range.end;
+    let mut pending_test = false;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('#') && i + 1 < end && toks[i + 1].is_punct('[') {
+            // Attribute: scan its tokens for `test` (covers `#[test]`,
+            // `#[cfg(test)]`, `#[cfg(all(test, ..))]`).
+            let mut k = i + 2;
+            let mut sq = 1i32;
+            let mut has_test = false;
+            while k < end && sq > 0 {
+                if toks[k].is_punct('[') {
+                    sq += 1;
+                } else if toks[k].is_punct(']') {
+                    sq -= 1;
+                } else if toks[k].is_ident("test") {
+                    has_test = true;
+                }
+                k += 1;
+            }
+            pending_test |= has_test;
+            i = k;
+            continue;
+        }
+        if t.is_ident("mod") && i + 1 < end && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            if i + 2 < end && toks[i + 2].is_punct('{') {
+                let close = matching_brace(toks, i + 2);
+                let inner = Ctx {
+                    modules: {
+                        let mut m = ctx.modules.clone();
+                        m.push(name);
+                        m
+                    },
+                    self_ty: None,
+                    trait_impl: None,
+                    is_test: ctx.is_test || pending_test,
+                };
+                parse_items(toks, i + 3..close.min(end), &inner, out);
+                i = close + 1;
+            } else {
+                i += 2; // `mod name;`
+            }
+            pending_test = false;
+            continue;
+        }
+        if t.is_ident("impl") {
+            i = parse_impl(toks, i, end, ctx, pending_test, out);
+            pending_test = false;
+            continue;
+        }
+        if t.is_ident("trait") && i + 1 < end && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            // Find the trait body brace (skipping generics/supertraits).
+            let mut k = i + 2;
+            while k < end && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                k += 1;
+            }
+            if k < end && toks[k].is_punct('{') {
+                let close = matching_brace(toks, k);
+                let inner = Ctx {
+                    modules: ctx.modules.clone(),
+                    self_ty: Some(name.clone()),
+                    trait_impl: Some(name.clone()),
+                    is_test: ctx.is_test || pending_test,
+                };
+                let before = out.fns.len();
+                parse_items(toks, k + 1..close.min(end), &inner, out);
+                let methods = out.fns[before..].iter().map(|f| f.name.clone()).collect();
+                out.traits.push(TraitDecl { name, methods });
+                i = close + 1;
+            } else {
+                i = k + 1;
+            }
+            pending_test = false;
+            continue;
+        }
+        if t.is_ident("fn") && i + 1 < end && toks[i + 1].kind == TokKind::Ident {
+            i = parse_fn(toks, i, end, ctx, pending_test, out);
+            pending_test = false;
+            continue;
+        }
+        // Any other braced item (struct/enum/union bodies, const blocks):
+        // skip the brace group wholesale so its contents are not mistaken
+        // for items.
+        if t.is_punct('{') {
+            i = matching_brace(toks, i) + 1;
+            pending_test = false;
+            continue;
+        }
+        if t.is_punct(';') {
+            pending_test = false;
+        }
+        i += 1;
+    }
+}
+
+/// Parse `impl [<..>] Path [for Path] { items }`; returns index past it.
+fn parse_impl(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    ctx: &Ctx,
+    pending_test: bool,
+    out: &mut ParsedFile,
+) -> usize {
+    let mut k = start + 1;
+    if k < end && toks[k].is_punct('<') {
+        k = skip_angles(toks, k).max(k + 1);
+    }
+    // First path (trait, or the self type for inherent impls).
+    let (first, mut k) = parse_type_path(toks, k, end);
+    let mut trait_name = None;
+    let mut self_ty = first;
+    if k < end && toks[k].is_ident("for") {
+        let (second, k2) = parse_type_path(toks, k + 1, end);
+        trait_name = self_ty.take();
+        self_ty = second;
+        k = k2;
+    }
+    // Skip where-clause up to the body.
+    while k < end && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+        k += 1;
+    }
+    if k >= end || !toks[k].is_punct('{') {
+        return k + 1;
+    }
+    let close = matching_brace(toks, k);
+    let inner = Ctx {
+        modules: ctx.modules.clone(),
+        self_ty,
+        trait_impl: trait_name,
+        is_test: ctx.is_test || pending_test,
+    };
+    parse_items(toks, k + 1..close.min(end), &inner, out);
+    close + 1
+}
+
+/// Parse a type path at `k`, returning its *last meaningful ident* (the
+/// type name, generics stripped) and the index past it. `&mut Foo<A>` ⇒
+/// `Foo`.
+fn parse_type_path(toks: &[Tok], mut k: usize, end: usize) -> (Option<String>, usize) {
+    let mut last = None;
+    while k < end {
+        let t = &toks[k];
+        if t.is_punct('&') || t.is_ident("mut") || t.kind == TokKind::Lifetime || t.is_ident("dyn")
+        {
+            k += 1;
+        } else if t.kind == TokKind::Ident {
+            last = Some(t.text.clone());
+            k += 1;
+            if k < end && toks[k].is_punct('<') {
+                k = skip_angles(toks, k).max(k + 1);
+            }
+            // `::` continues the path.
+            if k + 1 < end && toks[k].is_punct(':') && toks[k + 1].is_punct(':') {
+                k += 2;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    (last, k)
+}
+
+/// Parse one `fn` item starting at the `fn` keyword; returns index past it.
+fn parse_fn(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    ctx: &Ctx,
+    pending_test: bool,
+    out: &mut ParsedFile,
+) -> usize {
+    let name = toks[start + 1].text.clone();
+    let line = toks[start].line;
+    let fn_depth = toks[start].depth;
+    // Signature: up to the body `{` or a `;` at the fn's own depth.
+    let mut j = start + 2;
+    let mut body = 0..0;
+    let mut sig_end = j;
+    while j < end {
+        if toks[j].is_punct(';') && toks[j].depth == fn_depth {
+            sig_end = j;
+            break;
+        }
+        if toks[j].is_punct('{') && toks[j].depth == fn_depth {
+            sig_end = j;
+            let close = matching_brace(toks, j);
+            body = j + 1..close.min(end);
+            break;
+        }
+        j += 1;
+    }
+    let sig = start..sig_end;
+    let after = if body.is_empty() {
+        sig_end + 1
+    } else {
+        body.end + 1
+    };
+
+    let bounds = generic_bounds(toks, &sig);
+    let mut locals = param_types(toks, &sig, &bounds);
+    collect_let_types(toks, &body, &bounds, &mut locals);
+    let returns_guard = returns_guard(toks, &sig);
+    let calls = extract_calls(toks, &body);
+    let is_test = ctx.is_test || pending_test || name_is_test_attr(toks, start);
+
+    out.fns.push(FnInfo {
+        name,
+        modules: ctx.modules.clone(),
+        self_ty: ctx.self_ty.clone(),
+        trait_impl: ctx.trait_impl.clone(),
+        line,
+        sig,
+        body,
+        is_test,
+        returns_guard,
+        locals,
+        calls,
+    });
+    after
+}
+
+/// `#[test]` directly above the fn is handled by the attribute scan in
+/// `parse_items`; this hook exists for completeness when the fn is parsed
+/// from a context that skipped attributes.
+fn name_is_test_attr(_toks: &[Tok], _start: usize) -> bool {
+    false
+}
+
+/// `A: Trait` pairs declared inside the signature's `<...>` generics (and
+/// simple `where A: Trait` clauses): maps type-param name → first bound.
+fn generic_bounds(toks: &[Tok], sig: &Range<usize>) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut k = sig.start;
+    // Generics group directly after the fn name.
+    while k < sig.end && !toks[k].is_punct('<') && !toks[k].is_punct('(') {
+        k += 1;
+    }
+    let mut regions: Vec<Range<usize>> = Vec::new();
+    if k < sig.end && toks[k].is_punct('<') {
+        let close = skip_angles(toks, k);
+        regions.push(k + 1..close.saturating_sub(1).max(k + 1));
+    }
+    // where-clause: from `where` to sig end.
+    if let Some(w) = (sig.start..sig.end).find(|&i| toks[i].is_ident("where")) {
+        regions.push(w + 1..sig.end);
+    }
+    for r in regions {
+        let mut i = r.start;
+        while i + 2 < r.end {
+            if toks[i].kind == TokKind::Ident
+                && toks[i + 1].is_punct(':')
+                && toks[i + 2].kind == TokKind::Ident
+                && !toks[i + 2].is_ident("mut")
+            {
+                out.push((toks[i].text.clone(), toks[i + 2].text.clone()));
+                i += 3;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn resolve_bound(bounds: &[(String, String)], ty: &str) -> String {
+    bounds
+        .iter()
+        .find(|(p, _)| p == ty)
+        .map(|(_, b)| b.clone())
+        .unwrap_or_else(|| ty.to_string())
+}
+
+/// `name: [&] [mut] [lifetime] [dyn|impl] Type` pairs inside the param
+/// parens of the signature.
+fn param_types(
+    toks: &[Tok],
+    sig: &Range<usize>,
+    bounds: &[(String, String)],
+) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    // Find the param parens: first `(` in the sig after any generics.
+    let mut k = sig.start;
+    while k < sig.end && !toks[k].is_punct('(') {
+        if toks[k].is_punct('<') {
+            k = skip_angles(toks, k).max(k + 1);
+            continue;
+        }
+        k += 1;
+    }
+    if k >= sig.end {
+        return out;
+    }
+    let mut paren = 0i32;
+    let mut i = k;
+    while i < sig.end {
+        if toks[i].is_punct('(') {
+            paren += 1;
+        } else if toks[i].is_punct(')') {
+            paren -= 1;
+            if paren == 0 {
+                break;
+            }
+        } else if paren == 1
+            && toks[i].kind == TokKind::Ident
+            && i + 1 < sig.end
+            && toks[i + 1].is_punct(':')
+            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(ty) = type_ident_after(toks, i + 2, sig.end) {
+                out.push((toks[i].text.clone(), resolve_bound(bounds, &ty)));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The principal type ident after a `:` — skips `&`, `mut`, lifetimes,
+/// `dyn`, `impl`; returns the first path segment's *last* ident before
+/// generics (`std::sync::MutexGuard` ⇒ `MutexGuard`; `&mut dyn Advisor`
+/// ⇒ `Advisor`).
+fn type_ident_after(toks: &[Tok], mut k: usize, end: usize) -> Option<String> {
+    while k < end
+        && (toks[k].is_punct('&')
+            || toks[k].is_ident("mut")
+            || toks[k].kind == TokKind::Lifetime
+            || toks[k].is_ident("dyn")
+            || toks[k].is_ident("impl"))
+    {
+        k += 1;
+    }
+    let (name, _) = parse_type_path(toks, k, end);
+    name
+}
+
+fn returns_guard(toks: &[Tok], sig: &Range<usize>) -> bool {
+    let mut i = sig.start;
+    while i + 1 < sig.end {
+        if toks[i].is_punct('-') && toks[i + 1].is_punct('>') {
+            return toks[i + 1..sig.end]
+                .iter()
+                .any(|t| t.is_ident("MutexGuard"));
+        }
+        i += 1;
+    }
+    false
+}
+
+/// `let [mut] x : Type` and `let [mut] x = Type::...` bindings in a body.
+fn collect_let_types(
+    toks: &[Tok],
+    body: &Range<usize>,
+    bounds: &[(String, String)],
+    out: &mut Vec<(String, String)>,
+) {
+    let mut i = body.start;
+    while i < body.end {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < body.end && toks[j].is_ident("mut") {
+            j += 1;
+        }
+        if j < body.end && toks[j].kind == TokKind::Ident {
+            let name = toks[j].text.clone();
+            if j + 1 < body.end && toks[j + 1].is_punct(':') {
+                if let Some(ty) = type_ident_after(toks, j + 2, body.end) {
+                    out.push((name, resolve_bound(bounds, &ty)));
+                }
+            } else if j + 3 < body.end
+                && toks[j + 1].is_punct('=')
+                && toks[j + 2].kind == TokKind::Ident
+                && toks[j + 2]
+                    .text
+                    .chars()
+                    .next()
+                    .is_some_and(char::is_uppercase)
+                && toks[j + 3].is_punct(':')
+            {
+                // `let x = Type::ctor(..)` — constructor inference.
+                out.push((name, toks[j + 2].text.clone()));
+            }
+        }
+        i = j + 1;
+    }
+}
+
+/// The receiver chain text ending just before the `.` at `dot` (walking
+/// back through `ident . ident . self` shapes). Empty when the receiver
+/// is an expression (`foo().m()`, `a[i].m()`).
+pub fn receiver_chain(toks: &[Tok], dot: usize) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut k = dot; // index of the `.` before the method name
+    loop {
+        if k == 0 {
+            break;
+        }
+        let prev = &toks[k - 1];
+        if prev.kind == TokKind::Ident {
+            parts.push(prev.text.clone());
+            if k >= 3 && toks[k - 2].is_punct('.') {
+                k -= 2;
+                continue;
+            }
+        }
+        break;
+    }
+    parts.reverse();
+    parts
+}
+
+/// Extract call sites from a body token range.
+fn extract_calls(toks: &[Tok], body: &Range<usize>) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut k = body.start;
+    while k < body.end {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        // Optional turbofish between the name and the parens.
+        let mut open = k + 1;
+        if open + 2 < body.end
+            && toks[open].is_punct(':')
+            && toks[open + 1].is_punct(':')
+            && toks[open + 2].is_punct('<')
+        {
+            open = skip_angles(toks, open + 2);
+        }
+        if open >= body.end || !toks[open].is_punct('(') {
+            k += 1;
+            continue;
+        }
+        let name = t.text.clone();
+        if NON_CALL_KEYWORDS.contains(&name.as_str()) {
+            k += 1;
+            continue;
+        }
+        if k > body.start && toks[k - 1].is_punct('.') {
+            // Method call.
+            let chain = receiver_chain(toks, k - 1);
+            let recv = match chain.as_slice() {
+                [one] if one == "self" => Recv::SelfRecv,
+                [one] => Recv::Ident(one.clone()),
+                [] => Recv::Other(String::new()),
+                parts => Recv::Other(parts.join(".")),
+            };
+            out.push(CallSite {
+                kind: CallKind::Method { recv, name },
+                line: t.line,
+                tok: k,
+            });
+        } else if k >= 2 && toks[k - 1].is_punct(':') && toks[k - 2].is_punct(':') {
+            // Path call: collect segments backwards.
+            let mut segs = vec![name];
+            let mut p = k - 2;
+            loop {
+                if p == 0 || toks[p - 1].kind != TokKind::Ident {
+                    break;
+                }
+                segs.push(toks[p - 1].text.clone());
+                if p >= 3 && toks[p - 2].is_punct(':') && toks[p - 3].is_punct(':') {
+                    p -= 3;
+                    // p now points at the ident; the loop reads p-1, so
+                    // step once more past it.
+                    if p == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                break;
+            }
+            segs.reverse();
+            out.push(CallSite {
+                kind: CallKind::Free(segs),
+                line: t.line,
+                tok: k,
+            });
+        } else if k > body.start && toks[k - 1].is_ident("fn") {
+            // Nested fn declaration, not a call.
+        } else {
+            out.push(CallSite {
+                kind: CallKind::Free(vec![name]),
+                line: t.line,
+                tok: k,
+            });
+        }
+        k = open + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src).tokens)
+    }
+
+    #[test]
+    fn finds_fns_in_modules_and_impls() {
+        let p = parse(
+            "mod inner { pub fn helper() {} }\n\
+             struct S { x: u64 }\n\
+             impl S { fn m(&self) {} }\n\
+             impl Clone for S { fn clone(&self) -> S { S { x: self.x } } }\n",
+        );
+        let quals: Vec<String> = p.fns.iter().map(|f| f.qual()).collect();
+        assert!(quals.contains(&"inner::helper".to_string()), "{quals:?}");
+        assert!(quals.contains(&"S::m".to_string()));
+        let clone = p.fns.iter().find(|f| f.name == "clone").unwrap();
+        assert_eq!(clone.trait_impl.as_deref(), Some("Clone"));
+        assert_eq!(clone.self_ty.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn trait_decls_record_methods_and_default_bodies() {
+        let p =
+            parse("trait Advisor { fn name(&self) -> &str; fn hook(&mut self) { self.name(); } }");
+        let t = &p.traits[0];
+        assert_eq!(t.name, "Advisor");
+        assert_eq!(t.methods, vec!["name", "hook"]);
+        let hook = p.fns.iter().find(|f| f.name == "hook").unwrap();
+        assert_eq!(hook.trait_impl.as_deref(), Some("Advisor"));
+        assert_eq!(hook.calls.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_items_are_flagged_not_dropped() {
+        let p = parse("fn live() {}\n#[cfg(test)]\nmod tests { fn t() { live(); } }");
+        let live = p.fns.iter().find(|f| f.name == "live").unwrap();
+        let t = p.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(!live.is_test);
+        assert!(t.is_test);
+        assert_eq!(t.modules, vec!["tests"]);
+    }
+
+    #[test]
+    fn param_and_let_types_resolve_generic_bounds() {
+        let p = parse(
+            "fn f<A: Advisor>(a: &mut A, n: u64, c: &Catalog) {\n\
+               let svc = WhatIfService::new(n);\n\
+               let x: StatsCatalog = StatsCatalog::build(c);\n\
+               a.before_round(n); svc.price(); x.refresh();\n\
+             }",
+        );
+        let f = &p.fns[0];
+        assert_eq!(f.local_type("a"), Some("Advisor"));
+        assert_eq!(f.local_type("c"), Some("Catalog"));
+        assert_eq!(f.local_type("svc"), Some("WhatIfService"));
+        assert_eq!(f.local_type("x"), Some("StatsCatalog"));
+    }
+
+    #[test]
+    fn call_kinds_cover_free_path_and_method() {
+        let p = parse(
+            "fn f(m: &M) {\n\
+               helper();\n\
+               Planner::new(m);\n\
+               m.plan(1);\n\
+               self_like.chain().next();\n\
+               v.iter().map(|x| g(x)).collect::<Vec<_>>();\n\
+             }",
+        );
+        let f = &p.fns[0];
+        let has = |k: &CallKind| f.calls.iter().any(|c| &c.kind == k);
+        assert!(has(&CallKind::Free(vec!["helper".into()])));
+        assert!(has(&CallKind::Free(vec!["Planner".into(), "new".into()])));
+        assert!(has(&CallKind::Method {
+            recv: Recv::Ident("m".into()),
+            name: "plan".into()
+        }));
+        // Chained receiver is Other, collect-with-turbofish still a call.
+        assert!(f.calls.iter().any(
+            |c| matches!(&c.kind, CallKind::Method { recv: Recv::Other(_), name } if name == "next")
+        ));
+        assert!(f
+            .calls
+            .iter()
+            .any(|c| matches!(&c.kind, CallKind::Method { name, .. } if name == "collect")));
+    }
+
+    #[test]
+    fn returns_guard_detects_mutexguard() {
+        let p = parse(
+            "fn lock(&self) -> MutexGuard<'_, u64> { self.m.lock().unwrap() }\n\
+             fn plain(&self) -> u64 { 0 }",
+        );
+        assert!(p.fns[0].returns_guard);
+        assert!(!p.fns[1].returns_guard);
+    }
+
+    #[test]
+    fn struct_bodies_do_not_confuse_the_walk() {
+        let p = parse(
+            "pub struct X { pub a: HashMap<u64, u64> }\n\
+             enum E { A(u64), B { x: u64 } }\n\
+             fn after() {}",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "after");
+    }
+}

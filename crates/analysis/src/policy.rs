@@ -31,6 +31,10 @@ pub struct FilePolicy {
     pub d02: bool,
     pub d03: bool,
     pub c01: bool,
+    /// G03 runs on the *unstripped* token stream of production files, so
+    /// `#[cfg(test)]` helpers that price around the WhatIfService are
+    /// still findings (they validate the wrong path).
+    pub g03: bool,
     pub v01: Option<V01Policy>,
 }
 
@@ -54,6 +58,29 @@ const STATS_MUTATIONS: &[&[&str]] = &[&["self", ".", "rows"], &["self", ".", "ba
 /// so delegating mutators (`refresh`, `refresh_stale`) satisfy V01 through
 /// it.
 const BUMP_TOKENS: &[&str] = &["bump_version", "refresh_table"];
+
+/// Crates under G03 pricing discipline: regret accounting lives here, so
+/// plan *pricing* must route through the memoized, version-validated
+/// WhatIfService rather than a raw `Planner`.
+const PRICING_DISCIPLINE: &[&str] = &["dba-safety", "dba-baselines"];
+
+/// G01 entry points — traits whose impl methods are result-affecting.
+pub const ENTRY_TRAITS: &[&str] = &["Advisor"];
+/// G01 entry points — inherent methods that drive or summarize a tuning
+/// trajectory.
+pub const ENTRY_METHODS: &[(&str, &[&str])] = &[(
+    "TuningSession",
+    &[
+        "run",
+        "run_with",
+        "step",
+        "step_with",
+        "into_result",
+        "result",
+    ],
+)];
+/// G01 entry points — free fns that emit records/JSON for baselines.
+pub const ENTRY_FREE_FNS: &[&str] = &["results_json", "series_rows", "totals_rows"];
 
 /// Should this path be skipped entirely (no lexing, no findings)?
 pub fn skip_path(rel: &Path) -> bool {
@@ -100,6 +127,7 @@ pub fn policy_for(rel: &Path) -> Option<FilePolicy> {
         d02: !WALL_CLOCK_OK.contains(&crate_name.as_str()) && crate_name != "dba-analysis",
         d03: true,
         c01: true,
+        g03: PRICING_DISCIPLINE.contains(&crate_name.as_str()),
         v01,
         crate_name,
         is_test,

@@ -1,0 +1,40 @@
+//! G01 fixture: determinism-taint sources reachable from an Advisor impl
+//! in a crate the local D01/D02 rules are scoped out of (bench policy).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Reporter {
+    samples: HashMap<u64, u64>,
+}
+
+impl Advisor for Reporter {
+    fn before_round(&mut self) -> u64 {
+        digest(&self.samples) + stamp() + allowed(&self.samples)
+    }
+}
+
+pub fn digest(m: &HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    for (k, v) in m.iter() {
+        acc ^= k.wrapping_mul(31).wrapping_add(*v);
+    }
+    acc
+}
+
+pub fn stamp() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn unreachable_scan(m: &HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    for v in m.values() {
+        acc += v;
+    }
+    acc
+}
+
+pub fn allowed(m: &HashMap<u64, u64>) -> u64 {
+    // lint: allow(G01) — fixture: xor-fold is order-insensitive here
+    m.iter().map(|(k, v)| k ^ v).fold(0, |a, b| a ^ b)
+}

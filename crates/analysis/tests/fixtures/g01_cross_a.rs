@@ -1,0 +1,10 @@
+//! G01 cross-crate fixture, entry half: the Advisor impl lives in a
+//! result-affecting crate and calls across into dba-engine.
+
+pub struct Tuner;
+
+impl Advisor for Tuner {
+    fn after_round(&mut self) -> u64 {
+        dba_engine::summarize(7)
+    }
+}

@@ -1,0 +1,14 @@
+//! G01 cross-crate fixture, source half: the hash iteration lives in
+//! dba-engine, where local D01 is scoped out.
+
+use std::collections::HashMap;
+
+pub fn summarize(seed: u64) -> u64 {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(seed, seed.wrapping_mul(3));
+    let mut out = 0;
+    for (k, v) in m.iter() {
+        out ^= k.wrapping_add(*v);
+    }
+    out
+}

@@ -1,0 +1,48 @@
+//! G02 fixture: a lock-order cycle between two mutexes and a guard held
+//! across a call whose callee acquires a lock. Lock calls return guards
+//! directly (parking_lot style, no `.unwrap()`) so C01's raw-lock pattern
+//! stays out of the picture and the findings here are purely G02.
+
+use std::sync::MutexGuard;
+
+pub struct Pair {
+    a: Lock,
+    b: Lock,
+}
+
+impl Pair {
+    pub fn lock_a(&self) -> MutexGuard<'_, u64> {
+        self.a.lock()
+    }
+
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+
+    pub fn guard_across_call(&self) -> u64 {
+        let ga = self.lock_a();
+        let x = self.total();
+        drop(ga);
+        x
+    }
+
+    pub fn allowed(&self) -> u64 {
+        let ga = self.lock_a();
+        // lint: allow(G02) — fixture: callee verified lock-free at runtime
+        let x = self.total();
+        drop(ga);
+        x
+    }
+
+    pub fn total(&self) -> u64 {
+        *self.b.lock()
+    }
+}

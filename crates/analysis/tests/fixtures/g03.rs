@@ -1,0 +1,23 @@
+//! G03 fixture: raw Planner construction inside a pricing-discipline
+//! crate; fires in production *and* cfg(test) code (pricing in tests
+//! around the what-if service validates the wrong path).
+
+pub fn price(q: u64) -> u64 {
+    let planner = Planner::new(q);
+    planner.plan(q)
+}
+
+pub fn execution(q: u64) -> u64 {
+    // lint: allow(G03) — fixture: execution path, plans feed the executor
+    let planner = Planner::new(q);
+    planner.plan(q)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prices_around_the_service() {
+        let planner = Planner::new(1);
+        assert_eq!(planner.plan(1), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! G04 fixture: a wrapper that reaches a Catalog mutation through a
+//! delegate with no bump on the path. V01 only sees the delegate's own
+//! body; the wrapper is invisible to it and needs the call graph.
+
+pub struct Catalog {
+    indexes: u64,
+    version: u64,
+}
+
+impl Catalog {
+    pub fn bump_version(&mut self) {
+        self.version += 1;
+    }
+
+    // bumps: catalog_version
+    pub fn tracked_add(&mut self, n: u64) {
+        self.indexes += n;
+        self.bump_version();
+    }
+
+    // lint: allow(V01) — fixture: the unmarked delegate G04 sees through
+    fn raw_add(&mut self, n: u64) {
+        self.indexes += n;
+    }
+
+    pub fn wrapper_add(&mut self, n: u64) {
+        self.raw_add(n);
+    }
+
+    pub fn good_wrapper(&mut self, n: u64) {
+        self.tracked_add(n);
+    }
+
+    // lint: allow(G04) — fixture: caller bumps at the round boundary
+    pub fn allowed_wrapper(&mut self, n: u64) {
+        self.raw_add(n);
+    }
+}

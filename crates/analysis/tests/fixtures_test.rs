@@ -95,6 +95,101 @@ fn v01_is_scoped_to_versioned_files() {
     assert_findings("v01.rs", "crates/storage/src/index.rs", &[]);
 }
 
+/// Run the full cross-file pipeline over pretend workspace paths and
+/// compare (file, rule, line) triples exactly. The graph rules (G01–G04)
+/// only exist at this layer — `lint_source` cannot see across functions.
+fn assert_graph_findings(files: &[(&str, &str)], expected: &[(&str, &str, u32)]) {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(path, name)| ((*path).to_string(), fixture(name)))
+        .collect();
+    let got: Vec<(String, String, u32)> = dba_analysis::analyze_sources(&sources)
+        .into_iter()
+        .map(|d| (d.file, d.rule.to_string(), d.line))
+        .collect();
+    let want: Vec<(String, String, u32)> = expected
+        .iter()
+        .map(|(f, r, l)| (f.to_string(), r.to_string(), *l))
+        .collect();
+    assert_eq!(got, want, "graph findings mismatch for {files:?}");
+}
+
+#[test]
+fn g01_taints_reachable_sources_in_unscoped_crates() {
+    // digest() iterates a HashMap and stamp() reads Instant::now(); both
+    // are reachable from an Advisor impl, so G01 fires even though the
+    // bench policy scopes the local D01/D02 rules out. unreachable_scan()
+    // has the same hash iteration but no path from an entry: silent.
+    assert_graph_findings(
+        &[("crates/bench/src/bin/fixture.rs", "g01.rs")],
+        &[
+            ("crates/bench/src/bin/fixture.rs", "G01", 19),
+            ("crates/bench/src/bin/fixture.rs", "G01", 26),
+        ],
+    );
+}
+
+#[test]
+fn g01_taint_crosses_crates() {
+    // Entry in dba-core, unordered iteration in dba-engine, linked by a
+    // `dba_engine::summarize(..)` path call.
+    assert_graph_findings(
+        &[
+            ("crates/core/src/fixture_a.rs", "g01_cross_a.rs"),
+            ("crates/engine/src/fixture_b.rs", "g01_cross_b.rs"),
+        ],
+        &[("crates/engine/src/fixture_b.rs", "G01", 10)],
+    );
+}
+
+#[test]
+fn g01_needs_an_entry_point() {
+    // The source half alone has no Advisor impl: nothing is reachable,
+    // and local D01 is scoped out of dba-engine — no findings.
+    assert_graph_findings(&[("crates/engine/src/fixture_b.rs", "g01_cross_b.rs")], &[]);
+}
+
+#[test]
+fn g02_flags_lock_cycles_and_guards_across_locking_calls() {
+    // ab() orders a→b while ba() orders b→a (cycle, reported at the first
+    // witness), and guard_across_call() holds the `a` guard across a call
+    // whose callee locks `b`. allowed() is the same shape, suppressed.
+    assert_graph_findings(
+        &[("crates/safety/src/fixture.rs", "g02.rs")],
+        &[
+            ("crates/safety/src/fixture.rs", "G02", 20),
+            ("crates/safety/src/fixture.rs", "G02", 32),
+        ],
+    );
+}
+
+#[test]
+fn g03_fires_on_raw_planner_in_pricing_crates() {
+    // Token-local rule, so `lint_source` sees it — including the cfg(test)
+    // site, which G03 deliberately does not strip.
+    assert_findings(
+        "g03.rs",
+        "crates/safety/src/fixture.rs",
+        &[("G03", 6), ("G03", 20)],
+    );
+}
+
+#[test]
+fn g03_is_scoped_to_pricing_crates() {
+    assert_findings("g03.rs", "crates/core/src/fixture.rs", &[]);
+}
+
+#[test]
+fn g04_flags_wrappers_that_mutate_without_a_bump_path() {
+    // wrapper_add() reaches the mutation through raw_add() with no bump
+    // anywhere on the path; good_wrapper() routes through the marked
+    // tracked_add() and stays clean; allowed_wrapper() is suppressed.
+    assert_graph_findings(
+        &[("crates/storage/src/catalog.rs", "g04.rs")],
+        &[("crates/storage/src/catalog.rs", "G04", 26)],
+    );
+}
+
 #[test]
 fn well_formed_allows_suppress() {
     assert_findings("allow_ok.rs", "crates/core/src/fixture.rs", &[]);

@@ -1,0 +1,98 @@
+//! Symbol-table / call-graph unit tests. Two properties matter most:
+//! resolution through trait impls works (dyn dispatch fans out to every
+//! impl, so taint is never lost behind a trait object), and ambiguous
+//! method names stay conservative — no edge beats a wrong edge.
+
+use dba_analysis::file_models;
+use dba_analysis::graph::Model;
+
+fn model_of(files: &[(&str, &str)]) -> Model {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+        .collect();
+    let models = file_models(&sources);
+    Model::build(&models)
+}
+
+#[test]
+fn trait_impl_methods_fan_out_from_dyn_receivers() {
+    let m = model_of(&[
+        (
+            "crates/core/src/advisor.rs",
+            "pub trait Advisor { fn go(&mut self); }\n\
+             pub fn drive(a: &mut dyn Advisor) -> u64 {\n    a.go()\n}\n",
+        ),
+        (
+            "crates/core/src/impls.rs",
+            "pub struct Alpha;\nimpl Advisor for Alpha { fn go(&mut self) {} }\n\
+             pub struct Beta;\nimpl Advisor for Beta { fn go(&mut self) {} }\n",
+        ),
+    ]);
+    // The dyn call resolves to *every* impl of the trait.
+    assert!(m.has_edge("dba-core::drive", "Alpha::go"));
+    assert!(m.has_edge("dba-core::drive", "Beta::go"));
+}
+
+#[test]
+fn ambiguous_method_names_get_no_edge() {
+    let m = model_of(&[(
+        "crates/core/src/amb.rs",
+        "pub struct A;\nimpl A { pub fn score(&self) -> u64 { 1 } }\n\
+         pub struct B;\nimpl B { pub fn score(&self) -> u64 { 2 } }\n\
+         pub struct Holder { inner: u64 }\n\
+         impl Holder {\n    pub fn pick(&self) -> u64 {\n        self.inner.score()\n    }\n}\n",
+    )]);
+    // Two candidates named `score`, receiver type unknown: resolution must
+    // refuse to guess rather than fabricate an edge.
+    assert!(!m
+        .edges_named()
+        .iter()
+        .any(|(a, b)| a.ends_with("Holder::pick") && b.contains("score")));
+}
+
+#[test]
+fn typed_receivers_disambiguate_what_unknown_receivers_cannot() {
+    let m = model_of(&[(
+        "crates/core/src/typed.rs",
+        "pub struct A;\nimpl A { pub fn score(&self) -> u64 { 1 } }\n\
+         pub struct B;\nimpl B { pub fn score(&self) -> u64 { 2 } }\n\
+         pub fn pick(x: &A) -> u64 {\n    x.score()\n}\n",
+    )]);
+    assert!(m.has_edge("dba-core::pick", "A::score"));
+    assert!(!m.has_edge("dba-core::pick", "B::score"));
+}
+
+#[test]
+fn cross_crate_suffix_paths_resolve() {
+    let m = model_of(&[
+        (
+            "crates/core/src/caller.rs",
+            "pub fn entry() -> u64 {\n    dba_engine::summarize(1)\n}\n",
+        ),
+        (
+            "crates/engine/src/callee.rs",
+            "pub fn summarize(x: u64) -> u64 {\n    x\n}\n",
+        ),
+    ]);
+    assert!(m.has_edge("dba-core::entry", "dba-engine::summarize"));
+}
+
+#[test]
+fn test_only_candidates_are_invisible_to_production_callers() {
+    let m = model_of(&[(
+        "crates/core/src/prod.rs",
+        "pub fn entry() -> u64 {\n    helper()\n}\n\
+         pub fn helper() -> u64 {\n    0\n}\n\
+         #[cfg(test)]\nmod tests {\n    pub fn helper() -> u64 {\n        1\n    }\n}\n",
+    )]);
+    let edges = m.edges_named();
+    // The production call binds the production helper, not the cfg(test)
+    // twin — and the twin must not make the name look ambiguous.
+    assert!(edges
+        .iter()
+        .any(|(a, b)| a == "dba-core::entry" && b == "dba-core::helper"));
+    assert!(!edges
+        .iter()
+        .any(|(a, b)| a == "dba-core::entry" && b.contains("tests")));
+}

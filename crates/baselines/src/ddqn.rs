@@ -490,6 +490,7 @@ mod tests {
                 })
                 .collect();
             let ctx = PlannerContext::from_catalog(cat, &stats, &cost);
+            // lint: allow(G03) — execution path: plans feed Executor::execute, what-if memoization must not intercept them
             let planner = Planner::new(&ctx);
             let exec = Executor::new(cost.clone());
             let execs: Vec<QueryExecution> = qs

@@ -3,26 +3,31 @@
 //! creations, gains) to understand convergence. Not part of the paper
 //! reproduction.
 
+use dba_bench::harness::env_parsed;
 use dba_core::{MabConfig, MabTuner};
 use dba_session::SessionBuilder;
 use dba_workloads::{all_benchmarks, WorkloadKind};
 
 fn main() {
-    let sf: f64 = std::env::var("DBA_SF")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
+    let sf: f64 = env_parsed("DBA_SF", 1.0);
+    let seed: u64 = env_parsed("DBA_SEED", 42);
+    let rounds: usize = match env_parsed("DBA_ROUNDS", 10) {
+        0 => {
+            eprintln!("warning: ignoring DBA_ROUNDS=0; a workload needs at least 1 round");
+            10
+        }
+        n => n,
+    };
     let name = std::env::var("DBA_BENCH").unwrap_or_else(|_| "SSB".to_string());
     let bench = all_benchmarks(sf)
         .into_iter()
         .find(|b| b.name == name)
         .expect("unknown benchmark");
-    let rounds = 10;
 
     let mut session = SessionBuilder::new()
         .benchmark(bench)
         .workload(WorkloadKind::Static { rounds })
-        .seed(42)
+        .seed(seed)
         .build_with(|catalog, cost, budget| {
             MabTuner::new(
                 catalog,

@@ -110,6 +110,7 @@ mod tests {
         queries: &[Query],
     ) -> Vec<QueryExecution> {
         let ctx = PlannerContext::from_catalog(catalog, stats, cost);
+        // lint: allow(G03) — execution path: plans feed Executor::execute, what-if memoization must not intercept them
         let planner = Planner::new(&ctx);
         let exec = Executor::new(cost.clone());
         queries
