@@ -65,6 +65,7 @@ fn bench_c2ucb(c: &mut Criterion) {
         C2UcbConfig {
             lambda: 1.0,
             alpha: AlphaSchedule::Constant(1.0),
+            ..C2UcbConfig::default()
         },
     );
     let mut rng = rng_for(1, "bench-c2ucb", 0);

@@ -380,6 +380,8 @@ mod tests {
                 whatif_hits: 2,
                 whatif_misses: 5,
                 shift_intensity: 1.0,
+                bandit_refreshes: 1,
+                bandit_decays: 0,
             }],
             safety: None,
         };

@@ -15,14 +15,16 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use dba_common::DbResult;
+use dba_common::{BudgetTimer, DbResult};
+use dba_core::MabConfig;
 use dba_optimizer::StatsCatalog;
-use dba_session::SessionBuilder;
+use dba_session::{SessionBuilder, StreamConfig, StreamResult, StreamingSession};
 use dba_storage::Catalog;
-use dba_workloads::{Benchmark, DataDrift, WorkloadKind};
+use dba_workloads::{ArrivalProcess, Benchmark, DataDrift, WorkloadKind};
 
 pub use dba_session::{
-    make_advisor, RoundRecord, RoundSafety, RunResult, SafetyConfig, SafetyReport, TunerKind,
+    make_advisor, DegradeLevel, RoundRecord, RoundSafety, RunResult, SafetyConfig, SafetyReport,
+    TunerKind, WindowRecord,
 };
 
 /// Experiment-wide configuration from the environment.
@@ -39,6 +41,14 @@ pub struct ExperimentEnv {
     /// (`SafetyConfig::regret_bound_factor`). Must be a finite positive
     /// number; bad values are warned about and ignored.
     pub safety_bound: Option<f64>,
+    /// `DBA_LATENCY_BUDGET` override: per-window recommend budget in
+    /// simulated seconds for streaming scenarios (`inf` disables the
+    /// degrade ladder). Must be positive; bad values are warned about and
+    /// ignored.
+    pub latency_budget: Option<f64>,
+    /// `DBA_ARRIVAL` override: arrival-process preset for streaming
+    /// scenarios (`roundbatch` | `poisson` | `bursty`).
+    pub arrival: Option<ArrivalProcess>,
 }
 
 /// Parse an environment variable, warning (rather than silently
@@ -103,12 +113,41 @@ impl ExperimentEnv {
             },
             Err(_) => None,
         };
+        let latency_budget = match std::env::var("DBA_LATENCY_BUDGET") {
+            Ok(raw) => match raw.parse::<f64>() {
+                Ok(v) if v > 0.0 => Some(v),
+                Ok(v) => {
+                    eprintln!(
+                        "warning: ignoring DBA_LATENCY_BUDGET={v}; the recommend budget must \
+                         be positive (simulated seconds; `inf` disables the ladder)"
+                    );
+                    None
+                }
+                Err(_) => {
+                    eprintln!("warning: ignoring unparsable DBA_LATENCY_BUDGET={raw:?}");
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        let arrival = match std::env::var("DBA_ARRIVAL") {
+            Ok(raw) => match raw.parse::<ArrivalProcess>() {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("warning: ignoring DBA_ARRIVAL: {e}");
+                    None
+                }
+            },
+            Err(_) => None,
+        };
         ExperimentEnv {
             sf,
             seed,
             quick,
             rounds,
             safety_bound,
+            latency_budget,
+            arrival,
         }
     }
 
@@ -220,6 +259,48 @@ pub fn run_one_with_drift(
         builder = builder.data_drift(drift.clone());
     }
     builder.build()?.run()
+}
+
+/// Run one tuner over one workload through a
+/// [`StreamingSession`](dba_session::StreamingSession): arrival windows
+/// under the given stream configuration instead of fixed rounds. `guard`
+/// wraps the tuner in the safety guardrail; `mab` overrides the MAB
+/// configuration (e.g. `streaming_fast_path`) and is ignored for other
+/// tuners; `timer` supplies advisory wall-clock telemetry
+/// ([`BudgetTimer::disabled`] keeps the run purely simulated).
+#[allow(clippy::too_many_arguments)]
+pub fn run_stream_one(
+    benchmark: &Benchmark,
+    base: &Catalog,
+    stats: &StatsCatalog,
+    workload: WorkloadKind,
+    drift: Option<&DataDrift>,
+    tuner: TunerKind,
+    guard: Option<SafetyConfig>,
+    mab: Option<MabConfig>,
+    config: StreamConfig,
+    timer: BudgetTimer,
+    seed: u64,
+) -> DbResult<StreamResult> {
+    let mut builder = SessionBuilder::new()
+        .benchmark(benchmark.clone())
+        .shared_data(base)
+        .shared_stats(stats)
+        .workload(workload)
+        .tuner(tuner)
+        .seed(seed);
+    if let Some(drift) = drift {
+        builder = builder.data_drift(drift.clone());
+    }
+    if let Some(guard) = guard {
+        builder = builder.safeguard(guard);
+    }
+    if let Some(mab) = mab {
+        builder = builder.mab_config(mab);
+    }
+    let mut streaming = StreamingSession::new(builder.build()?, config);
+    streaming.set_timer(timer);
+    streaming.run()
 }
 
 /// Suite worker count: `DBA_THREADS` if set (≥1; `1` forces the
@@ -462,6 +543,57 @@ mod tests {
         }
     }
 
+    /// Streaming determinism across suite fan-out: the same set of
+    /// streaming runs, mapped over 1 worker vs 3, must produce
+    /// bit-identical window trails (`Debug` prints every `f64` exactly).
+    /// Sessions fork shared data by `Arc` and the degrade ladder runs on
+    /// simulated cost only, so thread scheduling cannot leak in.
+    #[test]
+    fn parallel_streaming_suite_is_bit_identical_to_sequential() {
+        use dba_session::{StreamConfig, StreamResult};
+        use dba_workloads::ArrivalProcess;
+
+        let bench = ssb(0.02);
+        let base = bench.build_catalog(7).unwrap();
+        let stats = StatsCatalog::build(&base);
+        let kind = WorkloadKind::Static { rounds: 2 };
+        let jobs: Vec<(TunerKind, Option<SafetyConfig>)> = vec![
+            (TunerKind::NoIndex, None),
+            (TunerKind::Mab, None),
+            (TunerKind::Mab, Some(SafetyConfig::default())),
+        ];
+        let run_all = |threads: usize| -> Vec<StreamResult> {
+            parallel_map_ordered(&jobs, threads, |(tuner, guard)| {
+                run_stream_one(
+                    &bench,
+                    &base,
+                    &stats,
+                    kind,
+                    None,
+                    *tuner,
+                    *guard,
+                    None,
+                    StreamConfig::new(ArrivalProcess::paper_bursty(), 0.05),
+                    dba_common::BudgetTimer::disabled(),
+                    7,
+                )
+                .unwrap()
+            })
+        };
+        let seq = run_all(1);
+        let par = run_all(3);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(
+                format!("{:?}", a.windows),
+                format!("{:?}", b.windows),
+                "{}: window trail must be thread-count independent",
+                a.run.tuner
+            );
+            assert_eq!(a.queries_per_min().to_bits(), b.queries_per_min().to_bits());
+            assert_eq!(a.recommend_p99_s().to_bits(), b.recommend_p99_s().to_bits());
+        }
+    }
+
     #[test]
     fn pdtool_runs_on_shifting_workload() {
         let bench = ssb(0.02);
@@ -487,6 +619,8 @@ mod tests {
             quick: false,
             rounds: Some(3),
             safety_bound: None,
+            latency_budget: None,
+            arrival: None,
         };
         assert_eq!(env.static_kind().rounds(), 3);
         assert_eq!(env.shifting_kind().rounds(), 12); // 4 groups × 3

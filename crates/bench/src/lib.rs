@@ -27,9 +27,10 @@ pub mod report;
 
 pub use harness::{
     make_advisor, run_benchmark_suite, run_benchmark_suite_with_drift, run_one, run_one_with_drift,
-    run_suite_threaded, suite_threads, ExperimentEnv, RoundRecord, RoundSafety, RunResult,
-    SafetyConfig, SafetyReport, TunerKind,
+    run_stream_one, run_suite_threaded, suite_threads, DegradeLevel, ExperimentEnv, RoundRecord,
+    RoundSafety, RunResult, SafetyConfig, SafetyReport, TunerKind, WindowRecord,
 };
 pub use report::{
-    fmt_minutes, print_series, print_totals_table, results_json, write_csv, write_text,
+    fmt_minutes, print_series, print_totals_table, results_json, stream_results_json, write_csv,
+    write_text,
 };

@@ -165,6 +165,11 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
             r.total_whatif_misses(),
             r.whatif_hit_rate()
         ));
+        out.push_str(&format!(
+            "      \"bandit\": {{\"refreshes\": {}, \"decays\": {}}},\n",
+            r.total_bandit_refreshes(),
+            r.total_bandit_decays()
+        ));
         if let Some(safety) = &r.safety {
             out.push_str(&format!(
                 "      \"safety\": {{\"vetoes\": {}, \"rollbacks\": {}, \"throttled_rounds\": {}, \
@@ -202,7 +207,8 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
                 "        {{\"round\": {}, \"recommendation_s\": {:.4}, \"creation_s\": {:.4}, \
                  \"maintenance_s\": {:.4}, \"execution_s\": {:.4}, \"total_s\": {:.4}, \
                  \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"whatif_hits\": {}, \
-                 \"whatif_misses\": {}, \"shift_intensity\": {:.4}}}{}\n",
+                 \"whatif_misses\": {}, \"shift_intensity\": {:.4}, \
+                 \"bandit_refreshes\": {}, \"bandit_decays\": {}}}{}\n",
                 round.round,
                 round.recommendation.secs(),
                 round.creation.secs(),
@@ -214,6 +220,8 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
                 round.whatif_hits,
                 round.whatif_misses,
                 round.shift_intensity,
+                round.bandit_refreshes,
+                round.bandit_decays,
                 if i + 1 < r.rounds.len() { "," } else { "" }
             ));
         }
@@ -221,6 +229,100 @@ pub fn results_json(meta: &[(&str, String)], results: &[RunResult]) -> String {
         out.push_str(&format!(
             "    }}{}\n",
             if ri + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Serialise streaming runs into a results JSON document. The layout is a
+/// superset of [`results_json`]'s: each run carries the standard `totals`
+/// object (so `check_baselines` diffs the simulated metrics through the
+/// same `extract_totals` path) plus a `stream` object with the
+/// throughput/degrade/latency summary and a per-window trail. Wall-clock
+/// figures are advisory and land only inside `stream` — outside the
+/// checked schema by construction. `label` disambiguates the same tuner
+/// under different arrival presets (e.g. `MAB/bursty`).
+pub fn stream_results_json(
+    meta: &[(&str, String)],
+    runs: &[(String, dba_session::StreamResult)],
+) -> String {
+    use dba_session::DegradeLevel;
+    let level_label = |level: DegradeLevel| match level {
+        DegradeLevel::Full => "full",
+        DegradeLevel::ReuseConfig => "reuse",
+        DegradeLevel::Amortized => "amortized",
+    };
+    let opt_f64 = |v: Option<f64>| match v {
+        Some(v) if v.is_finite() => format!("{v:.6}"),
+        _ => "null".to_string(),
+    };
+    let mut out = String::from("{\n");
+    for (k, v) in meta {
+        out.push_str(&format!("  \"{}\": {},\n", json_escape(k), v));
+    }
+    out.push_str("  \"runs\": [\n");
+    for (ri, (label, s)) in runs.iter().enumerate() {
+        let r = &s.run;
+        out.push_str(&format!(
+            "    {{\n      \"tuner\": \"{}\",\n      \"benchmark\": \"{}\",\n      \
+             \"workload\": \"{}\",\n",
+            json_escape(label),
+            json_escape(&r.benchmark),
+            json_escape(&r.workload)
+        ));
+        out.push_str(&format!(
+            "      \"totals\": {{\"recommendation_s\": {:.4}, \"creation_s\": {:.4}, \
+             \"maintenance_s\": {:.4}, \"execution_s\": {:.4}, \"total_s\": {:.4}}},\n",
+            r.total_recommendation().secs(),
+            r.total_creation().secs(),
+            r.total_maintenance().secs(),
+            r.total_execution().secs(),
+            r.total().secs()
+        ));
+        out.push_str(&format!(
+            "      \"bandit\": {{\"refreshes\": {}, \"decays\": {}}},\n",
+            r.total_bandit_refreshes(),
+            r.total_bandit_decays()
+        ));
+        out.push_str(&format!(
+            "      \"stream\": {{\"arrivals\": {}, \"queries_per_min\": {:.1}, \
+             \"recommend_p99_s\": {:.6}, \"wall_recommend_p99_s\": {}, \"budget_s\": {}, \
+             \"windows\": {}, \"degraded_windows\": {}, \"reuse_windows\": {}, \
+             \"amortized_windows\": {}, \"blown_windows\": {}}},\n",
+            s.total_arrivals(),
+            s.queries_per_min(),
+            s.recommend_p99_s(),
+            opt_f64(s.wall_recommend_p99_s()),
+            opt_f64(Some(s.budget_s)),
+            s.windows.len(),
+            s.degraded_windows(),
+            s.reuse_windows(),
+            s.amortized_windows(),
+            s.blown_windows()
+        ));
+        out.push_str("      \"windows\": [\n");
+        for (i, w) in s.windows.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"window\": {}, \"round\": {}, \"level\": \"{}\", \"burst\": {}, \
+                 \"boundary\": {}, \"arrivals\": {}, \"recommendation_s\": {:.6}, \
+                 \"blown\": {}, \"wall_recommend_s\": {}}}{}\n",
+                w.window,
+                w.round,
+                level_label(w.level),
+                w.burst,
+                w.round_boundary,
+                w.arrivals,
+                w.record.recommendation.secs(),
+                w.budget_blown,
+                opt_f64(w.wall_recommend_s),
+                if i + 1 < s.windows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if ri + 1 < runs.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -274,6 +376,8 @@ mod tests {
                     whatif_hits: if i == 0 { 0 } else { 3 },
                     whatif_misses: if i == 0 { 3 } else { 0 },
                     shift_intensity: if i == 0 { 1.0 } else { 0.0 },
+                    bandit_refreshes: if i == 0 { 1 } else { 0 },
+                    bandit_decays: 0,
                 })
                 .collect(),
             safety: None,

@@ -168,6 +168,75 @@ impl SimClock {
     }
 }
 
+/// An *advisory* wall-clock budget timer with an injected time source.
+///
+/// Simulated cost units are the primary latency currency everywhere in the
+/// workspace; wall-clock readings are telemetry only and must never
+/// influence results. This type keeps that rule lintable: crates on
+/// result-affecting paths (session, core, safety) hold a `BudgetTimer` and
+/// call [`mark`](Self::mark)/[`elapsed_secs`](Self::elapsed_secs) without
+/// ever naming a wall-clock API — the harness crate (where wall-clock is
+/// allowed) injects a monotonic-seconds closure via
+/// [`with_source`](Self::with_source). Everyone else gets
+/// [`disabled`](Self::disabled), where every reading is `None`.
+pub struct BudgetTimer {
+    source: Option<Box<dyn Fn() -> f64 + Send>>,
+    mark: Option<f64>,
+}
+
+impl BudgetTimer {
+    /// A timer with no time source: `mark` is a no-op and `elapsed_secs`
+    /// always returns `None`. The default for deterministic paths.
+    pub fn disabled() -> Self {
+        BudgetTimer {
+            source: None,
+            mark: None,
+        }
+    }
+
+    /// A timer reading monotonic seconds from `source`. Only harness code
+    /// with wall-clock dispensation should construct one of these.
+    pub fn with_source(source: impl Fn() -> f64 + Send + 'static) -> Self {
+        BudgetTimer {
+            source: Some(Box::new(source)),
+            mark: None,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.source.is_some()
+    }
+
+    /// Record the current reading as the measurement start.
+    pub fn mark(&mut self) {
+        self.mark = self.source.as_ref().map(|s| s());
+    }
+
+    /// Seconds since the last [`mark`](Self::mark); `None` when disabled
+    /// or never marked.
+    pub fn elapsed_secs(&self) -> Option<f64> {
+        match (&self.source, self.mark) {
+            (Some(source), Some(mark)) => Some((source() - mark).max(0.0)),
+            _ => None,
+        }
+    }
+}
+
+impl Default for BudgetTimer {
+    fn default() -> Self {
+        BudgetTimer::disabled()
+    }
+}
+
+impl fmt::Debug for BudgetTimer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BudgetTimer")
+            .field("enabled", &self.is_enabled())
+            .field("mark", &self.mark)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +285,31 @@ mod tests {
     fn clock_rejects_negative_advance() {
         let mut clock = SimClock::new();
         clock.advance(SimSeconds::new(-1.0));
+    }
+
+    #[test]
+    fn disabled_budget_timer_reads_nothing() {
+        let mut t = BudgetTimer::disabled();
+        assert!(!t.is_enabled());
+        t.mark();
+        assert_eq!(t.elapsed_secs(), None);
+    }
+
+    #[test]
+    fn sourced_budget_timer_measures_between_marks() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let fake_now = Arc::new(AtomicU64::new(100));
+        let reader = Arc::clone(&fake_now);
+        let mut t = BudgetTimer::with_source(move || reader.load(Ordering::Relaxed) as f64);
+        assert!(t.is_enabled());
+        assert_eq!(t.elapsed_secs(), None, "unmarked timer reads nothing");
+        t.mark();
+        fake_now.store(103, Ordering::Relaxed);
+        assert_eq!(t.elapsed_secs(), Some(3.0));
+        // A source that runs backwards clamps to zero rather than going
+        // negative.
+        fake_now.store(99, Ordering::Relaxed);
+        assert_eq!(t.elapsed_secs(), Some(0.0));
     }
 }

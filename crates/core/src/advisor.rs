@@ -18,7 +18,7 @@
 //! benefit assessments are computed against the state of the round they
 //! price, not one drift application later.
 
-use dba_common::{IndexId, SimSeconds, TableId};
+use dba_common::{IndexId, SimSeconds, TableId, TemplateId};
 use dba_engine::{Query, QueryExecution};
 use dba_optimizer::{StatsCatalog, WhatIfService};
 use dba_storage::Catalog;
@@ -29,6 +29,37 @@ use dba_storage::Catalog;
 pub struct AdvisorCost {
     pub recommendation: SimSeconds,
     pub creation: SimSeconds,
+}
+
+/// How much of the recommend step a streaming window can afford — the
+/// graceful-degrade ladder a deadline-aware driver walks when the
+/// per-window latency budget is blown. Ordering is part of the contract:
+/// drivers must pass through `ReuseConfig` before ever escalating to
+/// `Amortized`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum DegradeLevel {
+    /// The full recommend step (also the only level the fixed-round model
+    /// ever runs at).
+    #[default]
+    Full,
+    /// Budget blown last window: keep the previous configuration, skip
+    /// scoring and selection entirely.
+    ReuseConfig,
+    /// Recovering: score only arms for templates whose arrival share
+    /// changed, never drop, and let shadow pricing amortise `marginals()`
+    /// across windows from its per-template memo.
+    Amortized,
+}
+
+/// Per-window degrade instruction delivered through
+/// [`Advisor::begin_window`] before the window's `before_round`.
+#[derive(Debug, Clone, Default)]
+pub struct WindowMode {
+    pub level: DegradeLevel,
+    /// Templates whose arrival share moved beyond the driver's epsilon
+    /// since the last window — the scope of an `Amortized` step. Empty at
+    /// other levels.
+    pub changed_templates: Vec<TemplateId>,
 }
 
 /// One table's row deltas in a round of data change.
@@ -125,6 +156,19 @@ pub trait Advisor: Send {
         queries: &[Query],
         executions: &[QueryExecution],
     );
+
+    /// Streaming drivers announce the upcoming window's degrade level
+    /// before calling [`before_round`](Self::before_round). Fixed-round
+    /// drivers never call this, so the default (ignore; always run at
+    /// [`DegradeLevel::Full`]) keeps every existing advisor correct.
+    fn begin_window(&mut self, _mode: &WindowMode) {}
+
+    /// `(scatter re-inversions, decay events)` of the advisor's bandit, if
+    /// it has one — surfaced per round in session records next to the
+    /// plan/what-if cache counters. Non-bandit advisors report zeros.
+    fn bandit_counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Drop bookkeeping for indexes that no longer exist in `catalog` — the
@@ -175,5 +219,13 @@ impl<A: Advisor + ?Sized> Advisor for Box<A> {
         executions: &[QueryExecution],
     ) {
         (**self).after_round(ctx, queries, executions)
+    }
+
+    fn begin_window(&mut self, mode: &WindowMode) {
+        (**self).begin_window(mode)
+    }
+
+    fn bandit_counters(&self) -> (u64, u64) {
+        (**self).bandit_counters()
     }
 }

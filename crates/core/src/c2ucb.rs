@@ -43,6 +43,15 @@ pub struct C2UcbConfig {
     /// accumulate (§V-C).
     pub lambda: f64,
     pub alpha: AlphaSchedule,
+    /// Exactly re-invert `V⁻¹` after this many incremental
+    /// Sherman–Morrison updates (numerical-drift bound). The default 512
+    /// matches the previous hard-coded period.
+    #[serde(default = "default_refresh_every")]
+    pub refresh_every: usize,
+}
+
+fn default_refresh_every() -> usize {
+    512
 }
 
 impl Default for C2UcbConfig {
@@ -57,6 +66,7 @@ impl Default for C2UcbConfig {
             // decays as observations accumulate, which is what "reduces
             // exploration with time", §V-B1).
             alpha: AlphaSchedule::Constant(2.5),
+            refresh_every: default_refresh_every(),
         }
     }
 }
@@ -69,6 +79,12 @@ pub struct C2Ucb {
     scatter: ShermanMorrisonInverse,
     b: Vec<f64>,
     round: usize,
+    /// Bumped whenever `θ̂`/`V⁻¹` change (observations or forgetting);
+    /// invalidates the fingerprint score cache.
+    model_version: u64,
+    /// Context-fingerprint → UCB score memo, valid for one model version.
+    score_cache: std::collections::HashMap<u64, f64>,
+    score_cache_version: u64,
 }
 
 impl C2Ucb {
@@ -76,10 +92,24 @@ impl C2Ucb {
         C2Ucb {
             config,
             dim,
-            scatter: ShermanMorrisonInverse::new(dim, config.lambda),
+            scatter: ShermanMorrisonInverse::with_refresh_every(
+                dim,
+                config.lambda,
+                config.refresh_every,
+            ),
             b: vec![0.0; dim],
             round: 0,
+            model_version: 0,
+            score_cache: std::collections::HashMap::new(),
+            score_cache_version: 0,
         }
+    }
+
+    /// `(exact re-inversions, decay events)` of the scatter inverse —
+    /// surfaced per round in session records.
+    #[inline]
+    pub fn maintenance_counters(&self) -> (u64, u64) {
+        self.scatter.counters()
     }
 
     #[inline]
@@ -133,6 +163,35 @@ impl C2Ucb {
             .collect()
     }
 
+    /// Sparse batch scoring through the fingerprint memo: arms whose
+    /// context is unchanged since the model last moved are not re-scored.
+    /// Numerically this can differ from [`Self::ucb_scores_sparse`] only
+    /// through (astronomically unlikely) 64-bit fingerprint collisions, so
+    /// the streaming fast path opts in explicitly.
+    pub fn ucb_scores_sparse_cached(&mut self, contexts: &[crate::linalg::SparseVec]) -> Vec<f64> {
+        if self.score_cache_version != self.model_version {
+            self.score_cache.clear();
+            self.score_cache_version = self.model_version;
+        }
+        let alpha = self.config.alpha.alpha(self.round + 1);
+        let mut theta: Option<Vec<f64>> = None;
+        contexts
+            .iter()
+            .map(|x| {
+                let fp = context_fingerprint(x);
+                if let Some(&score) = self.score_cache.get(&fp) {
+                    return score;
+                }
+                let theta = theta.get_or_insert_with(|| self.scatter.inv().mat_vec(&self.b));
+                let mean = crate::linalg::dot_sparse(theta, x);
+                let width_sq = self.scatter.inv().quad_form_sparse(x).max(0.0);
+                let score = mean + alpha * width_sq.sqrt();
+                self.score_cache.insert(fp, score);
+                score
+            })
+            .collect()
+    }
+
     /// Sparse update: densifies each context for the Sherman–Morrison
     /// update (plays per round are few, so this is cheap).
     pub fn update_sparse(&mut self, plays: &[(crate::linalg::SparseVec, f64)]) {
@@ -141,6 +200,28 @@ impl C2Ucb {
             .map(|(x, r)| (crate::linalg::to_dense(x, self.dim), *r))
             .collect();
         self.update(&dense);
+    }
+
+    /// Batched sparse update: the window's observations are staged into
+    /// `V` as O(nnz²) sparse scatter additions and the inverse is rebuilt
+    /// *once*, instead of one dense densify + mat-vec + rank-one per play.
+    /// `b` accumulates over non-zero entries only. Same model as
+    /// [`Self::update_sparse`] up to floating-point accumulation order
+    /// (the batch path's inverse is the *exact* one); the round advances
+    /// identically.
+    pub fn update_sparse_batched(&mut self, plays: &[(crate::linalg::SparseVec, f64)]) {
+        if !plays.is_empty() {
+            for (x, r) in plays {
+                self.scatter.stage_sparse_observation(x);
+                for &(i, v) in x {
+                    debug_assert!(i < self.dim);
+                    self.b[i] += r * v;
+                }
+            }
+            self.scatter.refresh();
+            self.model_version += 1;
+        }
+        self.round += 1;
     }
 
     /// Register the played arms' observed rewards (Algorithm 1 lines
@@ -152,6 +233,9 @@ impl C2Ucb {
             for (bi, xi) in self.b.iter_mut().zip(x) {
                 *bi += r * xi;
             }
+        }
+        if !plays.is_empty() {
+            self.model_version += 1;
         }
         self.round += 1;
     }
@@ -168,7 +252,25 @@ impl C2Ucb {
         for bi in &mut self.b {
             *bi *= gamma;
         }
+        self.model_version += 1;
     }
+}
+
+/// FNV-1a over a sparse context's `(dimension, value-bits)` stream: the
+/// within-window identity key for skip-rescoring.
+pub fn context_fingerprint(x: &crate::linalg::SparseVec) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &(i, v) in x {
+        for byte in (i as u64).to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(PRIME);
+        }
+        for byte in v.to_bits().to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(PRIME);
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -181,6 +283,7 @@ mod tests {
         C2UcbConfig {
             lambda: 1.0,
             alpha: AlphaSchedule::Constant(alpha),
+            ..C2UcbConfig::default()
         }
     }
 
@@ -291,6 +394,86 @@ mod tests {
         assert_eq!(bandit.round(), 0);
         bandit.update(&[(vec![1.0, 0.0], 1.0), (vec![0.0, 1.0], 1.0)]);
         assert_eq!(bandit.round(), 1, "one round per super-arm update");
+    }
+
+    #[test]
+    fn cached_sparse_scores_match_uncached() {
+        let mut bandit = C2Ucb::new(4, config(1.5));
+        let plays: Vec<(crate::linalg::SparseVec, f64)> =
+            vec![(vec![(0, 1.0), (2, 0.5)], 2.0), (vec![(1, 0.8)], -0.5)];
+        bandit.update_sparse(&plays);
+        let contexts: Vec<crate::linalg::SparseVec> = vec![
+            vec![(0, 1.0), (3, 0.2)],
+            vec![(1, 0.8)],
+            vec![(0, 1.0), (3, 0.2)], // repeat → served from the memo
+        ];
+        let plain = bandit.ucb_scores_sparse(&contexts);
+        let cached = bandit.ucb_scores_sparse(&contexts);
+        assert_eq!(plain, cached);
+        let memoed = bandit.ucb_scores_sparse_cached(&contexts);
+        assert_eq!(plain, memoed, "memoised scores must be bit-identical");
+        // The memo survives rounds where nothing was played but is
+        // invalidated the moment the model moves.
+        bandit.update_sparse(&[]);
+        assert_eq!(bandit.ucb_scores_sparse_cached(&contexts), plain);
+        bandit.update_sparse(&plays);
+        let after = bandit.ucb_scores_sparse_cached(&contexts);
+        assert_ne!(after, plain, "new observations must re-score");
+        assert_eq!(after, bandit.ucb_scores_sparse(&contexts));
+    }
+
+    #[test]
+    fn batched_update_tracks_sequential_model() {
+        let plays: Vec<(crate::linalg::SparseVec, f64)> = vec![
+            (vec![(0, 1.0), (2, 0.5)], 2.0),
+            (vec![(1, 0.8), (3, -0.3)], -0.5),
+            (vec![(0, 0.4)], 1.0),
+        ];
+        let mut seq = C2Ucb::new(4, config(1.0));
+        let mut batched = C2Ucb::new(4, config(1.0));
+        for _ in 0..5 {
+            seq.update_sparse(&plays);
+            batched.update_sparse_batched(&plays);
+        }
+        assert_eq!(seq.round(), batched.round());
+        let contexts: Vec<crate::linalg::SparseVec> =
+            vec![vec![(0, 1.0)], vec![(1, 1.0), (3, 0.5)], vec![(2, 1.0)]];
+        let a = seq.ucb_scores_sparse(&contexts);
+        let b = batched.ucb_scores_sparse(&contexts);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "batched diverged: {a:?} vs {b:?}");
+        }
+        let (refreshes, _) = batched.maintenance_counters();
+        assert_eq!(refreshes, 5, "one exact re-inversion per batched window");
+    }
+
+    #[test]
+    fn refresh_every_is_configurable_and_counted() {
+        let mut cfg = config(1.0);
+        cfg.refresh_every = 2;
+        let mut bandit = C2Ucb::new(2, cfg);
+        for _ in 0..4 {
+            bandit.update(&[(vec![1.0, 0.2], 1.0)]);
+        }
+        let (refreshes, decays) = bandit.maintenance_counters();
+        assert_eq!((refreshes, decays), (2, 0));
+        bandit.forget(0.5);
+        let (refreshes, decays) = bandit.maintenance_counters();
+        assert_eq!((refreshes, decays), (3, 1), "forgetting re-inverts");
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_contexts() {
+        let a: crate::linalg::SparseVec = vec![(0, 1.0), (2, 0.5)];
+        let b: crate::linalg::SparseVec = vec![(0, 1.0), (2, 0.5000001)];
+        let c: crate::linalg::SparseVec = vec![(2, 0.5), (0, 1.0)];
+        assert_eq!(context_fingerprint(&a), context_fingerprint(&a));
+        assert_ne!(context_fingerprint(&a), context_fingerprint(&b));
+        assert_ne!(
+            context_fingerprint(&a),
+            context_fingerprint(&c),
+            "order-sensitive"
+        );
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub mod reward;
 pub mod tuner;
 
 pub use advisor::{
-    reconcile_external_drops, Advisor, AdvisorCost, DataChange, RoundContext, TableChange,
+    reconcile_external_drops, Advisor, AdvisorCost, DataChange, DegradeLevel, RoundContext,
+    TableChange, WindowMode,
 };
 pub use arms::{Arm, ArmGenConfig, ArmRegistry};
 pub use c2ucb::{AlphaSchedule, C2Ucb, C2UcbConfig};

@@ -68,13 +68,22 @@ impl Matrix {
 
     /// Matrix-vector product `self · x`.
     pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.mat_vec_into(x, &mut out);
+        out
+    }
+
+    /// [`mat_vec`](Self::mat_vec) into a caller-owned buffer, so hot loops
+    /// (Sherman–Morrison updates, per-arm scoring) reuse one allocation.
+    /// Identical floating-point operation order to a fresh computation.
+    pub fn mat_vec_into(&self, x: &[f64], out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.d);
-        let mut out = vec![0.0; self.d];
+        out.clear();
+        out.resize(self.d, 0.0);
         for i in 0..self.d {
             let row = &self.data[i * self.d..(i + 1) * self.d];
             out[i] = dot(row, x);
         }
-        out
     }
 
     /// Quadratic form `xᵀ · self · x`.
@@ -186,17 +195,41 @@ pub struct ShermanMorrisonInverse {
     updates_since_refresh: usize,
     /// Exactly re-invert after this many incremental updates.
     refresh_every: usize,
+    /// Exact re-inversions performed (periodic, staged-batch and
+    /// decay-triggered alike).
+    refreshes: u64,
+    /// Decay (forgetting) events applied.
+    decays: u64,
+    /// Reusable `V⁻¹x` buffer for [`add_observation`](Self::add_observation).
+    scratch: Vec<f64>,
 }
 
 impl ShermanMorrisonInverse {
     pub fn new(d: usize, lambda: f64) -> Self {
+        Self::with_refresh_every(d, lambda, 512)
+    }
+
+    /// Like [`new`](Self::new) with an explicit re-inversion period.
+    /// Smaller periods trade update throughput for tighter numerical
+    /// drift bounds; `usize::MAX` disables periodic refreshes entirely.
+    pub fn with_refresh_every(d: usize, lambda: f64, refresh_every: usize) -> Self {
         assert!(lambda > 0.0, "ridge parameter must be positive");
+        assert!(refresh_every > 0, "refresh period must be positive");
         ShermanMorrisonInverse {
             v: Matrix::scaled_identity(d, lambda),
             v_inv: Matrix::scaled_identity(d, 1.0 / lambda),
             updates_since_refresh: 0,
-            refresh_every: 512,
+            refresh_every,
+            refreshes: 0,
+            decays: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// `(exact re-inversions, decay events)` since construction.
+    #[inline]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.refreshes, self.decays)
     }
 
     #[inline]
@@ -213,14 +246,27 @@ impl ShermanMorrisonInverse {
     /// `V⁻¹ ← V⁻¹ − (V⁻¹ x)(V⁻¹ x)ᵀ / (1 + xᵀ V⁻¹ x)`.
     pub fn add_observation(&mut self, x: &[f64]) {
         self.v.rank_one_update(x, 1.0);
-        let vx = self.v_inv.mat_vec(x);
+        // `V⁻¹x` lands in the reusable scratch buffer — same FP operation
+        // order as an owned `mat_vec`, zero per-call allocation once warm.
+        let mut vx = std::mem::take(&mut self.scratch);
+        self.v_inv.mat_vec_into(x, &mut vx);
         let denom = 1.0 + dot(&vx, x);
         debug_assert!(denom > 0.0, "V must stay positive definite");
         self.v_inv.rank_one_update(&vx, -1.0 / denom);
+        self.scratch = vx;
         self.updates_since_refresh += 1;
         if self.updates_since_refresh >= self.refresh_every {
             self.refresh();
         }
+    }
+
+    /// Stage `V += x xᵀ` (sparse, O(nnz²)) *without* touching `V⁻¹`. Used
+    /// to batch a window's observations into one scatter update; callers
+    /// must [`refresh`](Self::refresh) once the batch is complete, before
+    /// the inverse is read again.
+    pub fn stage_sparse_observation(&mut self, x: &SparseVec) {
+        self.v.rank_one_update_sparse(x, 1.0);
+        self.updates_since_refresh += 1;
     }
 
     /// Decay towards the prior: `V ← γ·V + (1−γ)·λ·I` (used by the tuner's
@@ -237,6 +283,7 @@ impl ShermanMorrisonInverse {
                 self.v.set(i, j, v);
             }
         }
+        self.decays += 1;
         self.refresh();
     }
 
@@ -247,6 +294,7 @@ impl ShermanMorrisonInverse {
             .inverse_spd()
             .expect("V is positive definite by construction");
         self.updates_since_refresh = 0;
+        self.refreshes += 1;
     }
 
     /// Confidence width squared: `xᵀ V⁻¹ x`.
@@ -278,6 +326,18 @@ pub fn dot_sparse(dense: &[f64], x: &SparseVec) -> f64 {
 }
 
 impl Matrix {
+    /// `self += scale · x xᵀ` touching only the O(nnz²) cells a sparse
+    /// vector can reach.
+    pub fn rank_one_update_sparse(&mut self, x: &SparseVec, scale: f64) {
+        for &(i, vi) in x {
+            debug_assert!(i < self.d);
+            let si = vi * scale;
+            for &(j, vj) in x {
+                self.data[i * self.d + j] += si * vj;
+            }
+        }
+    }
+
     /// Quadratic form with a sparse vector: `Σᵢⱼ xᵢ xⱼ M[i,j]`.
     pub fn quad_form_sparse(&self, x: &SparseVec) -> f64 {
         let mut acc = 0.0;
@@ -404,6 +464,71 @@ mod tests {
         // M = [[2,1],[1,2]]; x=[1,2] → xᵀMx = 2+2+2+8 = 14? compute:
         // Mx = [2·1+1·2, 1·1+2·2] = [4,5]; xᵀ(Mx)=4+10=14.
         assert!((m.quad_form(&[1.0, 2.0]) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mat_vec_into_matches_owned_bitwise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = 7;
+        let mut m = Matrix::scaled_identity(d, 0.3);
+        for _ in 0..10 {
+            let x = random_vec(&mut rng, d);
+            m.rank_one_update(&x, 1.0);
+        }
+        let x = random_vec(&mut rng, d);
+        let owned = m.mat_vec(&x);
+        let mut buf = vec![99.0; 2]; // wrong size and stale contents
+        m.mat_vec_into(&x, &mut buf);
+        assert_eq!(owned, buf, "buffer reuse must not change a single bit");
+    }
+
+    #[test]
+    fn sparse_rank_one_matches_dense() {
+        let d = 6;
+        let sparse: SparseVec = vec![(1, 0.5), (4, -2.0)];
+        let dense = to_dense(&sparse, d);
+        let mut a = Matrix::scaled_identity(d, 1.0);
+        let mut b = a.clone();
+        a.rank_one_update(&dense, 0.7);
+        b.rank_one_update_sparse(&sparse, 0.7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn staged_batch_plus_refresh_matches_sequential_v() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = 5;
+        let mut seq = ShermanMorrisonInverse::new(d, 1.0);
+        let mut batched = ShermanMorrisonInverse::new(d, 1.0);
+        let xs: Vec<SparseVec> = (0..8)
+            .map(|_| {
+                // Distinct, sorted dimensions (SparseVec's invariant).
+                vec![
+                    (rng.gen_range(0..2), rng.gen_range(-1.0..1.0)),
+                    (rng.gen_range(2..d), 1.0),
+                ]
+            })
+            .collect();
+        for x in &xs {
+            seq.add_observation(&to_dense(x, d));
+            batched.stage_sparse_observation(x);
+        }
+        batched.refresh();
+        assert!(seq.v().max_abs_diff(batched.v()) < 1e-9);
+        assert!(seq.inv().max_abs_diff(batched.inv()) < 1e-8);
+    }
+
+    #[test]
+    fn refresh_and_decay_counters_tick() {
+        let d = 3;
+        let mut sm = ShermanMorrisonInverse::with_refresh_every(d, 1.0, 2);
+        assert_eq!(sm.counters(), (0, 0));
+        sm.add_observation(&[1.0, 0.0, 0.0]);
+        assert_eq!(sm.counters(), (0, 0));
+        sm.add_observation(&[0.0, 1.0, 0.0]);
+        assert_eq!(sm.counters(), (1, 0), "periodic refresh at period 2");
+        sm.decay(0.5, 1.0);
+        assert_eq!(sm.counters(), (2, 1), "decay re-inverts and counts");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use dba_optimizer::{CardEstimator, StatsCatalog};
 use dba_storage::Catalog;
 use serde::{Deserialize, Serialize};
 
-use crate::advisor::{Advisor, AdvisorCost, DataChange};
+use crate::advisor::{Advisor, AdvisorCost, DataChange, DegradeLevel, WindowMode};
 use crate::arms::{ArmGenConfig, ArmRegistry};
 use crate::c2ucb::{C2Ucb, C2UcbConfig};
 use crate::context::{ContextBuilder, ContextLayout};
@@ -61,6 +61,13 @@ pub struct MabConfig {
     pub first_round_setup_s: f64,
     /// Simulated per-arm scoring time (seconds/arm/round).
     pub per_arm_scored_s: f64,
+    /// Streaming hot-path switches: batch each window's observations into
+    /// one scatter update and serve unchanged-context arm scores from the
+    /// fingerprint memo. Off by default — the fast path is equivalent only
+    /// up to floating-point accumulation order, and fixed-round baselines
+    /// must stay bit-identical.
+    #[serde(default)]
+    pub streaming_fast_path: bool,
 }
 
 impl Default for MabConfig {
@@ -77,6 +84,7 @@ impl Default for MabConfig {
             forget_on_shift: true,
             first_round_setup_s: 8.0,
             per_arm_scored_s: 0.001,
+            streaming_fast_path: false,
         }
     }
 }
@@ -118,6 +126,9 @@ pub struct MabTuner {
     /// regardless of database size.
     reward_scale: Option<f64>,
     rounds: usize,
+    /// The degrade level a streaming driver announced for the upcoming
+    /// window; fixed-round drivers never touch it, so it stays `Full`.
+    window_mode: WindowMode,
     /// `DBA_MAB_DEBUG` flag, read once at construction: per-round env
     /// lookups are wasted work on the hot path and process-global state
     /// under parallel suites.
@@ -142,6 +153,7 @@ impl MabTuner {
             maintenance_this_round: HashMap::new(),
             reward_scale: None,
             rounds: 0,
+            window_mode: WindowMode::default(),
             debug: std::env::var("DBA_MAB_DEBUG").is_ok(),
         }
     }
@@ -186,17 +198,39 @@ impl MabTuner {
             &mut self.current,
             &mut self.arm_to_index,
         );
+        if self.window_mode.level == DegradeLevel::ReuseConfig {
+            // Budget blown: the degrade ladder's first rung keeps the
+            // previous configuration untouched at (near) zero recommend
+            // cost. No scoring, no selection, no learning this window.
+            self.played.clear();
+            self.created_this_round.clear();
+            return RoundOutcome {
+                recommendation_time: SimSeconds::ZERO,
+                creation_time: SimSeconds::ZERO,
+                created: 0,
+                dropped: 0,
+                config_bytes: self.config_bytes(catalog),
+            };
+        }
+        let amortized = self.window_mode.level == DegradeLevel::Amortized;
         let mut rec_time = SimSeconds::ZERO;
         if self.rounds == 1 {
             rec_time += SimSeconds::new(self.config.first_round_setup_s);
         }
 
-        let qoi: Vec<Query> = self
+        let mut qoi: Vec<Query> = self
             .store
             .queries_of_interest(self.config.qoi_window)
             .into_iter()
             .cloned()
             .collect();
+        if amortized {
+            // The ladder's second rung: attend only to templates whose
+            // arrival share actually moved; everything else keeps last
+            // window's decision.
+            let changed = &self.window_mode.changed_templates;
+            qoi.retain(|q| changed.contains(&q.template));
+        }
         if qoi.is_empty() {
             // Nothing observed yet (cold start): keep the empty config.
             self.played.clear();
@@ -242,7 +276,11 @@ impl MabTuner {
                 builder.build(self.registry.arm(i), materialised)
             })
             .collect();
-        let mut scores = self.bandit.ucb_scores_sparse(&contexts);
+        let mut scores = if self.config.streaming_fast_path {
+            self.bandit.ucb_scores_sparse_cached(&contexts)
+        } else {
+            self.bandit.ucb_scores_sparse(&contexts)
+        };
         let scale = self.reward_scale.unwrap_or(1.0);
         for (pos, &arm) in active.iter().enumerate() {
             if self.arm_to_index.contains_key(&arm) {
@@ -264,10 +302,22 @@ impl MabTuner {
             }
         }
 
-        // Oracle selection under the memory budget.
+        // Oracle selection under the memory budget. An amortized window is
+        // merge-only: incumbents are locked in (excluded from the oracle,
+        // never dropped) and new arms compete for the leftover budget, so
+        // a partially-scored window can only refine the configuration, not
+        // tear down decisions it didn't re-examine.
+        let oracle_budget = if amortized {
+            self.config
+                .memory_budget_bytes
+                .saturating_sub(self.config_bytes(catalog))
+        } else {
+            self.config.memory_budget_bytes
+        };
         let inputs: Vec<OracleInput> = active
             .iter()
             .zip(&scores)
+            .filter(|&(&i, _)| !(amortized && self.arm_to_index.contains_key(&i)))
             .map(|(&i, &score)| {
                 let arm = self.registry.arm(i);
                 OracleInput {
@@ -280,7 +330,12 @@ impl MabTuner {
                 }
             })
             .collect();
-        let selected = greedy_select(inputs, self.config.memory_budget_bytes);
+        let mut selected = greedy_select(inputs, oracle_budget);
+        if amortized {
+            let mut incumbents: Vec<usize> = self.arm_to_index.keys().copied().collect();
+            incumbents.sort_unstable();
+            selected.extend(incumbents);
+        }
         let selected_set: HashSet<usize> = selected.iter().copied().collect();
 
         if self.debug {
@@ -311,13 +366,18 @@ impl MabTuner {
         // a HashMap, so sort the snapshot — catalog mutations must happen
         // in a run-independent order.
         let mut dropped = 0usize;
-        let mut to_drop: Vec<(IndexId, usize)> = self
-            .current
-            .iter()
-            .filter(|(_, arm)| !selected_set.contains(arm))
-            .map(|(&id, &arm)| (id, arm))
-            .collect();
-        to_drop.sort_unstable_by_key(|&(id, _)| id);
+        let to_drop: Vec<(IndexId, usize)> = if amortized {
+            Vec::new() // merge-only: never drop on a partial view
+        } else {
+            let mut snapshot: Vec<(IndexId, usize)> = self
+                .current
+                .iter()
+                .filter(|(_, arm)| !selected_set.contains(arm))
+                .map(|(&id, &arm)| (id, arm))
+                .collect();
+            snapshot.sort_unstable_by_key(|&(id, _)| id);
+            snapshot
+        };
         for (id, arm) in to_drop {
             catalog.drop_index(id).expect("tracked index must exist");
             self.current.remove(&id);
@@ -354,19 +414,22 @@ impl MabTuner {
 
         // Remember the played super arm's contexts for the reward update,
         // moving the already-built vectors out of the scoring batch rather
-        // than re-cloning one per selected arm.
+        // than re-cloning one per selected arm. In an amortized window,
+        // locked-in incumbents outside the scored (changed-template) arm
+        // set have no context this window and drop out of the update.
         let mut context_slots: Vec<Option<SparseVec>> = contexts.into_iter().map(Some).collect();
         self.played = selected
             .iter()
-            .map(|&i| {
-                let pos = active
-                    .iter()
-                    .position(|&a| a == i)
-                    .expect("selected ⊆ active");
+            .filter_map(|&i| {
+                let pos = match active.iter().position(|&a| a == i) {
+                    Some(pos) => pos,
+                    None if amortized => return None,
+                    None => panic!("selected ⊆ active"),
+                };
                 let ctx = context_slots[pos]
                     .take()
                     .expect("each arm is selected at most once");
-                (i, ctx)
+                Some((i, ctx))
             })
             .collect();
 
@@ -441,7 +504,11 @@ impl MabTuner {
                     (ctx, reward)
                 })
                 .collect();
-            self.bandit.update_sparse(&plays);
+            if self.config.streaming_fast_path {
+                self.bandit.update_sparse_batched(&plays);
+            } else {
+                self.bandit.update_sparse(&plays);
+            }
         }
 
         if self.config.forget_on_shift && round > 1 && intensity >= self.config.shift_threshold {
@@ -499,6 +566,14 @@ impl Advisor for MabTuner {
         executions: &[QueryExecution],
     ) {
         self.observe(queries, executions);
+    }
+
+    fn begin_window(&mut self, mode: &WindowMode) {
+        self.window_mode = mode.clone();
+    }
+
+    fn bandit_counters(&self) -> (u64, u64) {
+        self.bandit.maintenance_counters()
     }
 }
 
@@ -772,6 +847,151 @@ mod tests {
              still holding {} indexes",
             cat.all_indexes().count()
         );
+    }
+
+    #[test]
+    fn reuse_config_window_is_free_and_touches_nothing() {
+        let mut cat = catalog();
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let mut tuner = MabTuner::new(
+            &cat,
+            cost.clone(),
+            MabConfig {
+                memory_budget_bytes: cat.database_bytes(),
+                ..MabConfig::default()
+            },
+        );
+        for round in 0..4 {
+            tuner.recommend_and_apply(&mut cat, &stats);
+            let q = query(round, round as i64 * 13 % 50_000);
+            let (_, exec) = plan_and_run(&cat, &stats, &cost, &q);
+            tuner.observe(&[q], &[exec]);
+        }
+        let before: Vec<_> = {
+            let mut ids: Vec<_> = cat.all_indexes().map(|ix| ix.id()).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert!(!before.is_empty());
+        tuner.begin_window(&WindowMode {
+            level: DegradeLevel::ReuseConfig,
+            changed_templates: vec![],
+        });
+        let outcome = tuner.recommend_and_apply(&mut cat, &stats);
+        assert_eq!(outcome.recommendation_time, SimSeconds::ZERO);
+        assert_eq!((outcome.created, outcome.dropped), (0, 0));
+        let after: Vec<_> = {
+            let mut ids: Vec<_> = cat.all_indexes().map(|ix| ix.id()).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(before, after, "configuration must be reused untouched");
+        assert!(tuner.played.is_empty(), "no plays to learn from");
+    }
+
+    /// An amortized window never drops incumbents and only prices the
+    /// changed templates' arms.
+    #[test]
+    fn amortized_window_is_merge_only() {
+        let mut cat = catalog();
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let mut tuner = MabTuner::new(
+            &cat,
+            cost.clone(),
+            MabConfig {
+                memory_budget_bytes: cat.database_bytes(),
+                qoi_window: 1,
+                ..MabConfig::default()
+            },
+        );
+        for round in 0..4 {
+            tuner.recommend_and_apply(&mut cat, &stats);
+            let q = query(round, round as i64 * 13 % 50_000);
+            let (_, exec) = plan_and_run(&cat, &stats, &cost, &q);
+            tuner.observe(&[q], &[exec]);
+        }
+        let before: Vec<_> = cat.all_indexes().map(|ix| ix.id()).collect();
+        assert!(!before.is_empty());
+        // Shift the workload entirely to an unrelated template, then run
+        // an amortized window scoped to a template nobody has seen: with
+        // nothing to price, the old configuration must survive (a full
+        // window with qoi_window=1 would drop it — see
+        // `drops_indexes_when_workload_shifts`).
+        let shifted = Query {
+            id: QueryId(99),
+            template: TemplateId(2),
+            tables: vec![TableId(0)],
+            predicates: vec![Predicate::eq(ColumnId::new(TableId(0), 2), 5)],
+            joins: vec![],
+            payload: vec![ColumnId::new(TableId(0), 2)],
+            aggregated: true,
+        };
+        let (_, exec) = plan_and_run(&cat, &stats, &cost, &shifted);
+        tuner.observe(&[shifted], &[exec]);
+        tuner.begin_window(&WindowMode {
+            level: DegradeLevel::Amortized,
+            changed_templates: vec![TemplateId(77)],
+        });
+        let outcome = tuner.recommend_and_apply(&mut cat, &stats);
+        assert_eq!(outcome.dropped, 0, "amortized windows never drop");
+        for id in &before {
+            assert!(cat.index(*id).is_ok(), "incumbent {id:?} must survive");
+        }
+        // Back at full level with the workload still shifted, the stale
+        // configuration is torn down again.
+        let shifted2 = Query {
+            id: QueryId(100),
+            template: TemplateId(2),
+            tables: vec![TableId(0)],
+            predicates: vec![Predicate::eq(ColumnId::new(TableId(0), 2), 9)],
+            joins: vec![],
+            payload: vec![ColumnId::new(TableId(0), 2)],
+            aggregated: true,
+        };
+        let (_, exec2) = plan_and_run(&cat, &stats, &cost, &shifted2);
+        tuner.observe(&[shifted2], &[exec2]);
+        tuner.begin_window(&WindowMode::default());
+        let outcome = tuner.recommend_and_apply(&mut cat, &stats);
+        assert!(outcome.dropped > 0, "full window regains drop authority");
+    }
+
+    /// The streaming fast path (batched scatter update + fingerprint score
+    /// memo) must still converge on the repeating workload.
+    #[test]
+    fn fast_path_converges_on_repeating_workload() {
+        let mut cat = catalog();
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let mut tuner = MabTuner::new(
+            &cat,
+            cost.clone(),
+            MabConfig {
+                memory_budget_bytes: cat.database_bytes(),
+                streaming_fast_path: true,
+                ..MabConfig::default()
+            },
+        );
+        let mut first = None;
+        let mut last = None;
+        for round in 0..8 {
+            tuner.recommend_and_apply(&mut cat, &stats);
+            let q = query(round, (round as i64) * 17 % 50_000);
+            let (_, exec) = plan_and_run(&cat, &stats, &cost, &q);
+            if round == 0 {
+                first = Some(exec.total.secs());
+            }
+            last = Some(exec.total.secs());
+            tuner.observe(&[q], &[exec]);
+        }
+        let (first, last) = (first.unwrap(), last.unwrap());
+        assert!(
+            last < first / 2.0,
+            "fast path must converge: {first} → {last}"
+        );
+        let (refreshes, _) = tuner.bandit_counters();
+        assert!(refreshes > 0, "batched updates re-invert once per window");
     }
 
     #[test]

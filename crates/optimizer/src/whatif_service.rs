@@ -363,6 +363,34 @@ impl WhatIfService {
         (total, usage)
     }
 
+    /// Like [`cost_workload`](Self::cost_workload) with a per-query
+    /// arrival weight: streaming windows execute one bound instance per
+    /// distinct template and scale by that template's arrival count, so
+    /// shadow prices must scale the same way. Returns the weighted total
+    /// plus the *unweighted* per-query costs, which callers memoize as
+    /// per-template prices to amortise pricing across windows. With every
+    /// weight exactly 1.0 the total reproduces `cost_workload`
+    /// bit-for-bit (`x × 1.0` is an IEEE identity).
+    pub fn cost_workload_weighted(
+        &mut self,
+        catalog: &Catalog,
+        stats: &StatsCatalog,
+        queries: &[Query],
+        weights: &[f64],
+        hypothetical: &[IndexDef],
+        include_materialised: bool,
+    ) -> (SimSeconds, Vec<f64>) {
+        debug_assert_eq!(queries.len(), weights.len());
+        let mut total = SimSeconds::ZERO;
+        let mut per_query = Vec::with_capacity(queries.len());
+        for (q, &w) in queries.iter().zip(weights) {
+            let outcome = self.cost_query(catalog, stats, q, hypothetical, include_materialised);
+            per_query.push(outcome.est_cost.secs());
+            total += outcome.est_cost * w;
+        }
+        (total, per_query)
+    }
+
     /// Price many hypothetical configurations over one workload in a
     /// single pass. Sub-plans are shared through the memo: a query whose
     /// tables see the same candidate subset under two configurations is
@@ -577,6 +605,37 @@ mod tests {
     /// Configurations differing only on tables a query does not touch
     /// share the query's cached plan — the sharing that makes the batched
     /// marginals pass cheap.
+    #[test]
+    fn unit_weights_reproduce_cost_workload_bitwise() {
+        let catalog = catalog();
+        let stats = StatsCatalog::build(&catalog);
+        let queries: Vec<Query> = (0..4).map(|i| hot_query(1, i * 100)).collect();
+        let (plain, _) = service().cost_workload(&catalog, &stats, &queries, &[], false);
+        let weights = vec![1.0; queries.len()];
+        let (weighted, per_query) =
+            service().cost_workload_weighted(&catalog, &stats, &queries, &weights, &[], false);
+        assert_eq!(plain.secs().to_bits(), weighted.secs().to_bits());
+        assert_eq!(per_query.len(), queries.len());
+        assert_eq!(
+            per_query.iter().sum::<f64>().to_bits(),
+            plain.secs().to_bits()
+        );
+    }
+
+    #[test]
+    fn arrival_weights_scale_shadow_prices() {
+        let catalog = catalog();
+        let stats = StatsCatalog::build(&catalog);
+        let queries = vec![hot_query(1, 500)];
+        let mut svc = service();
+        let (unit, per_query) =
+            svc.cost_workload_weighted(&catalog, &stats, &queries, &[1.0], &[], false);
+        let (scaled, _) =
+            svc.cost_workload_weighted(&catalog, &stats, &queries, &[250.0], &[], false);
+        assert!((scaled.secs() - 250.0 * unit.secs()).abs() < 1e-9 * scaled.secs().abs().max(1.0));
+        assert_eq!(per_query[0], unit.secs());
+    }
+
     #[test]
     fn marginals_share_subplans_across_configs() {
         let mut cat = catalog();

@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use dba_common::{IndexId, SimSeconds};
-use dba_core::{Advisor, AdvisorCost, DataChange, RoundContext};
+use dba_core::{Advisor, AdvisorCost, DataChange, RoundContext, WindowMode};
 use dba_engine::{CostModel, Query, QueryExecution};
 use dba_optimizer::{StatsCatalog, WhatIfService};
 use dba_storage::Catalog;
@@ -226,6 +226,18 @@ impl<A: Advisor> Advisor for SafeguardedAdvisor<A> {
     fn on_data_change(&mut self, change: &DataChange) {
         self.inner.on_data_change(change);
         self.ledger.lock().note_data_change(change);
+    }
+
+    fn begin_window(&mut self, mode: &WindowMode) {
+        // The inner tuner degrades its recommend step; the ledger degrades
+        // its shadow pricing to match. Safety enforcement itself (vetoes,
+        // headroom, throttle latch) never degrades.
+        self.inner.begin_window(mode);
+        self.ledger.lock().note_window_mode(mode);
+    }
+
+    fn bandit_counters(&self) -> (u64, u64) {
+        self.inner.bandit_counters()
     }
 
     fn after_round(

@@ -11,11 +11,11 @@
 //!
 //! [`SafeguardedAdvisor`]: crate::SafeguardedAdvisor
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use dba_common::IndexId;
-use dba_core::DataChange;
+use dba_common::{IndexId, SimSeconds, TemplateId};
+use dba_core::{DataChange, DegradeLevel, WindowMode};
 use dba_engine::{CostModel, Query, QueryExecution};
 use dba_optimizer::{StatsCatalog, WhatIfService};
 use dba_storage::{Catalog, IndexDef};
@@ -129,6 +129,23 @@ pub(crate) struct SafetyState {
     /// for the next round boundary (the guard applies catalog mutations
     /// only in `before_round`).
     pending_rollbacks: Vec<IndexId>,
+    /// Degrade level of the window being accounted (streaming drivers set
+    /// it through [`note_window_mode`](Self::note_window_mode); fixed-round
+    /// sessions never do, leaving every round at `Full`).
+    window_level: DegradeLevel,
+    /// Templates whose arrival share moved — the re-pricing scope of an
+    /// `Amortized` close.
+    changed_templates: HashSet<TemplateId>,
+    /// Per-query arrival counts for the pending window, parallel to
+    /// `queries`. Streaming sessions execute one instance per distinct
+    /// template and bill `weight ×` its price; `None` is the fixed-round
+    /// path, whose accounting stays byte-identical to the unweighted code.
+    window_weights: Option<Vec<f64>>,
+    /// Amortisation memo: each template's most recent unit shadow prices
+    /// `(noindex_s, prev_s)`. Refreshed whenever a template is re-priced
+    /// live; degraded closes read stale entries by design — that staleness
+    /// is exactly the latency/accuracy trade the degrade ladder buys.
+    template_prices: HashMap<TemplateId, (f64, f64)>,
 }
 
 impl SafetyState {
@@ -146,7 +163,32 @@ impl SafetyState {
             quarantine: HashMap::new(),
             last_shadow_noindex_s: None,
             pending_rollbacks: Vec::new(),
+            window_level: DegradeLevel::Full,
+            changed_templates: HashSet::new(),
+            window_weights: None,
+            template_prices: HashMap::new(),
         }
+    }
+
+    /// Record the upcoming window's degrade level (forwarded by the guard's
+    /// `begin_window`); scopes the next `close_round`'s shadow pricing.
+    pub(crate) fn note_window_mode(&mut self, mode: &WindowMode) {
+        self.window_level = mode.level;
+        // `mode.changed_templates` is a Vec; collecting into the set is
+        // order-insensitive.
+        self.changed_templates = mode
+            .changed_templates
+            .iter()
+            .copied()
+            .collect::<HashSet<_>>();
+    }
+
+    /// Record the pending window's per-query arrival counts (parallel to
+    /// the `note_execution` workload). Streaming sessions call this right
+    /// before the observation step; the weights are consumed when the
+    /// window closes.
+    pub(crate) fn note_window_weights(&mut self, weights: Vec<f64>) {
+        self.window_weights = Some(weights);
     }
 
     /// Rollback verdicts awaiting the next round boundary.
@@ -192,8 +234,13 @@ impl SafetyState {
             return Vec::new();
         };
         self.quarantine.retain(|_, expiry| *expiry > pending.round);
+        let weights = self.window_weights.take();
+        let level = self.window_level;
+        self.window_level = DegradeLevel::Full;
         let (shadow_noindex_s, shadow_prev_s) = if self.queries.is_empty() {
             (0.0, 0.0)
+        } else if let Some(weights) = weights.as_deref() {
+            self.shadow_price_weighted(catalog, stats, whatif, weights, level)
         } else {
             let (ni, _) = whatif.cost_workload(catalog, stats, &self.queries, &[], false);
             let (pv, _) =
@@ -208,8 +255,12 @@ impl SafetyState {
         // Rollback assessment: each index's marginal what-if gain on the
         // round's workload, minus the maintenance it billed. Consistently
         // negative over the window ⇒ the index is harming the workload.
+        // Degraded streaming windows skip it — the leave-one-out pass is
+        // the most optimiser-hungry part of the close, and a benefit
+        // window that fills only on `Full` windows still converges, just
+        // more slowly.
         let mut victims = Vec::new();
-        if !self.queries.is_empty() {
+        if !self.queries.is_empty() && level == DegradeLevel::Full {
             let defs: Vec<(IndexId, IndexDef)> = catalog
                 .all_indexes()
                 .map(|ix| (ix.id(), ix.def().clone()))
@@ -223,6 +274,18 @@ impl SafetyState {
                 // plan with the full pass through the service's memo.
                 let (full, usage) =
                     whatif.cost_workload(catalog, stats, &self.queries, &all, false);
+                // Streaming windows bill weighted executions, so benefit
+                // must be weighted the same way or every index looks
+                // maintenance-dominated; the re-costings land entirely on
+                // the memo the unweighted pass just filled.
+                let full = match weights.as_deref() {
+                    Some(w) => {
+                        whatif
+                            .cost_workload_weighted(catalog, stats, &self.queries, w, &all, false)
+                            .0
+                    }
+                    None => full,
+                };
                 let loo_configs: Vec<Vec<IndexDef>> = defs
                     .iter()
                     .enumerate()
@@ -235,15 +298,35 @@ impl SafetyState {
                             .collect()
                     })
                     .collect();
-                let loo_costs =
-                    whatif.marginals(catalog, stats, &self.queries, &loo_configs, false);
-                let mut loo = loo_costs.into_iter();
+                let loo_totals: Vec<SimSeconds> = match weights.as_deref() {
+                    Some(w) => loo_configs
+                        .iter()
+                        .map(|cfg| {
+                            whatif
+                                .cost_workload_weighted(
+                                    catalog,
+                                    stats,
+                                    &self.queries,
+                                    w,
+                                    cfg,
+                                    false,
+                                )
+                                .0
+                        })
+                        .collect(),
+                    None => whatif
+                        .marginals(catalog, stats, &self.queries, &loo_configs, false)
+                        .into_iter()
+                        .map(|c| c.total)
+                        .collect(),
+                };
+                let mut loo = loo_totals.into_iter();
                 for (skip, (id, _)) in defs.iter().enumerate() {
                     let marginal = if usage[skip] == 0 {
                         0.0
                     } else {
                         let without = loo.next().expect("one leave-one-out pass per used index");
-                        (without.total - full).secs().max(0.0)
+                        (without - full).secs().max(0.0)
                     };
                     let maint = self.maintenance_by_index.get(id).copied().unwrap_or(0.0);
                     let window = self.benefit_windows.entry(*id).or_default();
@@ -294,6 +377,65 @@ impl SafetyState {
         self.queries.clear();
         self.maintenance_by_index.clear();
         victims
+    }
+
+    /// Weighted shadow pricing for streaming windows: each distinct
+    /// template executed once, billed `weight ×` its unit price. `Full`
+    /// re-prices every query live and refreshes the per-template memo;
+    /// `Amortized` re-prices only the templates whose arrival share
+    /// changed; `ReuseConfig` answers entirely from the memo. Templates
+    /// the memo has never seen (a burst introducing fresh templates under
+    /// a blown budget) are priced live at any level — a stale price is an
+    /// acceptable degrade, a missing one is not.
+    fn shadow_price_weighted(
+        &mut self,
+        catalog: &Catalog,
+        stats: &StatsCatalog,
+        whatif: &mut WhatIfService,
+        weights: &[f64],
+        level: DegradeLevel,
+    ) -> (f64, f64) {
+        debug_assert_eq!(self.queries.len(), weights.len());
+        let mut noindex_s = 0.0;
+        let mut prev_s = 0.0;
+        let mut live: Vec<usize> = Vec::new();
+        for (i, q) in self.queries.iter().enumerate() {
+            let reprice = match level {
+                DegradeLevel::Full => true,
+                DegradeLevel::ReuseConfig => false,
+                DegradeLevel::Amortized => self.changed_templates.contains(&q.template),
+            };
+            let cached = (!reprice)
+                .then(|| self.template_prices.get(&q.template))
+                .flatten();
+            match cached {
+                Some(&(ni, pv)) => {
+                    noindex_s += weights[i] * ni;
+                    prev_s += weights[i] * pv;
+                }
+                None => live.push(i),
+            }
+        }
+        if !live.is_empty() {
+            let queries: Vec<Query> = live.iter().map(|&i| self.queries[i].clone()).collect();
+            let live_weights: Vec<f64> = live.iter().map(|&i| weights[i]).collect();
+            let (ni_total, ni_each) =
+                whatif.cost_workload_weighted(catalog, stats, &queries, &live_weights, &[], false);
+            let (pv_total, pv_each) = whatif.cost_workload_weighted(
+                catalog,
+                stats,
+                &queries,
+                &live_weights,
+                &self.prev_config,
+                false,
+            );
+            noindex_s += ni_total.secs();
+            prev_s += pv_total.secs();
+            for ((q, &ni), &pv) in queries.iter().zip(&ni_each).zip(&pv_each) {
+                self.template_prices.insert(q.template, (ni, pv));
+            }
+        }
+        (noindex_s, prev_s)
     }
 
     /// Open accounting for round `round` (1-based).
@@ -415,5 +557,15 @@ impl SafetyLedger {
     /// Whether the guardrail currently has the configuration frozen.
     pub fn is_throttled(&self) -> bool {
         self.lock().is_throttled()
+    }
+
+    /// Streaming sessions: record the pending window's per-query arrival
+    /// counts (parallel to the workload handed to the guard's observation
+    /// step) so the window closes against weighted shadow prices. Call
+    /// immediately before the advisor's `after_round`; fixed-round
+    /// sessions never call this and keep the unweighted accounting
+    /// byte-for-byte.
+    pub fn note_window_weights(&self, weights: Vec<f64>) {
+        self.lock().note_window_weights(weights);
     }
 }

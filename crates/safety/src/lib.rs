@@ -41,7 +41,7 @@ pub use ledger::{RoundSafety, SafetyLedger, SafetyReport, SafetySnapshot};
 mod tests {
     use super::*;
     use dba_common::{ColumnId, QueryId, SimSeconds, TableId, TemplateId};
-    use dba_core::{Advisor, AdvisorCost, DataChange, RoundContext};
+    use dba_core::{Advisor, AdvisorCost, DataChange, DegradeLevel, RoundContext, WindowMode};
     use dba_engine::{CostModel, Executor, Predicate, Query, QueryExecution};
     use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIfService};
     use dba_storage::{
@@ -530,6 +530,88 @@ mod tests {
             post_drift.secs(),
             reference.secs()
         );
+    }
+
+    /// Streaming windows: a `Full` close scales shadow prices by arrival
+    /// weight and fills the per-template price memo; a `ReuseConfig` close
+    /// answers entirely from that memo (zero optimiser costings); an
+    /// `Amortized` close re-prices exactly the templates whose arrival
+    /// share changed.
+    #[test]
+    fn degraded_window_closes_price_from_the_template_memo() {
+        let mut cat = catalog();
+        let stats = StatsCatalog::build(&cat);
+        let cost = CostModel::unit_scale();
+        let mut whatif = svc();
+        let mut guard = SafeguardedAdvisor::new(
+            Scripted::new(vec![], 0.0),
+            SafetyConfig {
+                memory_budget_bytes: u64::MAX,
+                regret_slack_s: 1e9,
+                ..SafetyConfig::default()
+            },
+            cost.clone(),
+        );
+        let qs = vec![query(0, 5)];
+        let (unit, _) = svc().cost_workload(&cat, &stats, &qs, &[], false);
+
+        // Window 0 (Full, weight 250): live pricing, weighted total.
+        guard.begin_window(&WindowMode::default());
+        guard.before_round(0, &mut cat, &stats, &mut whatif);
+        let ex = run_round(&cat, &stats, &cost, &qs);
+        guard.ledger().note_window_weights(vec![250.0]);
+        observe(&mut guard, &cat, &stats, &mut whatif, &qs, &ex);
+        let r0 = guard.ledger().report().rounds[0];
+        assert!(
+            (r0.shadow_noindex_s - 250.0 * unit.secs()).abs() <= 1e-9 * r0.shadow_noindex_s,
+            "Full close must bill weight × unit price ({} vs {})",
+            r0.shadow_noindex_s,
+            250.0 * unit.secs()
+        );
+
+        // Window 1 (ReuseConfig, weight 40): same template, new binding —
+        // priced from the memo at window 0's unit price, with zero
+        // optimiser costings.
+        guard.begin_window(&WindowMode {
+            level: DegradeLevel::ReuseConfig,
+            changed_templates: vec![],
+        });
+        guard.before_round(1, &mut cat, &stats, &mut whatif);
+        let qs1 = vec![query(10, 7)];
+        let ex1 = run_round(&cat, &stats, &cost, &qs1);
+        let before = whatif.stats();
+        guard.ledger().note_window_weights(vec![40.0]);
+        observe(&mut guard, &cat, &stats, &mut whatif, &qs1, &ex1);
+        let after = whatif.stats();
+        assert_eq!(
+            before.hits + before.misses,
+            after.hits + after.misses,
+            "ReuseConfig close must not touch the optimiser"
+        );
+        let r1 = guard.ledger().report().rounds[1];
+        assert!(
+            (r1.shadow_noindex_s - 40.0 * unit.secs()).abs() <= 1e-9,
+            "ReuseConfig close must bill from the cached unit price"
+        );
+
+        // Window 2 (Amortized scoped to the template): re-priced live.
+        guard.begin_window(&WindowMode {
+            level: DegradeLevel::Amortized,
+            changed_templates: vec![TemplateId(1)],
+        });
+        guard.before_round(2, &mut cat, &stats, &mut whatif);
+        let qs2 = vec![query(20, 9)];
+        let ex2 = run_round(&cat, &stats, &cost, &qs2);
+        let before2 = whatif.stats();
+        guard.ledger().note_window_weights(vec![10.0]);
+        observe(&mut guard, &cat, &stats, &mut whatif, &qs2, &ex2);
+        let after2 = whatif.stats();
+        assert!(
+            after2.hits + after2.misses > before2.hits + before2.misses,
+            "Amortized close must re-price the changed template"
+        );
+        // Every close still lands in the report in order.
+        assert_eq!(guard.ledger().report().rounds.len(), 3);
     }
 
     /// The ledger's trajectory is self-consistent: cumulative regret is

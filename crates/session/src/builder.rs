@@ -98,6 +98,7 @@ pub struct SessionBuilder {
     memory_budget_bytes: Option<u64>,
     cost: CostModel,
     safeguard: Option<SafetyConfig>,
+    mab_config: Option<MabConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -119,6 +120,7 @@ impl SessionBuilder {
             memory_budget_bytes: None,
             cost: CostModel::paper_scale(),
             safeguard: None,
+            mab_config: None,
         }
     }
 
@@ -208,6 +210,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Override the MAB tuner's configuration (e.g. enable
+    /// `streaming_fast_path` or tune `refresh_every` for a streaming run).
+    /// Only consulted when the tuner is [`TunerKind::Mab`]; a
+    /// `memory_budget_bytes` of 0 in the config inherits the session's
+    /// budget, matching [`safeguard`](SessionBuilder::safeguard).
+    pub fn mab_config(mut self, config: MabConfig) -> Self {
+        self.mab_config = Some(config);
+        self
+    }
+
     /// Validate and build the substrate shared by both build paths.
     fn prepare(self) -> DbResult<PreparedSession> {
         let benchmark = self
@@ -261,6 +273,7 @@ impl SessionBuilder {
             budget,
             cost: self.cost,
             safeguard: self.safeguard,
+            mab_config: self.mab_config,
         })
     }
 
@@ -270,14 +283,23 @@ impl SessionBuilder {
         let kind = p
             .tuner
             .ok_or_else(|| DbError::Invalid("session builder: no tuner configured".into()))?;
-        let mut advisor = make_advisor(
-            kind,
-            p.benchmark.name,
-            p.workload,
-            &p.catalog,
-            &p.cost,
-            p.budget,
-        );
+        let mut advisor = match (kind, &p.mab_config) {
+            (TunerKind::Mab, Some(config)) => {
+                let mut config = *config;
+                if config.memory_budget_bytes == 0 {
+                    config.memory_budget_bytes = p.budget;
+                }
+                Box::new(MabTuner::new(&p.catalog, p.cost.clone(), config)) as Box<dyn Advisor>
+            }
+            _ => make_advisor(
+                kind,
+                p.benchmark.name,
+                p.workload,
+                &p.catalog,
+                &p.cost,
+                p.budget,
+            ),
+        };
         let mut ledger: Option<SafetyLedger> = None;
         if let Some(mut guard_config) = p.safeguard {
             if guard_config.memory_budget_bytes == 0 {
@@ -325,6 +347,7 @@ struct PreparedSession {
     budget: u64,
     cost: CostModel,
     safeguard: Option<SafetyConfig>,
+    mab_config: Option<MabConfig>,
 }
 
 impl PreparedSession {

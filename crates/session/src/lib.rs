@@ -39,15 +39,20 @@
 pub mod builder;
 pub mod record;
 pub mod session;
+pub mod stream;
 
 pub use builder::{make_advisor, SessionBuilder, TunerKind};
-pub use dba_core::{Advisor, AdvisorCost, DataChange};
+pub use dba_core::{Advisor, AdvisorCost, DataChange, DegradeLevel, WindowMode};
 pub use dba_safety::{
     RoundSafety, SafeguardedAdvisor, SafetyConfig, SafetyLedger, SafetyReport, SafetySnapshot,
 };
-pub use dba_workloads::{DataDrift, DriftRates};
+pub use dba_workloads::{ArrivalProcess, ArrivalWindow, DataDrift, DriftRates};
 pub use record::{RoundRecord, RunResult};
 pub use session::{RoundEvent, TuningSession, STATS_REFRESH_STALENESS};
+pub use stream::{
+    DegradeController, DynStreamingSession, StreamConfig, StreamResult, StreamingSession,
+    WindowRecord,
+};
 
 /// A session over a type-erased advisor, as produced by
 /// [`SessionBuilder::build`].

@@ -34,6 +34,13 @@ pub struct RoundRecord {
     /// definition) — what makes safety throttling decisions auditable
     /// alongside the shift that provoked them.
     pub shift_intensity: f64,
+    /// Bandit scatter-matrix re-inversions performed this round (zero for
+    /// advisors without a bandit). Sherman–Morrison refreshes are the
+    /// costliest maintenance step on the streaming hot path, so records
+    /// carry them next to the plan/what-if cache counters.
+    pub bandit_refreshes: u64,
+    /// Bandit forgetting (decay) events this round.
+    pub bandit_decays: u64,
 }
 
 impl RoundRecord {
@@ -106,6 +113,17 @@ impl RunResult {
             return 0.0;
         }
         self.total_plan_cache_hits() as f64 / total as f64
+    }
+
+    /// Bandit scatter re-inversions across the run (zero for non-bandit
+    /// tuners).
+    pub fn total_bandit_refreshes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bandit_refreshes).sum()
+    }
+
+    /// Bandit forgetting (decay) events across the run.
+    pub fn total_bandit_decays(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bandit_decays).sum()
     }
 
     /// What-if costings served from the shared service memo over the run.

@@ -3,14 +3,17 @@
 
 use std::collections::HashSet;
 
-use dba_common::{DbResult, SimSeconds, TemplateId};
+use dba_common::{BudgetTimer, DbResult, SimSeconds, TemplateId};
 use dba_engine::{Executor, Plan, Query, QueryExecution};
 use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog, WhatIfService};
 use dba_safety::{SafetyLedger, SafetySnapshot};
 use dba_storage::Catalog;
-use dba_workloads::{Benchmark, DataDrift, WorkloadKind, WorkloadSequencer};
+use dba_workloads::{
+    ArrivalProcess, ArrivalSchedule, ArrivalWindow, Benchmark, DataDrift, WorkloadKind,
+    WorkloadSequencer,
+};
 
-use dba_core::{Advisor, DataChange, RoundContext, TableChange};
+use dba_core::{Advisor, DataChange, RoundContext, TableChange, WindowMode};
 
 use crate::record::{RoundRecord, RunResult};
 
@@ -237,6 +240,7 @@ impl<A: Advisor> TuningSession<A> {
         // 1. Recommendation: the advisor adjusts the physical design,
         //    costing hypotheticals through the session's shared service.
         let whatif_before = self.whatif.stats();
+        let bandit_before = self.advisor.bandit_counters();
         let advisor_cost =
             self.advisor
                 .before_round(round, &mut self.catalog, &self.stats, &mut self.whatif);
@@ -269,19 +273,7 @@ impl<A: Advisor> TuningSession<A> {
         // Session-side shift intensity for the record (same definition as
         // any advisor-internal query store: the fraction of this round's
         // distinct templates that were previously unseen).
-        let shift_intensity = {
-            let round_templates: HashSet<TemplateId> = queries.iter().map(|q| q.template).collect();
-            let new = round_templates
-                .iter()
-                .filter(|t| !self.seen_templates.contains(*t))
-                .count();
-            self.seen_templates.extend(&round_templates);
-            if round_templates.is_empty() {
-                0.0
-            } else {
-                new as f64 / round_templates.len() as f64
-            }
-        };
+        let shift_intensity = self.note_shift_intensity(&queries);
 
         // 3. Data change: apply the round's drift deltas, charge every
         //    materialised index its maintenance bill, and let statistics go
@@ -310,6 +302,7 @@ impl<A: Advisor> TuningSession<A> {
         };
         self.advisor.after_round(&mut ctx, &queries, &executions);
         let whatif_after = self.whatif.stats();
+        let bandit_after = self.advisor.bandit_counters();
 
         let record = RoundRecord {
             round: round + 1,
@@ -322,6 +315,8 @@ impl<A: Advisor> TuningSession<A> {
             whatif_hits: whatif_after.hits - whatif_before.hits,
             whatif_misses: whatif_after.misses - whatif_before.misses,
             shift_intensity,
+            bandit_refreshes: bandit_after.0 - bandit_before.0,
+            bandit_decays: bandit_after.1 - bandit_before.1,
         };
         self.records.push(record);
         self.next_round += 1;
@@ -338,6 +333,137 @@ impl<A: Advisor> TuningSession<A> {
         };
         observer(&event);
         Ok(Some(record))
+    }
+
+    /// Run one streaming observation window: recommend under the caller's
+    /// degrade `mode`, execute one bound instance per distinct arriving
+    /// template, scale by arrival count, and observe. Data drift and
+    /// workload shifts apply only on `round_boundary` windows — exactly
+    /// where the fixed-round model applies them — so a
+    /// [`ArrivalProcess::RoundBatch`] process (every window one whole
+    /// round, unit counts) reproduces [`step`](Self::step)'s trajectory
+    /// bit for bit. Returns the window's record (its `round` field holds
+    /// the 1-based *window* index) plus the advisory wall-clock span of
+    /// the recommend step when `timer` is enabled. Drive through
+    /// [`StreamingSession`](crate::StreamingSession) rather than directly.
+    pub fn step_window(
+        &mut self,
+        process: ArrivalProcess,
+        window: &ArrivalWindow,
+        mode: &WindowMode,
+        timer: &mut BudgetTimer,
+    ) -> DbResult<(RoundRecord, Option<f64>)> {
+        let round = window.round;
+        let sequencer = WorkloadSequencer::with_order(
+            &self.benchmark,
+            self.workload,
+            self.seed,
+            &self.template_order,
+        );
+        let schedule = ArrivalSchedule::new(sequencer, process, self.seed);
+        let queries = schedule.window_queries(&self.catalog, window)?;
+        let counts: Vec<u64> = window.arrivals.iter().map(|&(_, c)| c).collect();
+
+        // 1. Recommendation, under the window's degrade mode. The timer is
+        //    advisory wall-clock telemetry: reported, never branched on —
+        //    the degrade ladder itself runs on simulated cost.
+        let whatif_before = self.whatif.stats();
+        let bandit_before = self.advisor.bandit_counters();
+        timer.mark();
+        self.advisor.begin_window(mode);
+        let advisor_cost =
+            self.advisor
+                .before_round(round, &mut self.catalog, &self.stats, &mut self.whatif);
+        let wall_recommend_s = timer.elapsed_secs();
+
+        // 2. Execution: plan and run each distinct template's instance
+        //    once, then scale the observed statistics by its arrival count.
+        let cache_before = self.plan_cache.stats();
+        let executions: Vec<QueryExecution> = {
+            let catalog = &self.catalog;
+            let stats = &self.stats;
+            let executor = &self.executor;
+            let plan_cache = &mut self.plan_cache;
+            let ctx = PlannerContext::from_catalog(catalog, stats, &self.cost);
+            let planner = Planner::new(&ctx);
+            queries
+                .iter()
+                .zip(&counts)
+                .map(|(q, &count)| {
+                    let plan = plan_cache.get_or_plan(catalog, stats, &planner, q);
+                    scale_execution(&executor.execute(catalog, q, plan), count)
+                })
+                .collect()
+        };
+        let cache_after = self.plan_cache.stats();
+        let execution: SimSeconds = executions.iter().map(|e| e.total).sum();
+
+        let shift_intensity = self.note_shift_intensity(&queries);
+
+        // 3. Data change, at round boundaries only (mid-round windows are
+        //    pure observation).
+        let boundary = window.round_boundary;
+        let pre_drift =
+            (boundary && self.drift.is_some()).then(|| (self.catalog.clone(), self.stats.clone()));
+        let maintenance = if boundary {
+            self.apply_drift(round)
+        } else {
+            SimSeconds::ZERO
+        };
+
+        // 4. Observation. Guarded sessions get the window's arrival counts
+        //    first, so the ledger closes against weighted shadow prices.
+        if let Some(ledger) = &self.safety {
+            ledger.note_window_weights(counts.iter().map(|&c| c as f64).collect());
+        }
+        let (exec_catalog, exec_stats) = match &pre_drift {
+            Some((catalog, stats)) => (catalog, stats),
+            None => (&self.catalog, &self.stats),
+        };
+        let mut ctx = RoundContext {
+            catalog: exec_catalog,
+            stats: exec_stats,
+            whatif: &mut self.whatif,
+        };
+        self.advisor.after_round(&mut ctx, &queries, &executions);
+        let whatif_after = self.whatif.stats();
+        let bandit_after = self.advisor.bandit_counters();
+
+        let record = RoundRecord {
+            round: window.window + 1,
+            recommendation: advisor_cost.recommendation,
+            creation: advisor_cost.creation,
+            execution,
+            maintenance,
+            plan_cache_hits: cache_after.hits - cache_before.hits,
+            plan_cache_misses: cache_after.misses - cache_before.misses,
+            whatif_hits: whatif_after.hits - whatif_before.hits,
+            whatif_misses: whatif_after.misses - whatif_before.misses,
+            shift_intensity,
+            bandit_refreshes: bandit_after.0 - bandit_before.0,
+            bandit_decays: bandit_after.1 - bandit_before.1,
+        };
+        self.records.push(record);
+        if boundary {
+            self.next_round = round + 1;
+        }
+        Ok((record, wall_recommend_s))
+    }
+
+    /// Shift intensity of one executed batch (the fraction of its distinct
+    /// templates not seen in any earlier batch), updating the seen set.
+    fn note_shift_intensity(&mut self, queries: &[Query]) -> f64 {
+        let round_templates: HashSet<TemplateId> = queries.iter().map(|q| q.template).collect();
+        let new = round_templates
+            .iter()
+            .filter(|t| !self.seen_templates.contains(*t))
+            .count();
+        self.seen_templates.extend(&round_templates);
+        if round_templates.is_empty() {
+            0.0
+        } else {
+            new as f64 / round_templates.len() as f64
+        }
     }
 
     /// Apply round `round`'s data change (if any): mutate the catalog's
@@ -470,6 +596,36 @@ impl<A: Advisor> TuningSession<A> {
                 (q, plan)
             })
             .collect())
+    }
+}
+
+/// Scale one executed instance to `count` identical arrivals: every
+/// simulated-time field and cardinality multiplies, so reward shaping and
+/// regret accounting see the window's aggregate workload while the engine
+/// executed the instance once. `count == 1` returns the execution
+/// untouched — the `RoundBatch` path stays bit-exact by construction.
+fn scale_execution(e: &QueryExecution, count: u64) -> QueryExecution {
+    if count == 1 {
+        return e.clone();
+    }
+    let k = count as f64;
+    QueryExecution {
+        query: e.query,
+        total: e.total * k,
+        accesses: e
+            .accesses
+            .iter()
+            .map(|a| dba_engine::AccessStats {
+                table: a.table,
+                index: a.index,
+                time: a.time * k,
+                rows_out: a.rows_out * count,
+                is_full_scan: a.is_full_scan,
+            })
+            .collect(),
+        join_time: e.join_time * k,
+        agg_time: e.agg_time * k,
+        result_rows: e.result_rows * count,
     }
 }
 

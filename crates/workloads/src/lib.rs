@@ -18,6 +18,7 @@
 //! style), which sessions turn into heap growth, stats staleness and
 //! per-index maintenance charges.
 
+pub mod arrival;
 pub mod drift;
 pub mod imdb;
 pub mod sequence;
@@ -26,6 +27,7 @@ pub mod ssb;
 pub mod tpcds;
 pub mod tpch;
 
+pub use arrival::{ArrivalProcess, ArrivalSchedule, ArrivalWindow};
 pub use drift::{DataDrift, DriftRates, TableDelta};
 pub use sequence::{WorkloadKind, WorkloadSequencer};
 pub use spec::{Benchmark, ParamGen, RowCount, TemplateSpec};

@@ -122,6 +122,10 @@ impl<'a> WorkloadSequencer<'a> {
         &self.shuffled
     }
 
+    pub fn benchmark(&self) -> &Benchmark {
+        self.benchmark
+    }
+
     pub fn rounds(&self) -> usize {
         self.kind.rounds()
     }
@@ -132,7 +136,7 @@ impl<'a> WorkloadSequencer<'a> {
 
     /// Template indices (into `benchmark.templates()`) for `round`
     /// (0-based).
-    fn template_indices(&self, round: usize) -> Vec<usize> {
+    pub(crate) fn template_indices(&self, round: usize) -> Vec<usize> {
         let n = self.benchmark.templates().len();
         match self.kind {
             WorkloadKind::Static { .. } => (0..n).collect(),
