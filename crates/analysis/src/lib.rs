@@ -19,6 +19,7 @@
 //! | G02  | no lock-order cycles; no guard held across a (transitively) lock-acquiring call |
 //! | G03  | pricing in `dba-safety`/`dba-baselines` routes through `WhatIfService` |
 //! | G04  | mutations reached through wrappers still hit a `// bumps:`-marked mutator |
+//! | O01  | obs instrumentation calls stay in statement position — results never feed program state |
 //! | A00  | every `// lint: allow(RULE)` carries a written reason |
 //! | E00  | unreadable workspace file (reported, not suppressible) |
 //!
@@ -81,6 +82,7 @@ fn local_findings(
         findings.extend(rules::d02_wall_clock_entropy(&stripped, policy));
         findings.extend(rules::d03_nan_unsafe_ordering(&stripped, policy));
         findings.extend(rules::c01_lock_hygiene(&stripped, policy));
+        findings.extend(rules::o01_instrumentation_purity(&stripped, policy));
         findings.extend(rules::v01_version_bump(&stripped, policy, bumps));
     }
     findings

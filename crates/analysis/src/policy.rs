@@ -35,6 +35,9 @@ pub struct FilePolicy {
     /// `#[cfg(test)]` helpers that price around the WhatIfService are
     /// still findings (they validate the wrong path).
     pub g03: bool,
+    /// O01 (instrumentation purity) applies everywhere telemetry can be
+    /// emitted: obs recording calls must stay in statement position.
+    pub o01: bool,
     pub v01: Option<V01Policy>,
 }
 
@@ -128,6 +131,7 @@ pub fn policy_for(rel: &Path) -> Option<FilePolicy> {
         d03: true,
         c01: true,
         g03: PRICING_DISCIPLINE.contains(&crate_name.as_str()),
+        o01: true,
         v01,
         crate_name,
         is_test,

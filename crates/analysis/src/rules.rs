@@ -20,7 +20,7 @@ pub struct Finding {
 }
 
 pub const RULES: &[&str] = &[
-    "D01", "D02", "D03", "C01", "V01", "A00", "G01", "G02", "G03", "G04",
+    "D01", "D02", "D03", "C01", "V01", "A00", "G01", "G02", "G03", "G04", "O01",
 ];
 
 /// One-line docs for `dba-lint --list-rules` (and the README table).
@@ -34,6 +34,7 @@ pub const RULE_DOCS: &[(&str, &str)] = &[
     ("G02", "lock-order cycles and MutexGuard live across a (transitively) lock-acquiring call"),
     ("G03", "pricing discipline: raw Planner construction in dba-safety/dba-baselines must route through WhatIfService"),
     ("G04", "transitive version-bump discipline: mutations reached through wrapper fns still hit a `// bumps:`-marked mutator"),
+    ("O01", "obs instrumentation calls are statements: their results never flow into program state"),
     ("A00", "every `// lint: allow(RULE)` carries a written reason"),
     ("E00", "unreadable workspace file (reported, not suppressible)"),
 ];
@@ -1177,6 +1178,91 @@ pub fn g04_transitive_bump(model: &Model, files: &[FileModel]) -> Vec<(usize, Fi
                          will serve stale plans through this wrapper",
                         sym.info.name
                     ),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// O01 — instrumentation purity
+// ---------------------------------------------------------------------------
+
+/// `Obs` methods that record telemetry. All return `()` (or nothing worth
+/// keeping); a site that *consumes* such a call — binds it, returns it,
+/// passes it as an argument — has wired advisory instrumentation into
+/// program state, which is exactly what the bit-identical-results
+/// guarantee forbids. `enabled()` is deliberately absent: gating work on
+/// it is the blessed pattern for avoiding allocation on the noop path.
+const OBS_RECORD_METHODS: &[&str] = &[
+    "span_enter",
+    "span_exit",
+    "counter",
+    "histogram",
+    "event",
+    "set_sim_now",
+    "flush",
+];
+
+/// O01: an obs recording call must stand alone as a statement —
+/// `obs.counter("x", 1);` / `self.session.obs().event(..);` — never in
+/// expression position. The receiver is matched syntactically: a chain
+/// ending in the ident `obs` (a field or binding) or an `obs()` accessor.
+pub fn o01_instrumentation_purity(toks: &[Tok], policy: &FilePolicy) -> Vec<Finding> {
+    if !policy.o01 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != crate::lexer::TokKind::Ident
+            || !OBS_RECORD_METHODS.contains(&toks[i].text.as_str())
+        {
+            continue;
+        }
+        if i < 2 || !toks[i - 1].is_punct('.') || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        // The receiver chain must end in the obs handle: `obs.m(` (field
+        // or local) or `obs().m(` (accessor). Anything else — a different
+        // receiver that happens to share a method name — is not ours.
+        let recv = if toks[i - 2].is_ident("obs") {
+            Some(i - 2)
+        } else if i >= 4
+            && toks[i - 2].is_punct(')')
+            && toks[i - 3].is_punct('(')
+            && toks[i - 4].is_ident("obs")
+        {
+            Some(i - 4)
+        } else {
+            None
+        };
+        let Some(mut start) = recv else { continue };
+        // Extend left through the dotted receiver chain (`self.session.`).
+        while start >= 2
+            && toks[start - 1].is_punct('.')
+            && toks[start - 2].kind == crate::lexer::TokKind::Ident
+        {
+            start -= 2;
+        }
+        let stmt_head = start == 0
+            || matches!(&toks[start - 1], t if t.is_punct(';') || t.is_punct('{') || t.is_punct('}'));
+        let end = close_paren(toks, i + 1);
+        let stmt_tail = match toks.get(end) {
+            Some(t) => t.is_punct(';'),
+            None => true,
+        };
+        if !(stmt_head && stmt_tail) {
+            out.push(finding(
+                "O01",
+                toks[i].line,
+                format!(
+                    "obs recording call `{}` used in expression position: \
+                     instrumentation is advisory and its result must never \
+                     flow into program state — write it as a bare statement \
+                     (`..{}(..);`), gating on `obs.enabled()` when needed",
+                    toks[i].text, toks[i].text
                 ),
             ));
         }

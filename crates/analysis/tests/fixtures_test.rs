@@ -191,6 +191,29 @@ fn g04_flags_wrappers_that_mutate_without_a_bump_path() {
 }
 
 #[test]
+fn o01_fires_on_expression_position_obs_calls() {
+    // Binding, trailing-expression, and call-as-argument sites fire; bare
+    // statements, the `enabled()` gate, a non-obs receiver sharing a
+    // method name, and the reasoned allow stay silent.
+    assert_findings(
+        "o01.rs",
+        "crates/session/src/fixture.rs",
+        &[("O01", 11), ("O01", 16), ("O01", 20)],
+    );
+}
+
+#[test]
+fn o01_applies_in_bench_binaries_too() {
+    // Unlike D02, O01 has no harness exemption: a fig binary consuming an
+    // obs result is as much a hazard as a core crate doing it.
+    assert_findings(
+        "o01.rs",
+        "crates/bench/src/bin/fixture.rs",
+        &[("O01", 11), ("O01", 16), ("O01", 20)],
+    );
+}
+
+#[test]
 fn well_formed_allows_suppress() {
     assert_findings("allow_ok.rs", "crates/core/src/fixture.rs", &[]);
 }

@@ -28,6 +28,8 @@ use dba_bench::{
     harness::parallel_map_ordered, print_series, print_totals_table, results_json, suite_threads,
     write_csv, write_text, ExperimentEnv, RunResult, SafetyConfig, TunerKind,
 };
+use dba_common::BudgetTimer;
+use dba_obs::Obs;
 use dba_optimizer::StatsCatalog;
 use dba_session::SessionBuilder;
 use dba_storage::Catalog;
@@ -88,12 +90,33 @@ fn main() {
         (TunerKind::Ddqn { seed: env.seed }, false),
         (TunerKind::Ddqn { seed: env.seed }, true),
     ];
+    // `DBA_TRACE=<path>` attaches the JSONL exporter to exactly one run —
+    // the guarded MAB session (parallel sessions cannot share one file).
+    // Wall-clock stamps are advisory and never feed back into results.
+    let trace: Option<Obs> = env.trace_path().map(|path| {
+        let start = std::time::Instant::now();
+        let obs = Obs::jsonl(&path)
+            .unwrap_or_else(|e| panic!("DBA_TRACE={path}: {e}"))
+            .with_timer(BudgetTimer::with_source(move || {
+                start.elapsed().as_secs_f64()
+            }));
+        eprintln!("tracing guarded MAB run to {path}");
+        obs
+    });
+
     let threads = suite_threads().min(runs.len()).max(1);
     let results: Vec<RunResult> = parallel_map_ordered(&runs, threads, |&(tuner, guarded)| {
+        let obs = match (tuner, guarded) {
+            (TunerKind::Mab, true) => trace.as_ref(),
+            _ => None,
+        };
         run_one(
-            &bench, &base, &stats, kind, &drift, tuner, guarded, safety, env.seed,
+            &bench, &base, &stats, kind, &drift, tuner, guarded, safety, env.seed, obs,
         )
     });
+    if let Some(obs) = &trace {
+        obs.flush();
+    }
 
     print_series(
         "Safety: per-round total time, adversarial workload",
@@ -253,6 +276,7 @@ fn run_one(
     guarded: bool,
     safety: SafetyConfig,
     seed: u64,
+    obs: Option<&Obs>,
 ) -> RunResult {
     let mut builder = SessionBuilder::new()
         .benchmark(bench.clone())
@@ -264,6 +288,9 @@ fn run_one(
         .seed(seed);
     if guarded {
         builder = builder.safeguard(safety);
+    }
+    if let Some(obs) = obs {
+        builder = builder.observe(obs.clone());
     }
     let mut session = builder
         .build()

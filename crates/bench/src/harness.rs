@@ -151,6 +151,15 @@ impl ExperimentEnv {
         }
     }
 
+    /// `DBA_TRACE` knob: path for a JSONL trace (`dba-obs`) of each fig
+    /// binary's designated run — exactly one session writes the file, so
+    /// parallel suite fan-out never interleaves writers. `None` (the
+    /// default) keeps recording off; read at call time so the
+    /// `ExperimentEnv` struct itself stays `Copy`.
+    pub fn trace_path(&self) -> Option<String> {
+        std::env::var("DBA_TRACE").ok().filter(|p| !p.is_empty())
+    }
+
     /// The guardrail configuration the bench binaries run with:
     /// [`SafetyConfig`] defaults (session-budget inheritance included),
     /// with `DBA_SAFETY_BOUND` overriding the regret bound factor.

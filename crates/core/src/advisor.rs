@@ -169,6 +169,13 @@ pub trait Advisor: Send {
     fn bandit_counters(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// Attach the session's observability handle (`dba-obs`). Called once
+    /// at session build time, before the first round; advisors that emit
+    /// spans/events store a clone, wrappers forward it to their inner
+    /// advisor. Recording is advisory: implementations must never branch
+    /// tuning decisions on it. Default: ignore (no instrumentation).
+    fn attach_obs(&mut self, _obs: &dba_obs::Obs) {}
 }
 
 /// Drop bookkeeping for indexes that no longer exist in `catalog` — the
@@ -227,5 +234,9 @@ impl<A: Advisor + ?Sized> Advisor for Box<A> {
 
     fn bandit_counters(&self) -> (u64, u64) {
         (**self).bandit_counters()
+    }
+
+    fn attach_obs(&mut self, obs: &dba_obs::Obs) {
+        (**self).attach_obs(obs)
     }
 }

@@ -16,6 +16,7 @@ use std::collections::{HashMap, HashSet};
 
 use dba_common::{ColumnId, IndexId, SimSeconds};
 use dba_engine::{CostModel, Query, QueryExecution};
+use dba_obs::Obs;
 use dba_optimizer::{CardEstimator, StatsCatalog};
 use dba_storage::Catalog;
 use serde::{Deserialize, Serialize};
@@ -129,10 +130,11 @@ pub struct MabTuner {
     /// The degrade level a streaming driver announced for the upcoming
     /// window; fixed-round drivers never touch it, so it stays `Full`.
     window_mode: WindowMode,
-    /// `DBA_MAB_DEBUG` flag, read once at construction: per-round env
-    /// lookups are wasted work on the hot path and process-global state
-    /// under parallel suites.
-    debug: bool,
+    /// Observability handle (`dba-obs`), attached by the session at build
+    /// time. Defaults to recording-off; the per-arm score/reward events
+    /// (the old `DBA_MAB_DEBUG` eprintln path, now structured) are gated
+    /// on `obs.enabled()` so the hot path never formats them for nothing.
+    obs: Obs,
 }
 
 impl MabTuner {
@@ -154,7 +156,7 @@ impl MabTuner {
             reward_scale: None,
             rounds: 0,
             window_mode: WindowMode::default(),
-            debug: std::env::var("DBA_MAB_DEBUG").is_ok(),
+            obs: Obs::noop(),
         }
     }
 
@@ -338,26 +340,28 @@ impl MabTuner {
         }
         let selected_set: HashSet<usize> = selected.iter().copied().collect();
 
-        if self.debug {
+        // Per-arm score telemetry (formerly the `DBA_MAB_DEBUG` eprintln
+        // path, now structured and machine-readable). Gated on `enabled()`
+        // so the ranking sort and field formatting never run with
+        // recording off.
+        if self.obs.enabled() {
             let mut ranked: Vec<(usize, f64)> =
                 active.iter().copied().zip(scores.iter().copied()).collect();
             ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
             for (arm, score) in ranked.iter().take(12) {
                 let a = self.registry.arm(*arm);
-                eprintln!(
-                    "  [score] {:+.3} {} arm{} t{} keys={:?} incl={:?} used={} sel={}",
-                    score,
-                    if selected_set.contains(arm) {
-                        "SEL"
-                    } else {
-                        "   "
-                    },
-                    arm,
-                    a.def.table.raw(),
-                    a.def.key_cols,
-                    a.def.include_cols,
-                    a.times_used,
-                    a.times_selected,
+                self.obs.event(
+                    "mab.score",
+                    vec![
+                        ("score", (*score).into()),
+                        ("selected", selected_set.contains(arm).into()),
+                        ("arm", (*arm).into()),
+                        ("table", a.def.table.raw().into()),
+                        ("key_cols", format!("{:?}", a.def.key_cols).into()),
+                        ("include_cols", format!("{:?}", a.def.include_cols).into()),
+                        ("times_used", a.times_used.into()),
+                        ("times_selected", a.times_selected.into()),
+                    ],
                 );
             }
         }
@@ -479,21 +483,26 @@ impl MabTuner {
             a.last_used_round = Some(round);
         }
 
-        if self.debug {
+        // Per-arm reward telemetry (formerly `DBA_MAB_DEBUG`): the raw
+        // shaped reward and its scaled value as the bandit will see it.
+        if self.obs.enabled() {
             for (arm, r) in &rewards {
                 let a = self.registry.arm(*arm);
-                eprintln!(
-                    "  [reward] {:+.2}s ({:+.3} scaled) arm{} t{} keys={:?} incl={:?}",
-                    r,
-                    r / scale,
-                    arm,
-                    a.def.table.raw(),
-                    a.def.key_cols,
-                    a.def.include_cols,
+                self.obs.event(
+                    "mab.reward",
+                    vec![
+                        ("reward_s", (*r).into()),
+                        ("scaled", (*r / scale).into()),
+                        ("arm", (*arm).into()),
+                        ("table", a.def.table.raw().into()),
+                        ("key_cols", format!("{:?}", a.def.key_cols).into()),
+                        ("include_cols", format!("{:?}", a.def.include_cols).into()),
+                    ],
                 );
             }
         }
 
+        let (refreshes_before, decays_before) = self.bandit.maintenance_counters();
         if !played.is_empty() {
             let reward_by_arm: HashMap<usize, f64> = rewards.into_iter().collect();
             let clip = self.config.reward_clip;
@@ -504,17 +513,27 @@ impl MabTuner {
                     (ctx, reward)
                 })
                 .collect();
+            self.obs.span_enter("mab.scatter");
             if self.config.streaming_fast_path {
                 self.bandit.update_sparse_batched(&plays);
             } else {
                 self.bandit.update_sparse(&plays);
             }
+            self.obs.span_exit("mab.scatter");
         }
 
         if self.config.forget_on_shift && round > 1 && intensity >= self.config.shift_threshold {
             // Forget proportionally to the shift: a full shift resets the
             // model, a partial shift decays it.
             self.bandit.forget(1.0 - intensity);
+        }
+        let (refreshes, decays) = self.bandit.maintenance_counters();
+        if refreshes > refreshes_before {
+            self.obs
+                .counter("mab.refresh", refreshes - refreshes_before);
+        }
+        if decays > decays_before {
+            self.obs.counter("mab.decay", decays - decays_before);
         }
     }
 
@@ -548,7 +567,9 @@ impl Advisor for MabTuner {
         // arrives through the contract so a guardrail wrapped around this
         // tuner (and any estimate-assisted extension) shares the session's
         // plan memo.
+        self.obs.span_enter("mab.recommend");
         let outcome = self.recommend_and_apply(catalog, stats);
+        self.obs.span_exit("mab.recommend");
         AdvisorCost {
             recommendation: outcome.recommendation_time,
             creation: outcome.creation_time,
@@ -565,7 +586,9 @@ impl Advisor for MabTuner {
         queries: &[Query],
         executions: &[QueryExecution],
     ) {
+        self.obs.span_enter("mab.observe");
         self.observe(queries, executions);
+        self.obs.span_exit("mab.observe");
     }
 
     fn begin_window(&mut self, mode: &WindowMode) {
@@ -574,6 +597,10 @@ impl Advisor for MabTuner {
 
     fn bandit_counters(&self) -> (u64, u64) {
         self.bandit.maintenance_counters()
+    }
+
+    fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
     }
 }
 

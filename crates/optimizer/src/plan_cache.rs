@@ -100,11 +100,21 @@ impl PlanCacheStats {
 pub struct PlanCache {
     plans: HashMap<TemplateId, CachedPlan>,
     stats: PlanCacheStats,
+    /// Observability handle (`dba-obs`): hit/miss/invalidation counters are
+    /// mirrored here as `plan_cache.*` events. Advisory only — never
+    /// consulted for any caching decision.
+    obs: dba_obs::Obs,
 }
 
 impl PlanCache {
     pub fn new() -> Self {
         PlanCache::default()
+    }
+
+    /// Attach the session's observability handle. Counters emitted from
+    /// here on mirror [`PlanCacheStats`] increments one-for-one.
+    pub fn set_obs(&mut self, obs: &dba_obs::Obs) {
+        self.obs = obs.clone();
     }
 
     /// The plan for `query`'s template. A cached plan is reused — a **hit**
@@ -131,18 +141,24 @@ impl PlanCache {
                 if !e.get().deps.iter().all(|d| d.is_valid(catalog, stats)) {
                     self.stats.misses += 1;
                     self.stats.invalidations += 1;
+                    self.obs.counter("plan_cache.miss", 1);
+                    self.obs.counter("plan_cache.invalidation", 1);
                     e.insert(Self::plan_fresh(catalog, stats, planner, query));
                 } else if !Self::recost_ok(planner, query, &e.get().plan) {
                     self.stats.misses += 1;
                     self.stats.recompilations += 1;
+                    self.obs.counter("plan_cache.miss", 1);
+                    self.obs.counter("plan_cache.recompilation", 1);
                     e.insert(Self::plan_fresh(catalog, stats, planner, query));
                 } else {
                     self.stats.hits += 1;
+                    self.obs.counter("plan_cache.hit", 1);
                 }
                 &e.into_mut().plan
             }
             Entry::Vacant(v) => {
                 self.stats.misses += 1;
+                self.obs.counter("plan_cache.miss", 1);
                 &v.insert(Self::plan_fresh(catalog, stats, planner, query))
                     .plan
             }

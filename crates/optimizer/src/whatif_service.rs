@@ -143,6 +143,10 @@ pub struct WhatIfService {
     /// count so an all-live memo is not rescanned on every costing).
     sweep_watermark: usize,
     stats: WhatIfStats,
+    /// Observability handle (`dba-obs`): hit/miss/invalidation counters
+    /// are mirrored here as `whatif.*` events. Advisory only — never
+    /// consulted for any memoization decision.
+    obs: dba_obs::Obs,
 }
 
 impl WhatIfService {
@@ -154,7 +158,14 @@ impl WhatIfService {
             plans: HashMap::new(),
             sweep_watermark: MAX_CACHED_WHATIF_PLANS,
             stats: WhatIfStats::default(),
+            obs: dba_obs::Obs::noop(),
         }
+    }
+
+    /// Attach the session's observability handle. Counters emitted from
+    /// here on mirror [`WhatIfStats`] increments one-for-one.
+    pub fn set_obs(&mut self, obs: &dba_obs::Obs) {
+        self.obs = obs.clone();
     }
 
     /// The cost model every costing runs through.
@@ -291,6 +302,8 @@ impl WhatIfService {
                 if !e.get().deps.iter().all(|d| d.is_valid(catalog, stats)) {
                     self.stats.misses += 1;
                     self.stats.invalidations += 1;
+                    self.obs.counter("whatif.miss", 1);
+                    self.obs.counter("whatif.invalidation", 1);
                     e.insert(plan_fresh(&planner));
                     let c = e.into_mut();
                     let est = c.plan.est_cost;
@@ -302,6 +315,7 @@ impl WhatIfService {
                                 <= e.get().plan.est_cost.secs() * RECOMPILE_COST_FACTOR =>
                         {
                             self.stats.hits += 1;
+                            self.obs.counter("whatif.hit", 1);
                             (e.into_mut(), recost)
                         }
                         _ => {
@@ -309,6 +323,8 @@ impl WhatIfService {
                             // not be revalidated): recompile.
                             self.stats.misses += 1;
                             self.stats.recompilations += 1;
+                            self.obs.counter("whatif.miss", 1);
+                            self.obs.counter("whatif.recompilation", 1);
                             e.insert(plan_fresh(&planner));
                             let c = e.into_mut();
                             let est = c.plan.est_cost;
@@ -319,6 +335,7 @@ impl WhatIfService {
             }
             Entry::Vacant(v) => {
                 self.stats.misses += 1;
+                self.obs.counter("whatif.miss", 1);
                 let c = v.insert(plan_fresh(&planner));
                 let est = c.plan.est_cost;
                 (c, est)

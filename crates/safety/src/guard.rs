@@ -39,6 +39,10 @@ pub struct SafeguardedAdvisor<A: Advisor> {
     inner: A,
     name: String,
     ledger: SafetyLedger,
+    /// Observability handle (`dba-obs`): every guardrail decision — veto,
+    /// rollback, throttle, round close — is mirrored as a structured
+    /// event. Advisory only; no safety decision ever branches on it.
+    obs: dba_obs::Obs,
 }
 
 impl<A: Advisor> SafeguardedAdvisor<A> {
@@ -51,6 +55,7 @@ impl<A: Advisor> SafeguardedAdvisor<A> {
             ledger: SafetyLedger::new(config, cost),
             name,
             inner,
+            obs: dba_obs::Obs::noop(),
         }
     }
 
@@ -72,7 +77,7 @@ impl<A: Advisor> SafeguardedAdvisor<A> {
     /// included, so the invariant "live footprint ≤ headroom at the start
     /// of every round" holds regardless of tuner behaviour (within a
     /// round, drift applied after execution may transiently exceed it).
-    fn enforce_headroom(&mut self, catalog: &mut Catalog) {
+    fn enforce_headroom(&mut self, catalog: &mut Catalog, round: usize) {
         let headroom = {
             let state = self.ledger.lock();
             (state.config.memory_headroom * state.config.memory_budget_bytes as f64) as u64
@@ -93,6 +98,15 @@ impl<A: Advisor> SafeguardedAdvisor<A> {
                 continue;
             };
             if catalog.drop_index(id).is_ok() {
+                self.obs.event(
+                    "safety.rollback",
+                    vec![
+                        ("round", round.into()),
+                        ("index", id.raw().into()),
+                        ("table", def.table.raw().into()),
+                        ("reason", "headroom".into()),
+                    ],
+                );
                 self.ledger.lock().note_rollback(def);
             }
         }
@@ -153,6 +167,18 @@ impl<A: Advisor> SafeguardedAdvisor<A> {
             );
             catalog.drop_index(id).expect("fresh index exists");
             refund_s += build.secs();
+            self.obs.event(
+                "safety.veto",
+                vec![
+                    ("round", round.into()),
+                    ("index", id.raw().into()),
+                    ("table", def.table.raw().into()),
+                    ("quarantined", quarantined.into()),
+                    ("over_memory", over_memory.into()),
+                    ("over_creation", over_creation.into()),
+                    ("refund_s", build.secs().into()),
+                ],
+            );
             self.ledger.lock().note_veto();
         }
         refund_s
@@ -185,12 +211,21 @@ impl<A: Advisor> Advisor for SafeguardedAdvisor<A> {
                 continue;
             };
             if catalog.drop_index(id).is_ok() {
+                self.obs.event(
+                    "safety.rollback",
+                    vec![
+                        ("round", (round + 1).into()),
+                        ("index", id.raw().into()),
+                        ("table", def.table.raw().into()),
+                        ("reason", "negative_benefit".into()),
+                    ],
+                );
                 self.ledger.lock().note_rollback(def);
             }
         }
         // Drift growth alone can breach the memory headroom — enforce it
         // against the surviving configuration before anything else runs.
-        self.enforce_headroom(catalog);
+        self.enforce_headroom(catalog, round + 1);
         // Snapshot the do-nothing config *after* rollbacks: this round's
         // freeze counterfactual is "keep what survived the guardrail".
         let prev_config: Vec<_> = catalog.all_indexes().map(|ix| ix.def().clone()).collect();
@@ -207,6 +242,14 @@ impl<A: Advisor> Advisor for SafeguardedAdvisor<A> {
         // 2. Throttle: freeze the configuration; the inner advisor is not
         //    consulted (its own round bookkeeping pauses with it).
         if throttled {
+            let snapshot = self.ledger.snapshot();
+            self.obs.event(
+                "safety.throttle",
+                vec![
+                    ("round", (round + 1).into()),
+                    ("cum_regret_s", snapshot.cum_regret_s.into()),
+                ],
+            );
             return AdvisorCost::default();
         }
         // 3. Let the inner advisor act, then veto what it overspent.
@@ -240,6 +283,11 @@ impl<A: Advisor> Advisor for SafeguardedAdvisor<A> {
         self.inner.bandit_counters()
     }
 
+    fn attach_obs(&mut self, obs: &dba_obs::Obs) {
+        self.obs = obs.clone();
+        self.inner.attach_obs(obs);
+    }
+
     fn after_round(
         &mut self,
         ctx: &mut RoundContext<'_>,
@@ -253,9 +301,34 @@ impl<A: Advisor> Advisor for SafeguardedAdvisor<A> {
         //    baseline prices the round it observes — not the post-drift
         //    world one round later. Rollback verdicts wait for the next
         //    round boundary.
-        let mut state = self.ledger.lock();
-        state.note_execution(queries, executions);
-        let victims = state.close_round(ctx.catalog, ctx.stats, ctx.whatif);
-        state.set_pending_rollbacks(victims);
+        // The round-close event is emitted after the ledger guard drops:
+        // telemetry must never extend a critical section.
+        let (pending, last) = {
+            let mut state = self.ledger.lock();
+            state.note_execution(queries, executions);
+            // lint: allow(G02) — close_round prices via the what-if service, whose counter emission takes the obs telemetry mutex: a leaf lock held per-record, never across a call
+            let victims = state.close_round(ctx.catalog, ctx.stats, ctx.whatif);
+            let last = state.last_round();
+            let pending = victims.len();
+            state.set_pending_rollbacks(victims);
+            (pending, last)
+        };
+        if let Some(last) = last {
+            self.obs.event(
+                "safety.round_close",
+                vec![
+                    ("round", last.round.into()),
+                    ("shadow_noindex_s", last.shadow_noindex_s.into()),
+                    ("shadow_prev_s", last.shadow_prev_s.into()),
+                    ("actual_s", last.actual_s.into()),
+                    ("regret_s", last.regret_s.into()),
+                    ("cum_regret_s", last.cum_regret_s.into()),
+                    ("vetoes", last.vetoes.into()),
+                    ("rollbacks", last.rollbacks.into()),
+                    ("throttled", last.throttled.into()),
+                    ("pending_rollbacks", pending.into()),
+                ],
+            );
+        }
     }
 }

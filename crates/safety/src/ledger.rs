@@ -510,6 +510,12 @@ impl SafetyState {
         }
     }
 
+    /// The most recently closed round's accounting, if any (the guard
+    /// reads it right after `close_round` to emit its round-close event).
+    pub(crate) fn last_round(&self) -> Option<RoundSafety> {
+        self.report.rounds.last().copied()
+    }
+
     fn snapshot(&self) -> SafetySnapshot {
         SafetySnapshot {
             cum_regret_s: self.report.cum_regret_s,

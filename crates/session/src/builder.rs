@@ -99,6 +99,7 @@ pub struct SessionBuilder {
     cost: CostModel,
     safeguard: Option<SafetyConfig>,
     mab_config: Option<MabConfig>,
+    obs: dba_obs::Obs,
 }
 
 impl Default for SessionBuilder {
@@ -121,7 +122,17 @@ impl SessionBuilder {
             cost: CostModel::paper_scale(),
             safeguard: None,
             mab_config: None,
+            obs: dba_obs::Obs::noop(),
         }
+    }
+
+    /// Attach an observability handle (`dba-obs`): the session clones it
+    /// into the advisor stack, the plan cache and the what-if service at
+    /// build time, so one recorder sees the whole tuning loop. Defaults to
+    /// the noop handle (zero-cost, bit-identical trajectories).
+    pub fn observe(mut self, obs: dba_obs::Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The benchmark supplying schema, data generators and query
@@ -274,6 +285,7 @@ impl SessionBuilder {
             cost: self.cost,
             safeguard: self.safeguard,
             mab_config: self.mab_config,
+            obs: self.obs,
         })
     }
 
@@ -348,6 +360,7 @@ struct PreparedSession {
     cost: CostModel,
     safeguard: Option<SafetyConfig>,
     mab_config: Option<MabConfig>,
+    obs: dba_obs::Obs,
 }
 
 impl PreparedSession {
@@ -372,6 +385,7 @@ impl PreparedSession {
             advisor,
             self.drift,
             ledger,
+            self.obs,
         )
     }
 }

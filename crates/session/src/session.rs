@@ -5,6 +5,7 @@ use std::collections::HashSet;
 
 use dba_common::{BudgetTimer, DbResult, SimSeconds, TemplateId};
 use dba_engine::{Executor, Plan, Query, QueryExecution};
+use dba_obs::Obs;
 use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog, WhatIfService};
 use dba_safety::{SafetyLedger, SafetySnapshot};
 use dba_storage::Catalog;
@@ -92,6 +93,14 @@ pub struct TuningSession<A: Advisor> {
     /// the advisor writes through its own clone, the session reads
     /// snapshots and attaches the final report to the run result.
     safety: Option<SafetyLedger>,
+    /// Observability handle (`dba-obs`), cloned into the advisor, plan
+    /// cache and what-if service at build time. Noop by default — every
+    /// span/event call is one `Option` check — and advisory always: no
+    /// tuning decision ever branches on it.
+    obs: Obs,
+    /// Running simulated clock: the cumulative simulated seconds of every
+    /// completed phase, stamped onto trace records via `set_sim_now`.
+    sim_now: SimSeconds,
     records: Vec<RoundRecord>,
     next_round: usize,
 }
@@ -107,15 +116,20 @@ impl<A: Advisor> TuningSession<A> {
         memory_budget_bytes: u64,
         executor: Executor,
         cost: dba_engine::CostModel,
-        advisor: A,
+        mut advisor: A,
         drift: Option<DataDrift>,
         safety: Option<SafetyLedger>,
+        obs: Obs,
     ) -> Self {
         let template_order = WorkloadSequencer::new(&benchmark, workload, seed)
             .order()
             .to_vec();
         let drift = drift.filter(|d| !d.is_none());
-        let whatif = WhatIfService::new(cost.clone());
+        let mut whatif = WhatIfService::new(cost.clone());
+        whatif.set_obs(&obs);
+        let mut plan_cache = PlanCache::new();
+        plan_cache.set_obs(&obs);
+        advisor.attach_obs(&obs);
         TuningSession {
             benchmark,
             catalog,
@@ -128,13 +142,21 @@ impl<A: Advisor> TuningSession<A> {
             advisor,
             drift,
             template_order,
-            plan_cache: PlanCache::new(),
+            plan_cache,
             whatif,
             seen_templates: HashSet::new(),
             safety,
+            obs,
+            sim_now: SimSeconds::ZERO,
             records: Vec::new(),
             next_round: 0,
         }
+    }
+
+    /// The session's observability handle (noop unless one was attached
+    /// via [`SessionBuilder::observe`](crate::SessionBuilder::observe)).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// A sequencer over the precomputed template order.
@@ -237,17 +259,25 @@ impl<A: Advisor> TuningSession<A> {
             &self.template_order,
         );
 
+        self.obs.set_sim_now(self.sim_now);
+        self.obs.span_enter("session.round");
+
         // 1. Recommendation: the advisor adjusts the physical design,
         //    costing hypotheticals through the session's shared service.
+        self.obs.span_enter("round.advise");
         let whatif_before = self.whatif.stats();
         let bandit_before = self.advisor.bandit_counters();
         let advisor_cost =
             self.advisor
                 .before_round(round, &mut self.catalog, &self.stats, &mut self.whatif);
+        self.sim_now += advisor_cost.recommendation + advisor_cost.creation;
+        self.obs.set_sim_now(self.sim_now);
+        self.obs.span_exit("round.advise");
 
         // 2. Execution: plan against the current design — through the plan
         //    cache, so templates whose tables saw no index/stats/drift
         //    change since their last plan skip the planner — then run.
+        self.obs.span_enter("round.execute");
         let queries = sequencer.round_queries(&self.catalog, round)?;
         let cache_before = self.plan_cache.stats();
         let executions: Vec<QueryExecution> = {
@@ -269,6 +299,9 @@ impl<A: Advisor> TuningSession<A> {
         };
         let cache_after = self.plan_cache.stats();
         let execution: SimSeconds = executions.iter().map(|e| e.total).sum();
+        self.sim_now += execution;
+        self.obs.set_sim_now(self.sim_now);
+        self.obs.span_exit("round.execute");
 
         // Session-side shift intensity for the record (same definition as
         // any advisor-internal query store: the fraction of this round's
@@ -282,11 +315,15 @@ impl<A: Advisor> TuningSession<A> {
         //    actually ran on, so drifting rounds snapshot the catalog and
         //    statistics first — overlay clones over the shared `Arc`'d
         //    base, a few cheap `Vec`s, never the data.
+        self.obs.span_enter("round.drift");
         let pre_drift = self
             .drift
             .as_ref()
             .map(|_| (self.catalog.clone(), self.stats.clone()));
         let maintenance = self.apply_drift(round);
+        self.sim_now += maintenance;
+        self.obs.set_sim_now(self.sim_now);
+        self.obs.span_exit("round.drift");
 
         // 4. Observation: feed actual run-time statistics back, with
         //    execution-time catalog/stats access (kills the one-round-late
@@ -300,7 +337,10 @@ impl<A: Advisor> TuningSession<A> {
             stats: exec_stats,
             whatif: &mut self.whatif,
         };
+        self.obs.span_enter("round.observe");
         self.advisor.after_round(&mut ctx, &queries, &executions);
+        self.obs.span_exit("round.observe");
+        self.obs.span_exit("session.round");
         let whatif_after = self.whatif.stats();
         let bandit_after = self.advisor.bandit_counters();
 
@@ -364,9 +404,13 @@ impl<A: Advisor> TuningSession<A> {
         let queries = schedule.window_queries(&self.catalog, window)?;
         let counts: Vec<u64> = window.arrivals.iter().map(|&(_, c)| c).collect();
 
+        self.obs.set_sim_now(self.sim_now);
+        self.obs.span_enter("session.window");
+
         // 1. Recommendation, under the window's degrade mode. The timer is
         //    advisory wall-clock telemetry: reported, never branched on —
         //    the degrade ladder itself runs on simulated cost.
+        self.obs.span_enter("round.advise");
         let whatif_before = self.whatif.stats();
         let bandit_before = self.advisor.bandit_counters();
         timer.mark();
@@ -375,9 +419,13 @@ impl<A: Advisor> TuningSession<A> {
             self.advisor
                 .before_round(round, &mut self.catalog, &self.stats, &mut self.whatif);
         let wall_recommend_s = timer.elapsed_secs();
+        self.sim_now += advisor_cost.recommendation + advisor_cost.creation;
+        self.obs.set_sim_now(self.sim_now);
+        self.obs.span_exit("round.advise");
 
         // 2. Execution: plan and run each distinct template's instance
         //    once, then scale the observed statistics by its arrival count.
+        self.obs.span_enter("round.execute");
         let cache_before = self.plan_cache.stats();
         let executions: Vec<QueryExecution> = {
             let catalog = &self.catalog;
@@ -397,12 +445,16 @@ impl<A: Advisor> TuningSession<A> {
         };
         let cache_after = self.plan_cache.stats();
         let execution: SimSeconds = executions.iter().map(|e| e.total).sum();
+        self.sim_now += execution;
+        self.obs.set_sim_now(self.sim_now);
+        self.obs.span_exit("round.execute");
 
         let shift_intensity = self.note_shift_intensity(&queries);
 
         // 3. Data change, at round boundaries only (mid-round windows are
         //    pure observation).
         let boundary = window.round_boundary;
+        self.obs.span_enter("round.drift");
         let pre_drift =
             (boundary && self.drift.is_some()).then(|| (self.catalog.clone(), self.stats.clone()));
         let maintenance = if boundary {
@@ -410,6 +462,9 @@ impl<A: Advisor> TuningSession<A> {
         } else {
             SimSeconds::ZERO
         };
+        self.sim_now += maintenance;
+        self.obs.set_sim_now(self.sim_now);
+        self.obs.span_exit("round.drift");
 
         // 4. Observation. Guarded sessions get the window's arrival counts
         //    first, so the ledger closes against weighted shadow prices.
@@ -425,7 +480,10 @@ impl<A: Advisor> TuningSession<A> {
             stats: exec_stats,
             whatif: &mut self.whatif,
         };
+        self.obs.span_enter("round.observe");
         self.advisor.after_round(&mut ctx, &queries, &executions);
+        self.obs.span_exit("round.observe");
+        self.obs.span_exit("session.window");
         let whatif_after = self.whatif.stats();
         let bandit_after = self.advisor.bandit_counters();
 

@@ -340,8 +340,40 @@ impl<A: Advisor> StreamingSession<A> {
             self.session
                 .step_window(self.config.arrival, &window, &mode, &mut self.timer)?;
         let recommend_s = record.recommendation.secs();
-        self.controller.observe(recommend_s);
+        let prev_level = self.controller.level();
+        let next_level = self.controller.observe(recommend_s);
         self.prev_shares = cur_shares;
+
+        // Satellite observability: one structured event per window, plus a
+        // ladder-transition event whenever the controller moves. Gated on
+        // `enabled()` so the noop path never formats level labels.
+        if self.session.obs().enabled() {
+            let blown = recommend_s > self.config.budget_s;
+            if next_level != prev_level {
+                self.session.obs().event(
+                    "degrade.transition",
+                    vec![
+                        ("window", w.into()),
+                        ("from", format!("{prev_level:?}").into()),
+                        ("to", format!("{next_level:?}").into()),
+                        ("debt_s", self.controller.debt_s().into()),
+                    ],
+                );
+            }
+            let mut fields = vec![
+                ("window", w.into()),
+                ("round", window.round.into()),
+                ("level", format!("{level:?}").into()),
+                ("debt_s", self.controller.debt_s().into()),
+                ("arrivals", window.total_arrivals().into()),
+                ("blown", blown.into()),
+                ("recommend_s", recommend_s.into()),
+            ];
+            if let Some(wall) = wall_recommend_s {
+                fields.push(("wall_recommend_s", wall.into()));
+            }
+            self.session.obs().event("stream.window", fields);
+        }
 
         let wrec = WindowRecord {
             window: w,
