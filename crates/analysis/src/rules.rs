@@ -26,7 +26,11 @@ pub const RULES: &[&str] = &[
 /// One-line docs for `dba-lint --list-rules` (and the README table).
 pub const RULE_DOCS: &[(&str, &str)] = &[
     ("D01", "no unnormalized HashMap/HashSet iteration in result-affecting crates"),
-    ("D02", "no wall-clock / OS-entropy reads outside dba-bench"),
+    (
+        "D02",
+        "no wall-clock / OS-entropy reads outside dba-bench; dba-backend's injectable clock \
+         seam (clock.rs) is the one sanctioned boundary, via a reasoned allow",
+    ),
     ("D03", "no partial_cmp(..).unwrap() float ordering (use total_cmp)"),
     ("C01", "mutex access via the SafetyLedger wrapper; no guard across Advisor calls"),
     ("V01", "Catalog/StatsCatalog mutators bump their version (`// bumps:` markers)"),

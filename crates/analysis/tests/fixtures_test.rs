@@ -64,6 +64,18 @@ fn d02_is_exempt_in_bench() {
 }
 
 #[test]
+fn d02_fires_in_backend_business_logic() {
+    // dba-backend stays under D02: the raw Instant::now in operator code
+    // fires, while the clock-seam form with its reasoned allow (the shape
+    // of crates/backend/src/clock.rs) is suppressed.
+    assert_findings(
+        "d02_backend.rs",
+        "crates/backend/src/measured.rs",
+        &[("D02", 9)],
+    );
+}
+
+#[test]
 fn d03_fires_everywhere() {
     let expected = &[("D03", 6), ("D03", 11), ("D03", 16)];
     assert_findings("d03.rs", "crates/engine/src/fixture.rs", expected);

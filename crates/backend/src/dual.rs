@@ -1,0 +1,177 @@
+//! Lock-step verification backend: runs every plan through **both** the
+//! measured and the simulated implementations and asserts logical parity.
+//!
+//! The dual backend returns the *simulated* execution to its caller, so a
+//! session driven by it produces bit-identical trajectories to one on the
+//! plain `Simulated` backend — rewards, ledger entries and round records
+//! all match — while every query doubles as a parity check and feeds the
+//! measured side's [`OpSample`]s (drained via `take_op_samples`) to
+//! calibration and divergence reporting. `fig_backend` and the parity test
+//! sweep are built on this.
+
+use dba_engine::{
+    BackendKind, CostModel, ExecutionBackend, Executor, OpSample, Plan, Query, QueryExecution,
+};
+use dba_storage::Catalog;
+
+use crate::clock::ClockSource;
+use crate::measured::MeasuredBackend;
+
+pub struct DualBackend {
+    simulated: Executor,
+    measured: MeasuredBackend,
+}
+
+impl DualBackend {
+    pub fn new(cost: CostModel) -> Self {
+        DualBackend {
+            simulated: Executor::new(cost.clone()),
+            measured: MeasuredBackend::new(cost),
+        }
+    }
+
+    pub fn with_clock(cost: CostModel, clock: ClockSource) -> Self {
+        DualBackend {
+            simulated: Executor::new(cost.clone()),
+            measured: MeasuredBackend::with_clock(cost, clock),
+        }
+    }
+}
+
+impl ExecutionBackend for DualBackend {
+    /// Reports `Simulated`: callers consume the simulated trajectory; the
+    /// measured run rides along as a shadow check.
+    fn kind(&self) -> BackendKind {
+        BackendKind::Simulated
+    }
+
+    fn name(&self) -> &'static str {
+        "dual"
+    }
+
+    fn execute(&mut self, catalog: &Catalog, query: &Query, plan: &Plan) -> QueryExecution {
+        let measured = self.measured.execute(catalog, query, plan);
+        let simulated = Executor::execute(&self.simulated, catalog, query, plan);
+        assert_parity(query, &measured, &simulated);
+        simulated
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        Executor::cost_model(&self.simulated)
+    }
+
+    fn measures_wall_clock(&self) -> bool {
+        false
+    }
+
+    fn take_op_samples(&mut self) -> Vec<OpSample> {
+        self.measured.take_op_samples()
+    }
+}
+
+/// Panic (with full context) unless the two executions agree on every
+/// logical field. Time fields are exempt by design.
+fn assert_parity(query: &Query, measured: &QueryExecution, simulated: &QueryExecution) {
+    assert_eq!(
+        measured.result_rows, simulated.result_rows,
+        "backend parity: result_rows diverged on query {:?}",
+        query.id
+    );
+    assert_eq!(
+        measured.indexes_used(),
+        simulated.indexes_used(),
+        "backend parity: indexes_used diverged on query {:?}",
+        query.id
+    );
+    assert_eq!(
+        measured.accesses.len(),
+        simulated.accesses.len(),
+        "backend parity: access count diverged on query {:?}",
+        query.id
+    );
+    for (i, (m, s)) in measured
+        .accesses
+        .iter()
+        .zip(&simulated.accesses)
+        .enumerate()
+    {
+        assert!(
+            m.table == s.table
+                && m.index == s.index
+                && m.rows_out == s.rows_out
+                && m.is_full_scan == s.is_full_scan,
+            "backend parity: access {i} diverged on query {:?}: \
+             measured (table {:?}, index {:?}, rows_out {}, full_scan {}) vs \
+             simulated (table {:?}, index {:?}, rows_out {}, full_scan {})",
+            query.id,
+            m.table,
+            m.index,
+            m.rows_out,
+            m.is_full_scan,
+            s.table,
+            s.index,
+            s.rows_out,
+            s.is_full_scan
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::scripted;
+    use dba_common::{ColumnId, QueryId, SimSeconds, TableId, TemplateId};
+    use dba_engine::plan::{AccessMethod, TableAccess};
+    use dba_engine::Predicate;
+    use dba_storage::{ColumnSpec, ColumnType, Distribution, TableBuilder, TableSchema};
+
+    fn catalog() -> Catalog {
+        let t = TableSchema::new(
+            "t",
+            vec![
+                ColumnSpec::new("a", ColumnType::Int, Distribution::Sequential),
+                ColumnSpec::new(
+                    "b",
+                    ColumnType::Int,
+                    Distribution::Uniform { lo: 0, hi: 99 },
+                ),
+            ],
+        );
+        Catalog::new(vec![TableBuilder::new(t, 3000).build(TableId(0), 9)])
+    }
+
+    #[test]
+    fn dual_returns_the_simulated_execution() {
+        let cat = catalog();
+        let q = Query {
+            id: QueryId(0),
+            template: TemplateId(0),
+            tables: vec![TableId(0)],
+            predicates: vec![Predicate::range(ColumnId::new(TableId(0), 1), 10, 40)],
+            joins: vec![],
+            payload: vec![ColumnId::new(TableId(0), 0)],
+            aggregated: false,
+        };
+        let plan = Plan {
+            driver: TableAccess {
+                table: TableId(0),
+                method: AccessMethod::FullScan,
+                est_rows: 0.0,
+            },
+            joins: vec![],
+            aggregated: false,
+            est_cost: SimSeconds::ZERO,
+        };
+        let mut dual = DualBackend::with_clock(CostModel::unit_scale(), scripted(1e-6));
+        let d = dual.execute(&cat, &q, &plan);
+        let sim = Executor::new(CostModel::unit_scale()).execute(&cat, &q, &plan);
+        // Bit-exact match with the pure simulated run, times included.
+        assert_eq!(d.result_rows, sim.result_rows);
+        assert_eq!(d.total.secs().to_bits(), sim.total.secs().to_bits());
+        assert_eq!(dual.kind(), BackendKind::Simulated);
+        assert_eq!(dual.name(), "dual");
+        assert!(!dual.measures_wall_clock());
+        // The measured shadow still produced samples.
+        assert!(!dual.take_op_samples().is_empty());
+    }
+}

@@ -12,7 +12,7 @@ use dba_core::{
     oracle::{greedy_select, OracleInput},
     AlphaSchedule, C2Ucb, C2UcbConfig,
 };
-use dba_engine::{CostModel, Executor, Predicate, Query};
+use dba_engine::{simulated, CostModel, Predicate, Query};
 use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIf, WhatIfService};
 use dba_storage::{
     Catalog, ColumnSpec, ColumnType, Distribution, IndexDef, TableBuilder, TableSchema,
@@ -134,7 +134,7 @@ fn bench_executor(c: &mut Criterion) {
         .unwrap();
     let stats = StatsCatalog::build(&catalog);
     let cost = CostModel::unit_scale();
-    let executor = Executor::new(cost.clone());
+    let mut executor = simulated(cost.clone());
     let q = point_query(555);
 
     let scan_plan = {

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use dba_core::{Advisor, MabConfig, MabTuner, RoundContext};
-use dba_engine::{CostModel, Executor, QueryExecution};
+use dba_engine::{simulated, CostModel, QueryExecution};
 use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog, WhatIfService};
 use dba_session::{SessionBuilder, TunerKind, TuningSession};
 use dba_storage::Catalog;
@@ -38,7 +38,7 @@ fn run_hand_wired(benchmark: &Benchmark, base: &Catalog) -> f64 {
         },
     );
     let sequencer = WorkloadSequencer::new(benchmark, workload(), SEED);
-    let executor = Executor::new(cost.clone());
+    let mut executor = simulated(cost.clone());
     let mut plan_cache = PlanCache::new();
     let mut whatif = WhatIfService::new(cost.clone());
 

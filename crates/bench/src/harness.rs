@@ -17,6 +17,7 @@ use std::sync::mpsc;
 
 use dba_common::{BudgetTimer, DbResult};
 use dba_core::MabConfig;
+use dba_engine::BackendKind;
 use dba_optimizer::StatsCatalog;
 use dba_session::{SessionBuilder, StreamConfig, StreamResult, StreamingSession};
 use dba_storage::Catalog;
@@ -49,6 +50,28 @@ pub struct ExperimentEnv {
     /// `DBA_ARRIVAL` override: arrival-process preset for streaming
     /// scenarios (`roundbatch` | `poisson` | `bursty`).
     pub arrival: Option<ArrivalProcess>,
+    /// `DBA_BACKEND` override: which execution backend sessions run on
+    /// (`simulated` | `measured`). Defaults to `Simulated` — the
+    /// cost-priced path every published figure is generated with.
+    pub backend: BackendKind,
+}
+
+/// The `DBA_BACKEND` knob, parsed once per process (warn, never silently
+/// default, matching the `ExperimentEnv` contract). The suite runners
+/// consult this so *every* session a fig binary spawns — including ones
+/// built deep inside `run_one` fan-out — runs on the selected backend.
+pub fn env_backend_kind() -> BackendKind {
+    static PARSED: std::sync::OnceLock<BackendKind> = std::sync::OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("DBA_BACKEND") {
+        Ok(raw) => match raw.parse::<BackendKind>() {
+            Ok(kind) => kind,
+            Err(e) => {
+                eprintln!("warning: ignoring DBA_BACKEND: {e}; using the simulated backend");
+                BackendKind::Simulated
+            }
+        },
+        Err(_) => BackendKind::Simulated,
+    })
 }
 
 /// Parse an environment variable, warning (rather than silently
@@ -148,6 +171,7 @@ impl ExperimentEnv {
             safety_bound,
             latency_budget,
             arrival,
+            backend: env_backend_kind(),
         }
     }
 
@@ -263,6 +287,7 @@ pub fn run_one_with_drift(
         .shared_stats(stats)
         .workload(workload)
         .tuner(tuner)
+        .backend(env_backend_kind())
         .seed(seed);
     if let Some(drift) = drift {
         builder = builder.data_drift(drift.clone());
@@ -297,6 +322,7 @@ pub fn run_stream_one(
         .shared_stats(stats)
         .workload(workload)
         .tuner(tuner)
+        .backend(env_backend_kind())
         .seed(seed);
     if let Some(drift) = drift {
         builder = builder.data_drift(drift.clone());
@@ -630,6 +656,7 @@ mod tests {
             safety_bound: None,
             latency_budget: None,
             arrival: None,
+            backend: BackendKind::Simulated,
         };
         assert_eq!(env.static_kind().rounds(), 3);
         assert_eq!(env.shifting_kind().rounds(), 12); // 4 groups × 3

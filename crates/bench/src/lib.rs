@@ -16,7 +16,10 @@
 //! * `DBA_THREADS` — suite fan-out worker count (default: all cores;
 //!   `1` forces the sequential path). Parallel suites are bit-identical
 //!   to sequential ones — sessions fork shared data by `Arc` and every
-//!   run is deterministic in its seed.
+//!   run is deterministic in its seed;
+//! * `DBA_BACKEND` — execution backend (`simulated`, the default every
+//!   published figure uses, or `measured` for real physical operators
+//!   timed on the wall-clock; see `crates/backend`).
 //!
 //! All driving goes through [`dba_session::TuningSession`]; this crate
 //! only configures sessions and formats their results.
@@ -26,9 +29,10 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    make_advisor, run_benchmark_suite, run_benchmark_suite_with_drift, run_one, run_one_with_drift,
-    run_stream_one, run_suite_threaded, suite_threads, DegradeLevel, ExperimentEnv, RoundRecord,
-    RoundSafety, RunResult, SafetyConfig, SafetyReport, TunerKind, WindowRecord,
+    env_backend_kind, make_advisor, run_benchmark_suite, run_benchmark_suite_with_drift, run_one,
+    run_one_with_drift, run_stream_one, run_suite_threaded, suite_threads, DegradeLevel,
+    ExperimentEnv, RoundRecord, RoundSafety, RunResult, SafetyConfig, SafetyReport, TunerKind,
+    WindowRecord,
 };
 pub use report::{
     fmt_minutes, print_series, print_totals_table, results_json, stream_results_json, write_csv,

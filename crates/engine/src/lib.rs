@@ -9,11 +9,13 @@
 //! the phenomenon the paper's bandit exploits and the commercial advisor
 //! falls victim to.
 
+pub mod backend;
 pub mod cost;
 pub mod exec;
 pub mod plan;
 pub mod query;
 
+pub use backend::{simulated, BackendKind, ExecutionBackend, OpKind, OpSample};
 pub use cost::{CostModel, PAPER_TIME_SCALE};
 pub use exec::{AccessStats, Executor, QueryExecution};
 pub use plan::{AccessMethod, JoinAlgo, JoinStep, Plan, TableAccess};

@@ -8,13 +8,30 @@ use dba_baselines::{
 };
 use dba_common::{DbError, DbResult, SimSeconds};
 use dba_core::{Advisor, MabConfig, MabTuner};
-use dba_engine::{CostModel, Executor};
+use dba_engine::{BackendKind, CostModel, ExecutionBackend};
 use dba_optimizer::StatsCatalog;
 use dba_safety::{SafeguardedAdvisor, SafetyConfig, SafetyLedger};
 use dba_storage::{BaseData, Catalog};
 use dba_workloads::{Benchmark, DataDrift, WorkloadKind};
 
 use crate::session::TuningSession;
+
+/// How the session obtains its execution backend: a named kind resolved
+/// at build time, or a caller-supplied implementation.
+enum BackendChoice {
+    Kind(BackendKind),
+    Custom(Box<dyn ExecutionBackend>),
+}
+
+impl BackendChoice {
+    fn into_backend(self, cost: &CostModel) -> Box<dyn ExecutionBackend> {
+        match self {
+            BackendChoice::Kind(BackendKind::Simulated) => dba_engine::simulated(cost.clone()),
+            BackendChoice::Kind(BackendKind::Measured) => dba_backend::measured(cost.clone()),
+            BackendChoice::Custom(backend) => backend,
+        }
+    }
+}
 
 /// The built-in tuners (the paper's comparison set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +117,7 @@ pub struct SessionBuilder {
     safeguard: Option<SafetyConfig>,
     mab_config: Option<MabConfig>,
     obs: dba_obs::Obs,
+    backend: BackendChoice,
 }
 
 impl Default for SessionBuilder {
@@ -123,7 +141,27 @@ impl SessionBuilder {
             safeguard: None,
             mab_config: None,
             obs: dba_obs::Obs::noop(),
+            backend: BackendChoice::Kind(BackendKind::Simulated),
         }
+    }
+
+    /// Select the execution backend by kind: `Simulated` (default — the
+    /// cost-priced engine executor, bit-exact with every prior trajectory)
+    /// or `Measured` (real physical operators from `dba-backend`, timed on
+    /// the wall-clock). The bench harness maps the `DBA_BACKEND` env knob
+    /// here.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = BackendChoice::Kind(kind);
+        self
+    }
+
+    /// Install a caller-constructed backend (e.g. `dba_backend::dual` for
+    /// lock-step parity checking, or a measured backend on an injected
+    /// clock for deterministic tests). Overrides
+    /// [`backend`](SessionBuilder::backend).
+    pub fn backend_boxed(mut self, backend: Box<dyn ExecutionBackend>) -> Self {
+        self.backend = BackendChoice::Custom(backend);
+        self
     }
 
     /// Attach an observability handle (`dba-obs`): the session clones it
@@ -286,6 +324,7 @@ impl SessionBuilder {
             safeguard: self.safeguard,
             mab_config: self.mab_config,
             obs: self.obs,
+            backend: self.backend,
         })
     }
 
@@ -361,6 +400,7 @@ struct PreparedSession {
     safeguard: Option<SafetyConfig>,
     mab_config: Option<MabConfig>,
     obs: dba_obs::Obs,
+    backend: BackendChoice,
 }
 
 impl PreparedSession {
@@ -380,7 +420,7 @@ impl PreparedSession {
             self.workload,
             self.seed,
             self.budget,
-            Executor::new(self.cost.clone()),
+            self.backend.into_backend(&self.cost),
             self.cost,
             advisor,
             self.drift,

@@ -4,7 +4,7 @@
 use std::collections::HashSet;
 
 use dba_common::{BudgetTimer, DbResult, SimSeconds, TemplateId};
-use dba_engine::{Executor, Plan, Query, QueryExecution};
+use dba_engine::{ExecutionBackend, Plan, Query, QueryExecution};
 use dba_obs::Obs;
 use dba_optimizer::{PlanCache, Planner, PlannerContext, StatsCatalog, WhatIfService};
 use dba_safety::{SafetyLedger, SafetySnapshot};
@@ -64,7 +64,13 @@ pub struct TuningSession<A: Advisor> {
     workload: WorkloadKind,
     seed: u64,
     memory_budget_bytes: u64,
-    executor: Executor,
+    /// The execution seam: how physical plans are run. `Simulated` (the
+    /// engine's cost-priced executor) by default; `Measured` (real
+    /// operators on an injected clock, crate `dba-backend`) or any custom
+    /// implementation via
+    /// [`SessionBuilder::backend`](crate::SessionBuilder::backend) /
+    /// [`SessionBuilder::backend_boxed`](crate::SessionBuilder::backend_boxed).
+    backend: Box<dyn ExecutionBackend>,
     cost: dba_engine::CostModel,
     advisor: A,
     /// Data-change scenario applied after every round's execution; `None`
@@ -114,7 +120,7 @@ impl<A: Advisor> TuningSession<A> {
         workload: WorkloadKind,
         seed: u64,
         memory_budget_bytes: u64,
-        executor: Executor,
+        backend: Box<dyn ExecutionBackend>,
         cost: dba_engine::CostModel,
         mut advisor: A,
         drift: Option<DataDrift>,
@@ -137,7 +143,7 @@ impl<A: Advisor> TuningSession<A> {
             workload,
             seed,
             memory_budget_bytes,
-            executor,
+            backend,
             cost,
             advisor,
             drift,
@@ -187,6 +193,17 @@ impl<A: Advisor> TuningSession<A> {
 
     pub fn advisor_mut(&mut self) -> &mut A {
         &mut self.advisor
+    }
+
+    /// The execution backend running this session's plans.
+    pub fn backend(&self) -> &dyn ExecutionBackend {
+        &*self.backend
+    }
+
+    /// Mutable backend access — e.g. to drain a measured backend's
+    /// per-operator calibration samples via `take_op_samples`.
+    pub fn backend_mut(&mut self) -> &mut dyn ExecutionBackend {
+        &mut *self.backend
     }
 
     pub fn workload(&self) -> WorkloadKind {
@@ -285,7 +302,7 @@ impl<A: Advisor> TuningSession<A> {
             // planner context holds the catalog and statistics.
             let catalog = &self.catalog;
             let stats = &self.stats;
-            let executor = &self.executor;
+            let backend = &mut self.backend;
             let plan_cache = &mut self.plan_cache;
             let ctx = PlannerContext::from_catalog(catalog, stats, &self.cost);
             let planner = Planner::new(&ctx);
@@ -293,7 +310,7 @@ impl<A: Advisor> TuningSession<A> {
                 .iter()
                 .map(|q| {
                     let plan = plan_cache.get_or_plan(catalog, stats, &planner, q);
-                    executor.execute(catalog, q, plan)
+                    backend.execute(catalog, q, plan)
                 })
                 .collect()
         };
@@ -430,7 +447,7 @@ impl<A: Advisor> TuningSession<A> {
         let executions: Vec<QueryExecution> = {
             let catalog = &self.catalog;
             let stats = &self.stats;
-            let executor = &self.executor;
+            let backend = &mut self.backend;
             let plan_cache = &mut self.plan_cache;
             let ctx = PlannerContext::from_catalog(catalog, stats, &self.cost);
             let planner = Planner::new(&ctx);
@@ -439,7 +456,7 @@ impl<A: Advisor> TuningSession<A> {
                 .zip(&counts)
                 .map(|(q, &count)| {
                     let plan = plan_cache.get_or_plan(catalog, stats, &planner, q);
-                    scale_execution(&executor.execute(catalog, q, plan), count)
+                    scale_execution(&backend.execute(catalog, q, plan), count)
                 })
                 .collect()
         };

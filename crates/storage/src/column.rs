@@ -117,6 +117,40 @@ impl Column {
         sorted.dedup();
         sorted.len()
     }
+
+    /// Append the row ids in `[start, end)` whose code lies in `[lo, hi]`
+    /// (inclusive) to `out`. The batch-scan seed: one tight pass over a
+    /// contiguous slice producing an ascending selection vector.
+    #[inline]
+    pub fn fill_matching_in(&self, lo: i64, hi: i64, start: usize, end: usize, out: &mut Vec<u32>) {
+        for (off, &v) in self.data[start..end].iter().enumerate() {
+            if v >= lo && v <= hi {
+                out.push((start + off) as u32);
+            }
+        }
+    }
+
+    /// Retain only the selected rows whose code lies in `[lo, hi]`
+    /// (inclusive). Refines a selection vector in place, preserving order.
+    #[inline]
+    pub fn retain_matching(&self, lo: i64, hi: i64, sel: &mut Vec<u32>) {
+        sel.retain(|&r| {
+            let v = self.data[r as usize];
+            v >= lo && v <= hi
+        });
+    }
+
+    /// Gather the codes of `rows` into `out` (cleared first). The heap-fetch
+    /// primitive of the measured backend: materialises the selected values
+    /// in selection order.
+    #[inline]
+    pub fn gather_into(&self, rows: &[u32], out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(rows.len());
+        for &r in rows {
+            out.push(self.data[r as usize]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +176,41 @@ mod tests {
         assert_eq!(c.min_max(), Some((-1, 9)));
         assert_eq!(c.distinct_count(), 3);
         assert_eq!(col(&[]).min_max(), None);
+    }
+
+    #[test]
+    fn fill_matching_in_matches_scalar_filter() {
+        let c = col(&[5, 1, 9, 5, 2, 7, 5, 0]);
+        let mut sel = Vec::new();
+        c.fill_matching_in(2, 7, 0, c.len(), &mut sel);
+        let scalar: Vec<u32> = (0..c.len() as u32)
+            .filter(|&r| (2..=7).contains(&c.value(r as usize)))
+            .collect();
+        assert_eq!(sel, scalar);
+
+        // Batch windows concatenate to the full result.
+        let mut batched = Vec::new();
+        c.fill_matching_in(2, 7, 0, 3, &mut batched);
+        c.fill_matching_in(2, 7, 3, c.len(), &mut batched);
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn retain_matching_refines_in_order() {
+        let c = col(&[5, 1, 9, 5, 2, 7, 5, 0]);
+        let mut sel: Vec<u32> = vec![0, 2, 3, 5, 7];
+        c.retain_matching(5, 9, &mut sel);
+        assert_eq!(sel, vec![0, 2, 3, 5]);
+        c.retain_matching(100, 200, &mut sel);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn gather_into_follows_selection_order() {
+        let c = col(&[10, 20, 30, 40]);
+        let mut out = vec![99]; // must be cleared
+        c.gather_into(&[3, 0, 2], &mut out);
+        assert_eq!(out, vec![40, 10, 30]);
     }
 
     #[test]

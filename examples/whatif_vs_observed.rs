@@ -72,7 +72,7 @@ fn main() {
         let observed = {
             let ctx = PlannerContext::from_catalog(&catalog, &stats, &cost);
             let plan = Planner::new(&ctx).plan(&q);
-            Executor::new(cost.clone()).execute(&catalog, &q, &plan)
+            simulated(cost.clone()).execute(&catalog, &q, &plan)
         };
         catalog.drop_index(meta.id).expect("drop");
 

@@ -61,6 +61,18 @@ pub use dba_baselines as baselines;
 pub use dba_common as common;
 pub use dba_core as bandit;
 pub use dba_engine as engine;
+
+/// Execution backends: the [`ExecutionBackend`](engine::ExecutionBackend)
+/// seam plus the factory functions that construct its implementations —
+/// the cost-priced `Simulated` backend, the physical `Measured` backend,
+/// and the lock-step parity `dual` backend. Sessions select one via
+/// [`SessionBuilder::backend`](session::SessionBuilder::backend) (or the
+/// `DBA_BACKEND` env knob in the bench harness).
+pub mod backend {
+    pub use dba_backend::{dual, dual_with_clock, measured, measured_with_clock};
+    pub use dba_backend::{scripted, wall_clock, ClockSource};
+    pub use dba_engine::{simulated, BackendKind, ExecutionBackend, OpKind, OpSample};
+}
 pub use dba_optimizer as optimizer;
 pub use dba_safety as safety;
 pub use dba_session as session;
@@ -72,7 +84,9 @@ pub mod prelude {
     pub use dba_baselines::{NoIndexAdvisor, PdToolAdvisor};
     pub use dba_common::{SimClock, SimSeconds};
     pub use dba_core::{Advisor, AdvisorCost, MabConfig, MabTuner, RoundContext};
-    pub use dba_engine::{CostModel, Executor, Query, QueryExecution};
+    pub use dba_engine::{
+        simulated, BackendKind, CostModel, ExecutionBackend, Executor, Query, QueryExecution,
+    };
     pub use dba_optimizer::{Planner, PlannerContext, StatsCatalog, WhatIf, WhatIfService};
     pub use dba_safety::{SafeguardedAdvisor, SafetyConfig, SafetyReport};
     pub use dba_session::{
